@@ -1,0 +1,88 @@
+// Tables 3/4: characteristics of the synthetic stand-ins for the paper's
+// three datasets. Prints the generated field statistics next to the paper's
+// calibration targets so the substitution is auditable (see DESIGN.md).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "similarity/tokenizer.h"
+
+using namespace simdb;
+using namespace simdb::bench;
+
+namespace {
+
+struct FieldStats {
+  double avg_chars = 0;
+  size_t max_chars = 0;
+  double avg_words = 0;
+  size_t max_words = 0;
+};
+
+FieldStats Analyze(const std::vector<std::string>& values) {
+  FieldStats stats;
+  if (values.empty()) return stats;
+  for (const std::string& v : values) {
+    stats.avg_chars += static_cast<double>(v.size());
+    stats.max_chars = std::max(stats.max_chars, v.size());
+    size_t words = similarity::WordTokens(v).size();
+    stats.avg_words += static_cast<double>(words);
+    stats.max_words = std::max(stats.max_words, words);
+  }
+  stats.avg_chars /= static_cast<double>(values.size());
+  stats.avg_words /= static_cast<double>(values.size());
+  return stats;
+}
+
+void PrintStats(const std::string& label, const FieldStats& s,
+                const std::string& paper_note) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%-24s avg %5.1f ch (max %4zu), avg %5.1f words (max %3zu)"
+                "   [paper: %s]",
+                label.c_str(), s.avg_chars, s.max_chars, s.avg_words,
+                s.max_words, paper_note.c_str());
+  std::printf("%s\n", buf);
+}
+
+Status Run() {
+  PrintTitle("Tables 3/4: synthetic dataset field characteristics",
+             "generated statistics vs. the paper's calibration targets "
+             "(long fields are scaled down; see DESIGN.md)");
+  int64_t count = Scaled(10000);
+  struct Run {
+    datagen::TextProfile profile;
+    const char* name_note;
+    const char* text_note;
+  };
+  const Run runs[] = {
+      {datagen::AmazonProfile(), "10.3 ch / 1.7 words",
+       "22.8 ch / 4.0 words (max 44)"},
+      {datagen::RedditProfile(), "24.3 ch / 4.1 words",
+       "1056 ch / 1173 words (scaled down)"},
+      {datagen::TwitterProfile(), "10.6 ch / 1.7 words",
+       "62.5 ch / 9.7 words (max 70)"},
+  };
+  for (const Run& run : runs) {
+    datagen::TextDatasetGenerator gen(run.profile, 42);
+    for (int64_t i = 0; i < count; ++i) gen.NextRecord(i);
+    std::printf("\n%s (%lld records)\n", run.profile.label.c_str(),
+                static_cast<long long>(count));
+    PrintStats("  " + run.profile.name_field, Analyze(gen.names()),
+               run.name_note);
+    PrintStats("  " + run.profile.text_field, Analyze(gen.texts()),
+               run.text_note);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

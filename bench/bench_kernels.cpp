@@ -1,0 +1,181 @@
+// Micro-benchmarks (google-benchmark) of the similarity and storage kernels
+// underlying every experiment: tokenizers, edit-distance DP vs. the banded
+// verifier, Jaccard merge vs. the early-terminating check, the two
+// T-occurrence list-merge algorithms, and LSM point operations.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/random.h"
+#include "similarity/edit_distance.h"
+#include "similarity/jaccard.h"
+#include "similarity/tokenizer.h"
+#include "storage/file_util.h"
+#include "storage/inverted_index.h"
+#include "storage/lsm_index.h"
+
+namespace {
+
+using namespace simdb;
+
+std::string RandomString(Random& rng, size_t len) {
+  std::string s;
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + rng.Uniform(26)));
+  }
+  return s;
+}
+
+void BM_WordTokens(benchmark::State& state) {
+  std::string text =
+      "great product fantastic gift better than i ever expected to buy";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::WordTokens(text));
+  }
+}
+BENCHMARK(BM_WordTokens);
+
+void BM_GramTokens(benchmark::State& state) {
+  std::string text = "supercalifragilisticexpialidocious";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::GramTokens(text, 2));
+  }
+}
+BENCHMARK(BM_GramTokens);
+
+void BM_EditDistanceFull(benchmark::State& state) {
+  Random rng(1);
+  std::string a = RandomString(rng, static_cast<size_t>(state.range(0)));
+  std::string b = RandomString(rng, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::EditDistance(a, b));
+  }
+}
+BENCHMARK(BM_EditDistanceFull)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_EditDistanceCheckBanded(benchmark::State& state) {
+  Random rng(1);
+  std::string a = RandomString(rng, static_cast<size_t>(state.range(0)));
+  std::string b = a;
+  b[0] = '#';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::EditDistanceCheck(a, b, 2));
+  }
+}
+BENCHMARK(BM_EditDistanceCheckBanded)->Arg(10)->Arg(40)->Arg(160);
+
+std::vector<std::string> RandomTokens(Random& rng, size_t n) {
+  std::vector<std::string> tokens;
+  for (size_t i = 0; i < n; ++i) {
+    tokens.push_back("tok" + std::to_string(rng.Uniform(400)));
+  }
+  std::sort(tokens.begin(), tokens.end());
+  return tokens;
+}
+
+void BM_JaccardExact(benchmark::State& state) {
+  Random rng(2);
+  auto a = RandomTokens(rng, static_cast<size_t>(state.range(0)));
+  auto b = RandomTokens(rng, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::JaccardSorted(a, b));
+  }
+}
+BENCHMARK(BM_JaccardExact)->Arg(8)->Arg(64);
+
+void BM_JaccardCheckEarlyTermination(benchmark::State& state) {
+  Random rng(2);
+  auto a = RandomTokens(rng, static_cast<size_t>(state.range(0)));
+  auto b = RandomTokens(rng, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::JaccardCheckSorted(a, b, 0.9));
+  }
+}
+BENCHMARK(BM_JaccardCheckEarlyTermination)->Arg(8)->Arg(64);
+
+/// Shared inverted index used by the T-occurrence benchmarks.
+class InvertedIndexFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (index_ != nullptr) return;
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("simdb_kernels_" + std::to_string(::getpid())))
+               .string();
+    index_ = *storage::InvertedIndex::Open(dir_ + "/inv");
+    Random rng(3);
+    for (int64_t pk = 0; pk < 5000; ++pk) {
+      std::vector<std::string> tokens;
+      for (int t = 0; t < 8; ++t) {
+        tokens.push_back("tok" + std::to_string(rng.Uniform(500)));
+      }
+      (void)index_->Insert(similarity::DedupOccurrences(tokens), pk);
+    }
+    query_ = similarity::DedupOccurrences(RandomTokens(rng, 8));
+  }
+
+  static std::unique_ptr<storage::InvertedIndex> index_;
+  static std::vector<std::string> query_;
+  static std::string dir_;
+};
+
+std::unique_ptr<storage::InvertedIndex> InvertedIndexFixture::index_;
+std::vector<std::string> InvertedIndexFixture::query_;
+std::string InvertedIndexFixture::dir_;
+
+BENCHMARK_DEFINE_F(InvertedIndexFixture, TOccurrenceScanCount)
+(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index_->SearchTOccurrence(
+        query_, 4, storage::TOccurrenceAlgorithm::kScanCount));
+  }
+}
+BENCHMARK_REGISTER_F(InvertedIndexFixture, TOccurrenceScanCount);
+
+BENCHMARK_DEFINE_F(InvertedIndexFixture, TOccurrenceHeapMerge)
+(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index_->SearchTOccurrence(
+        query_, 4, storage::TOccurrenceAlgorithm::kHeapMerge));
+  }
+}
+BENCHMARK_REGISTER_F(InvertedIndexFixture, TOccurrenceHeapMerge);
+
+void BM_LsmPut(benchmark::State& state) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("simdb_lsmput_" + std::to_string(::getpid())))
+                        .string();
+  auto lsm = *storage::LsmIndex::Open(dir);
+  Random rng(4);
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lsm->Put({adm::Value::Int64(i++)}, "payload-bytes"));
+  }
+  state.SetItemsProcessed(i);
+  lsm.reset();
+  (void)storage::RemoveAll(dir);
+}
+BENCHMARK(BM_LsmPut);
+
+void BM_LsmGet(benchmark::State& state) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("simdb_lsmget_" + std::to_string(::getpid())))
+                        .string();
+  auto lsm = *storage::LsmIndex::Open(dir);
+  for (int64_t i = 0; i < 10000; ++i) {
+    (void)lsm->Put({adm::Value::Int64(i)}, "payload");
+  }
+  (void)lsm->Flush();
+  Random rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lsm->Get({adm::Value::Int64(rng.UniformRange(0, 9999))}));
+  }
+  lsm.reset();
+  (void)storage::RemoveAll(dir);
+}
+BENCHMARK(BM_LsmGet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "storage/file_util.h"
+
+namespace simdb::bench {
+
+double BenchScale() {
+  const char* env = std::getenv("SIMDB_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0 ? scale : 1.0;
+}
+
+int64_t Scaled(int64_t base) {
+  int64_t scaled = static_cast<int64_t>(static_cast<double>(base) * BenchScale());
+  return scaled < 1 ? 1 : scaled;
+}
+
+BenchEnv::BenchEnv(hyracks::ClusterTopology topology, size_t threads) {
+  static int counter = 0;
+  dir_ = (std::filesystem::temp_directory_path() /
+          ("simdb_bench_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++)))
+             .string();
+  core::EngineOptions options;
+  options.data_dir = dir_;
+  options.topology = topology;
+  options.num_threads = threads;
+  engine_ = std::make_unique<core::QueryProcessor>(options);
+}
+
+BenchEnv::~BenchEnv() {
+  engine_.reset();
+  storage::RemoveAll(dir_);
+}
+
+Result<std::unique_ptr<datagen::TextDatasetGenerator>> LoadTextDataset(
+    core::QueryProcessor& engine, const std::string& dataset,
+    const datagen::TextProfile& profile, int64_t count, uint64_t seed) {
+  SIMDB_RETURN_IF_ERROR(
+      engine.Execute("create dataset " + dataset + " primary key id;"));
+  auto gen = std::make_unique<datagen::TextDatasetGenerator>(profile, seed);
+  for (int64_t id = 0; id < count; ++id) {
+    SIMDB_RETURN_IF_ERROR(engine.Insert(dataset, gen->NextRecord(id)));
+  }
+  return gen;
+}
+
+Result<QueryTiming> TimeQuery(core::QueryProcessor& engine,
+                              const std::string& aql, int repeats) {
+  QueryTiming timing;
+  if (repeats < 1) repeats = 1;
+  for (int i = 0; i < repeats; ++i) {
+    core::QueryResult result;
+    SIMDB_RETURN_IF_ERROR(engine.Execute(aql, &result));
+    timing.wall_seconds += result.exec.wall_seconds;
+    timing.compile_seconds += result.compile.total_seconds;
+    timing.aqlplus_seconds += result.compile.aqlplus_seconds;
+    timing.remote_bytes += result.exec.TotalRemoteBytes();
+    for (const hyracks::OpStats& op : result.exec.ops) {
+      if (op.name.rfind("BROADCAST", 0) == 0) {
+        timing.broadcast_bytes += op.remote_bytes;
+      }
+    }
+    cluster::MakespanReport makespan = cluster::ComputeMakespan(
+        result.exec, engine.options().topology);
+    timing.makespan_seconds += makespan.total_seconds();
+    if (result.rows.size() == 1 && result.rows[0].is_int64()) {
+      timing.result_count = result.rows[0].AsInt64();
+    } else {
+      timing.result_count = static_cast<int64_t>(result.rows.size());
+    }
+  }
+  timing.wall_seconds /= repeats;
+  timing.makespan_seconds /= repeats;
+  timing.compile_seconds /= repeats;
+  timing.aqlplus_seconds /= repeats;
+  timing.remote_bytes /= static_cast<uint64_t>(repeats);
+  timing.broadcast_bytes /= static_cast<uint64_t>(repeats);
+  return timing;
+}
+
+void PrintTitle(const std::string& title, const std::string& note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("(bench scale %.2f; absolute numbers are simulator-scale — "
+              "compare shapes, not magnitudes)\n",
+              BenchScale());
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%s%-18s", i == 0 ? "" : " ", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string Seconds(double s) {
+  char buf[32];
+  if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  }
+  return buf;
+}
+
+std::string Bytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes < (1 << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", bytes / 1048576.0);
+  }
+  return buf;
+}
+
+}  // namespace simdb::bench

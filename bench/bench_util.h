@@ -1,0 +1,64 @@
+#ifndef SIMDB_BENCH_BENCH_UTIL_H_
+#define SIMDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "core/query_processor.h"
+#include "datagen/textgen.h"
+
+namespace simdb::bench {
+
+/// Record-count multiplier from the SIMDB_BENCH_SCALE environment variable
+/// (default 1.0). The paper's datasets are 84M-196M records; the defaults
+/// here are laptop-sized and every bench prints the scale it ran at.
+double BenchScale();
+int64_t Scaled(int64_t base);
+
+/// A throwaway engine rooted in a unique temp directory (removed on
+/// destruction). Benches default to one worker thread so the per-partition
+/// compute timings feeding the cluster cost model are contention-free.
+class BenchEnv {
+ public:
+  explicit BenchEnv(hyracks::ClusterTopology topology, size_t threads = 1);
+  ~BenchEnv();
+
+  core::QueryProcessor& engine() { return *engine_; }
+
+ private:
+  std::string dir_;
+  std::unique_ptr<core::QueryProcessor> engine_;
+};
+
+/// Creates `dataset` and loads `count` synthetic records from `profile`.
+/// Returns the generator (for workload sampling).
+Result<std::unique_ptr<datagen::TextDatasetGenerator>> LoadTextDataset(
+    core::QueryProcessor& engine, const std::string& dataset,
+    const datagen::TextProfile& profile, int64_t count, uint64_t seed = 42);
+
+/// Timing of one query averaged over repeats.
+struct QueryTiming {
+  double wall_seconds = 0;       // measured on this machine
+  double makespan_seconds = 0;   // simulated cluster time (cost model)
+  double compile_seconds = 0;
+  double aqlplus_seconds = 0;
+  int64_t result_count = -1;     // rows (or the count() value)
+  uint64_t remote_bytes = 0;
+  uint64_t broadcast_bytes = 0;  // remote bytes of BROADCAST exchanges only
+};
+
+Result<QueryTiming> TimeQuery(core::QueryProcessor& engine,
+                              const std::string& aql, int repeats = 1);
+
+/// Formatting helpers for paper-style tables.
+void PrintTitle(const std::string& title, const std::string& note);
+void PrintRow(const std::vector<std::string>& cells);
+std::string Seconds(double s);
+std::string Bytes(uint64_t bytes);
+
+}  // namespace simdb::bench
+
+#endif  // SIMDB_BENCH_BENCH_UTIL_H_

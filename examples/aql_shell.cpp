@@ -1,0 +1,115 @@
+// An interactive AQL shell over a SimDB engine: type statements terminated
+// by ';' (DDL, DML, set, queries, `explain <query>`), see results as JSON.
+// Start it with a directory to persist data into, or no arguments for a
+// temporary database:
+//
+//   ./aql_shell [data-dir]
+//
+//   simdb> create dataset Reviews primary key id;
+//   simdb> insert into Reviews {'id': 1, 'name': 'maria'};
+//   simdb> for $r in dataset Reviews where edit-distance($r.name, 'marla') <= 1 return $r;
+//
+// `\q` quits, `\rules` prints the rules the last query fired, `\time` toggles
+// timing output.
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "core/query_processor.h"
+#include "storage/file_util.h"
+
+using simdb::Status;
+using simdb::adm::Value;
+using simdb::core::EngineOptions;
+using simdb::core::QueryProcessor;
+using simdb::core::QueryResult;
+
+namespace {
+
+bool IsBlank(const std::string& s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+int RunShell(QueryProcessor& engine) {
+  std::printf("SimDB AQL shell — end statements with ';', \\q to quit\n");
+  std::string buffer;
+  QueryResult last;
+  bool show_time = false;
+  std::string line;
+  while (true) {
+    std::printf("%s", buffer.empty() ? "simdb> " : "   ... ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (line == "\\q") break;
+      if (line == "\\time") {
+        show_time = !show_time;
+        std::printf("timing %s\n", show_time ? "on" : "off");
+      } else if (line == "\\rules") {
+        for (const std::string& r : last.fired_rules) {
+          std::printf("  %s\n", r.c_str());
+        }
+      } else {
+        std::printf("commands: \\q quit, \\time toggle timing, \\rules show "
+                    "fired rewrite rules\n");
+      }
+      continue;
+    }
+    buffer += line;
+    buffer += '\n';
+    // Execute once the statement is ';'-terminated.
+    size_t last_char = buffer.find_last_not_of(" \t\n\r");
+    if (last_char == std::string::npos || buffer[last_char] != ';') continue;
+    if (IsBlank(buffer)) {
+      buffer.clear();
+      continue;
+    }
+    QueryResult result;
+    Status status = engine.Execute(buffer, &result);
+    buffer.clear();
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      continue;
+    }
+    last = result;
+    for (const Value& row : result.rows) {
+      if (row.is_string() && row.AsString().find('\n') != std::string::npos) {
+        std::printf("%s", row.AsString().c_str());  // explain output
+      } else {
+        std::printf("%s\n", row.ToJson().c_str());
+      }
+    }
+    if (show_time) {
+      std::printf("-- compile %.2f ms, execute %.2f ms, %zu row(s)\n",
+                  result.compile.total_seconds * 1e3,
+                  result.exec.wall_seconds * 1e3, result.rows.size());
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool temporary = argc < 2;
+  std::string dir =
+      temporary ? (std::filesystem::temp_directory_path() /
+                   ("simdb_shell_" + std::to_string(::getpid())))
+                      .string()
+                : argv[1];
+  EngineOptions options;
+  options.data_dir = dir;
+  options.topology = {2, 2};
+  int rc;
+  {
+    QueryProcessor engine(options);
+    rc = RunShell(engine);
+  }
+  if (temporary) simdb::storage::RemoveAll(dir);
+  return rc;
+}

@@ -1,0 +1,109 @@
+// Fuzzy product search: the paper's call-center scenario — locate a product
+// even when the serial number the customer reads out contains typos.
+// Demonstrates the `contains()` substring search (n-gram index), edit
+// distance lookups, and a user-defined similarity function.
+#include <cstdio>
+#include <filesystem>
+
+#include "core/query_processor.h"
+#include "storage/file_util.h"
+
+using simdb::Status;
+using simdb::adm::Value;
+using simdb::core::EngineOptions;
+using simdb::core::QueryProcessor;
+using simdb::core::QueryResult;
+
+namespace {
+
+Status RunDemo(QueryProcessor& engine) {
+  SIMDB_RETURN_IF_ERROR(engine.Execute(R"(
+    create dataset Products primary key id;
+    create index serial_ix on Products(serial) type ngram(2);
+  )"));
+
+  const char* serials[] = {"KX750-A11", "KX750-B20", "KZ755-A11",
+                           "QM300-C05", "QM310-C05", "TR110-XL9"};
+  const char* names[] = {"toaster",    "toaster pro", "kettle",
+                         "microwave",  "microwave+",  "vacuum"};
+  for (int64_t i = 0; i < 6; ++i) {
+    SIMDB_RETURN_IF_ERROR(engine.Insert(
+        "Products",
+        Value::MakeObject({{"id", Value::Int64(i + 1)},
+                           {"serial", Value::String(serials[i])},
+                           {"name", Value::String(names[i])}})));
+  }
+
+  // The customer misread one character: "KX750-A11" -> "KX75O-A11".
+  QueryResult result;
+  SIMDB_RETURN_IF_ERROR(engine.Execute(R"(
+    for $p in dataset Products
+    where edit-distance($p.serial, 'KX75O-A11') <= 1
+    return {'serial': $p.serial, 'name': $p.name}
+  )", &result));
+  std::printf("products within edit distance 1 of 'KX75O-A11':\n");
+  for (const Value& row : result.rows) {
+    std::printf("  %s\n", row.ToJson().c_str());
+  }
+  if (result.rows.empty()) return Status::Internal("no fuzzy match found");
+
+  // Substring search on a partial serial (contains() on the n-gram index).
+  SIMDB_RETURN_IF_ERROR(engine.Execute(R"(
+    for $p in dataset Products
+    where contains($p.serial, '750-')
+    return $p.serial
+  )", &result));
+  std::printf("\nserials containing '750-':\n");
+  for (const Value& row : result.rows) {
+    std::printf("  %s\n", row.ToJson().c_str());
+  }
+
+  // A custom similarity measure registered as a C++ UDF: prefix overlap
+  // length. Usable through the `~=` operator via `set simfunction`.
+  engine.RegisterSimilarityUdf(
+      {.name = "similarity-prefix-overlap",
+       .sense = simdb::similarity::ThresholdSense::kSimilarityAtLeast,
+       .eval =
+           [](const Value& a, const Value& b) -> simdb::Result<Value> {
+             if (!a.is_string() || !b.is_string()) {
+               return Status::TypeError("expected strings");
+             }
+             const std::string &sa = a.AsString(), &sb = b.AsString();
+             size_t n = 0;
+             while (n < sa.size() && n < sb.size() && sa[n] == sb[n]) ++n;
+             return Value::Int64(static_cast<int64_t>(n));
+           },
+       .check = nullptr});
+  SIMDB_RETURN_IF_ERROR(engine.Execute(R"(
+    set simfunction 'similarity-prefix-overlap';
+    set simthreshold '5';
+    for $p in dataset Products
+    where $p.serial ~= 'QM300-C99'
+    return $p.serial
+  )", &result));
+  std::printf("\nserials sharing a 5+ character prefix with 'QM300-C99':\n");
+  for (const Value& row : result.rows) {
+    std::printf("  %s\n", row.ToJson().c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("simdb_product_" + std::to_string(::getpid())))
+                        .string();
+  EngineOptions options;
+  options.data_dir = dir;
+  options.topology = {1, 2};
+  QueryProcessor engine(options);
+  Status status = RunDemo(engine);
+  simdb::storage::RemoveAll(dir);
+  if (!status.ok()) {
+    std::fprintf(stderr, "fuzzy_product_search failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Quickstart: create a dataset, build similarity indexes, and run fuzzy
+// selections and a similarity join — the paper's running Amazon-review
+// example, end to end.
+#include <cstdio>
+#include <filesystem>
+
+#include "core/query_processor.h"
+#include "storage/file_util.h"
+
+using simdb::Status;
+using simdb::adm::Value;
+using simdb::core::EngineOptions;
+using simdb::core::QueryProcessor;
+using simdb::core::QueryResult;
+
+namespace {
+
+Status RunDemo(QueryProcessor& engine) {
+  // 1. DDL: a dataset plus an n-gram index (edit distance on short strings)
+  //    and a keyword index (Jaccard on tokenized text).
+  SIMDB_RETURN_IF_ERROR(engine.Execute(R"(
+    use dataverse TextStore;
+    create dataset AmazonReview primary key id;
+    create index nix on AmazonReview(reviewerName) type ngram(2);
+    create index smix on AmazonReview(summary) type keyword;
+  )"));
+
+  // 2. Load a few reviews (programmatic insert; records are plain JSON-ish
+  //    values with an int64 primary key).
+  struct Row {
+    int64_t id;
+    const char* name;
+    const char* summary;
+  };
+  const Row rows[] = {
+      {1, "james", "this movie touched my heart"},
+      {2, "mary", "great product fantastic gift"},
+      {3, "mario", "different than my usual but good"},
+      {4, "jamie", "better ever than i expected"},
+      {5, "maria", "the best car charger i ever bought"},
+      {6, "marla", "great product really fantastic gift"},
+  };
+  for (const Row& r : rows) {
+    SIMDB_RETURN_IF_ERROR(engine.Insert(
+        "AmazonReview",
+        Value::MakeObject({{"id", Value::Int64(r.id)},
+                           {"reviewerName", Value::String(r.name)},
+                           {"summary", Value::String(r.summary)}})));
+  }
+
+  // 3. A fuzzy selection: find reviewers whose name is within edit distance
+  //    1 of "marla" (uses the 2-gram index; see the plan below).
+  QueryResult result;
+  SIMDB_RETURN_IF_ERROR(engine.Execute(R"(
+    for $t in dataset AmazonReview
+    where edit-distance($t.reviewerName, 'marla') <= 1
+    return {'id': $t.id, 'name': $t.reviewerName}
+  )", &result));
+  std::printf("reviewers similar to 'marla':\n");
+  for (const Value& row : result.rows) {
+    std::printf("  %s\n", row.ToJson().c_str());
+  }
+  std::printf("rules fired:");
+  for (const std::string& r : result.fired_rules) std::printf(" %s", r.c_str());
+  std::printf("\n\n");
+
+  // 4. The `~=` sugar: session settings pick the similarity function.
+  SIMDB_RETURN_IF_ERROR(engine.Execute(R"(
+    set simfunction 'jaccard';
+    set simthreshold '0.5';
+    for $t in dataset AmazonReview
+    where word-tokens($t.summary) ~= word-tokens('great product fantastic gift')
+    return $t.summary
+  )", &result));
+  std::printf("summaries similar to 'great product fantastic gift':\n");
+  for (const Value& row : result.rows) {
+    std::printf("  %s\n", row.ToJson().c_str());
+  }
+
+  // 5. A self similarity join on summaries.
+  SIMDB_RETURN_IF_ERROR(engine.Execute(R"(
+    for $o in dataset AmazonReview
+    for $i in dataset AmazonReview
+    where similarity-jaccard(word-tokens($o.summary),
+                             word-tokens($i.summary)) >= 0.5
+      and $o.id < $i.id
+    return {'left': $o.id, 'right': $i.id}
+  )", &result));
+  std::printf("\nsimilar summary pairs (Jaccard >= 0.5):\n");
+  for (const Value& row : result.rows) {
+    std::printf("  %s\n", row.ToJson().c_str());
+  }
+
+  // 6. Explain: show the optimized plan for the indexed selection.
+  SIMDB_ASSIGN_OR_RETURN(std::string plan, engine.Explain(R"(
+    for $t in dataset AmazonReview
+    where edit-distance($t.reviewerName, 'marla') <= 1
+    return $t
+  )"));
+  std::printf("\noptimized plan for the fuzzy selection:\n%s", plan.c_str());
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("simdb_quickstart_" + std::to_string(::getpid())))
+                        .string();
+  EngineOptions options;
+  options.data_dir = dir;
+  options.topology = {2, 2};  // a simulated 2-node cluster
+  QueryProcessor engine(options);
+  Status status = RunDemo(engine);
+  simdb::storage::RemoveAll(dir);
+  if (!status.ok()) {
+    std::fprintf(stderr, "quickstart failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+#ifndef SIMDB_ALGEBRICKS_JOBGEN_H_
+#define SIMDB_ALGEBRICKS_JOBGEN_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "algebricks/lop.h"
+#include "common/result.h"
+#include "hyracks/exec.h"
+#include "hyracks/expr.h"
+
+namespace simdb::algebricks {
+
+/// Compiles a logical expression against a variable -> column mapping.
+Result<hyracks::ExprPtr> CompileLExpr(const LExprPtr& expr,
+                                      const std::map<std::string, int>& vars);
+
+/// Evaluates a variable-free logical expression at plan time (used for
+/// compile-time constant analysis, e.g. the edit-distance corner-case check
+/// of paper Section 5.1.1).
+Result<adm::Value> EvaluateConstant(const LExprPtr& expr);
+
+/// Lowers an optimized logical plan into a hyracks Job: picks physical
+/// operators, inserts exchange connectors (hash repartition / broadcast /
+/// merge), compiles variable-based expressions to positional ones, and shares
+/// the compiled form of LOp nodes referenced by several parents (REPLICATE /
+/// materialize-reuse, paper Figure 20).
+class JobGenerator {
+ public:
+  /// Compiles `root`; the job's final node gathers results at partition 0
+  /// (the coordinator). On success the job is moved into `*out`.
+  Status Generate(const LOpPtr& root, hyracks::Job* out);
+
+ private:
+  /// A compiled subplan: its job node plus the var -> column mapping.
+  struct Compiled {
+    int node = -1;
+    std::map<std::string, int> vars;
+    int width = 0;
+  };
+
+  Result<Compiled> Compile(const LOpPtr& op);
+  Result<Compiled> CompileJoin(const LOpPtr& op);
+
+  Result<hyracks::ExprPtr> CompileExpr(const LExprPtr& expr,
+                                       const std::map<std::string, int>& vars);
+
+  /// Ensures `exprs` are available as columns, appending an AssignOp when an
+  /// expression is not already a plain variable column. Returns the columns.
+  Result<std::vector<int>> MaterializeColumns(
+      Compiled* plan, const std::vector<LExprPtr>& exprs,
+      const std::string& label);
+
+  hyracks::RowSchema SchemaOf(const Compiled& c) const;
+
+  hyracks::Job job_;
+  std::unordered_map<const LOp*, Compiled> cache_;
+};
+
+}  // namespace simdb::algebricks
+
+#endif  // SIMDB_ALGEBRICKS_JOBGEN_H_

@@ -1,0 +1,148 @@
+#include "algebricks/lexpr.h"
+
+namespace simdb::algebricks {
+
+LExprPtr LExpr::Var(std::string name) {
+  auto e = std::make_shared<LExpr>();
+  e->kind = Kind::kVar;
+  e->name = std::move(name);
+  return e;
+}
+
+LExprPtr LExpr::Lit(adm::Value v) {
+  auto e = std::make_shared<LExpr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+LExprPtr LExpr::Field(LExprPtr base, std::string field) {
+  auto e = std::make_shared<LExpr>();
+  e->kind = Kind::kField;
+  e->name = std::move(field);
+  e->children.push_back(std::move(base));
+  return e;
+}
+
+LExprPtr LExpr::CallF(std::string fn, std::vector<LExprPtr> args) {
+  auto e = std::make_shared<LExpr>();
+  e->kind = Kind::kCall;
+  e->name = std::move(fn);
+  e->children = std::move(args);
+  return e;
+}
+
+LExprPtr LExpr::Record(std::vector<std::string> names,
+                       std::vector<LExprPtr> values) {
+  auto e = std::make_shared<LExpr>();
+  e->kind = Kind::kRecord;
+  e->field_names = std::move(names);
+  e->children = std::move(values);
+  return e;
+}
+
+LExprPtr LExpr::List(std::vector<LExprPtr> items) {
+  auto e = std::make_shared<LExpr>();
+  e->kind = Kind::kList;
+  e->children = std::move(items);
+  return e;
+}
+
+void LExpr::CollectVars(std::set<std::string>* out) const {
+  if (kind == Kind::kVar) out->insert(name);
+  for (const LExprPtr& c : children) c->CollectVars(out);
+}
+
+bool LExpr::UsesOnly(const std::set<std::string>& vars) const {
+  std::set<std::string> used;
+  CollectVars(&used);
+  for (const std::string& v : used) {
+    if (vars.count(v) == 0) return false;
+  }
+  return true;
+}
+
+bool LExpr::UsesAny(const std::set<std::string>& vars) const {
+  std::set<std::string> used;
+  CollectVars(&used);
+  for (const std::string& v : used) {
+    if (vars.count(v) > 0) return true;
+  }
+  return false;
+}
+
+std::string LExpr::ToString() const {
+  switch (kind) {
+    case Kind::kVar:
+      return "$" + name;
+    case Kind::kLiteral:
+      return literal.ToJson();
+    case Kind::kField:
+      return children[0]->ToString() + "." + name;
+    case Kind::kCall: {
+      std::string out = name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kRecord: {
+      std::string out = "{";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += field_names[i] + ": " + children[i]->ToString();
+      }
+      return out + "}";
+    }
+    case Kind::kList: {
+      std::string out = "[";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+void SplitInto(const LExprPtr& cond, std::vector<LExprPtr>* out) {
+  if (cond->kind == LExpr::Kind::kCall && cond->name == "and") {
+    for (const LExprPtr& c : cond->children) SplitInto(c, out);
+    return;
+  }
+  out->push_back(cond);
+}
+
+}  // namespace
+
+std::vector<LExprPtr> SplitConjuncts(const LExprPtr& cond) {
+  std::vector<LExprPtr> out;
+  if (cond != nullptr) SplitInto(cond, &out);
+  return out;
+}
+
+LExprPtr CombineConjuncts(std::vector<LExprPtr> conjuncts) {
+  if (conjuncts.empty()) return LExpr::Lit(adm::Value::Boolean(true));
+  if (conjuncts.size() == 1) return conjuncts[0];
+  return LExpr::CallF("and", std::move(conjuncts));
+}
+
+LExprPtr SubstituteVars(const LExprPtr& expr,
+                        const std::map<std::string, LExprPtr>& replacements) {
+  if (expr == nullptr) return nullptr;
+  if (expr->kind == LExpr::Kind::kVar) {
+    auto it = replacements.find(expr->name);
+    return it == replacements.end() ? expr : it->second;
+  }
+  auto copy = std::make_shared<LExpr>(*expr);
+  for (LExprPtr& c : copy->children) {
+    c = SubstituteVars(c, replacements);
+  }
+  return copy;
+}
+
+}  // namespace simdb::algebricks

@@ -1,0 +1,61 @@
+#ifndef SIMDB_ALGEBRICKS_LEXPR_H_
+#define SIMDB_ALGEBRICKS_LEXPR_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+
+namespace simdb::algebricks {
+
+struct LExpr;
+using LExprPtr = std::shared_ptr<const LExpr>;
+
+/// A logical (variable-based) expression. Unlike hyracks::Expr, columns are
+/// referenced by variable name; the job generator resolves them to positions.
+struct LExpr {
+  enum class Kind { kVar, kLiteral, kField, kCall, kRecord, kList };
+
+  Kind kind = Kind::kLiteral;
+  /// kVar: variable name. kField: field name. kCall: function name.
+  std::string name;
+  adm::Value literal;             // kLiteral
+  std::vector<LExprPtr> children; // kField: base; kCall: args; kRecord/kList
+  std::vector<std::string> field_names;  // kRecord
+
+  /// When set on an `eq` call, the optimizer should broadcast the join side
+  /// this conjunct's right operand comes from (the `/*+ bcast */` hint).
+  bool bcast_hint = false;
+
+  static LExprPtr Var(std::string name);
+  static LExprPtr Lit(adm::Value v);
+  static LExprPtr Field(LExprPtr base, std::string field);
+  static LExprPtr CallF(std::string fn, std::vector<LExprPtr> args);
+  static LExprPtr Record(std::vector<std::string> names,
+                         std::vector<LExprPtr> values);
+  static LExprPtr List(std::vector<LExprPtr> items);
+
+  void CollectVars(std::set<std::string>* out) const;
+  bool UsesOnly(const std::set<std::string>& vars) const;
+  bool UsesAny(const std::set<std::string>& vars) const;
+
+  std::string ToString() const;
+};
+
+/// Splits a condition into AND conjuncts (flattening nested `and` calls).
+std::vector<LExprPtr> SplitConjuncts(const LExprPtr& cond);
+
+/// Combines conjuncts back into a single condition (TRUE literal when empty).
+LExprPtr CombineConjuncts(std::vector<LExprPtr> conjuncts);
+
+/// Substitutes variables by name; entries absent from the map are kept.
+LExprPtr SubstituteVars(
+    const LExprPtr& expr,
+    const std::map<std::string, LExprPtr>& replacements);
+
+}  // namespace simdb::algebricks
+
+#endif  // SIMDB_ALGEBRICKS_LEXPR_H_

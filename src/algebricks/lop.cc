@@ -1,0 +1,297 @@
+#include "algebricks/lop.h"
+
+#include <algorithm>
+
+namespace simdb::algebricks {
+
+std::string_view LOpKindToString(LOpKind kind) {
+  switch (kind) {
+    case LOpKind::kDataScan:
+      return "DATA-SCAN";
+    case LOpKind::kSelect:
+      return "SELECT";
+    case LOpKind::kAssign:
+      return "ASSIGN";
+    case LOpKind::kJoin:
+      return "JOIN";
+    case LOpKind::kGroupBy:
+      return "GROUP-BY";
+    case LOpKind::kOrderBy:
+      return "ORDER-BY";
+    case LOpKind::kUnnest:
+      return "UNNEST";
+    case LOpKind::kProject:
+      return "PROJECT";
+    case LOpKind::kLimit:
+      return "LIMIT";
+    case LOpKind::kUnionAll:
+      return "UNION-ALL";
+    case LOpKind::kRank:
+      return "RANK";
+    case LOpKind::kConstantTuple:
+      return "CONSTANT-TUPLE";
+    case LOpKind::kIndexSearch:
+      return "INDEX-SEARCH";
+    case LOpKind::kBtreeSearch:
+      return "BTREE-SEARCH";
+    case LOpKind::kPrimaryLookup:
+      return "PRIMARY-LOOKUP";
+    case LOpKind::kLocalSort:
+      return "LOCAL-SORT";
+  }
+  return "?";
+}
+
+Result<std::vector<std::string>> LOp::OutputVars() const {
+  auto input_vars = [this](size_t i) -> Result<std::vector<std::string>> {
+    if (i >= inputs.size()) return Status::PlanError("missing input");
+    return inputs[i]->OutputVars();
+  };
+  switch (kind) {
+    case LOpKind::kDataScan:
+      return std::vector<std::string>{out_var};
+    case LOpKind::kConstantTuple:
+      return std::vector<std::string>{};
+    case LOpKind::kSelect:
+    case LOpKind::kOrderBy:
+    case LOpKind::kLocalSort:
+    case LOpKind::kLimit:
+      return input_vars(0);
+    case LOpKind::kAssign: {
+      SIMDB_ASSIGN_OR_RETURN(std::vector<std::string> vars, input_vars(0));
+      for (const auto& [name, e] : assigns) {
+        (void)e;
+        vars.push_back(name);
+      }
+      return vars;
+    }
+    case LOpKind::kJoin: {
+      SIMDB_ASSIGN_OR_RETURN(std::vector<std::string> vars, input_vars(0));
+      SIMDB_ASSIGN_OR_RETURN(std::vector<std::string> right, input_vars(1));
+      vars.insert(vars.end(), right.begin(), right.end());
+      return vars;
+    }
+    case LOpKind::kGroupBy: {
+      std::vector<std::string> vars;
+      for (const auto& [name, e] : group_keys) {
+        (void)e;
+        vars.push_back(name);
+      }
+      for (const LAgg& agg : group_aggs) vars.push_back(agg.out_var);
+      return vars;
+    }
+    case LOpKind::kUnnest: {
+      SIMDB_ASSIGN_OR_RETURN(std::vector<std::string> vars, input_vars(0));
+      vars.push_back(out_var);
+      if (!pos_var.empty()) vars.push_back(pos_var);
+      return vars;
+    }
+    case LOpKind::kRank: {
+      SIMDB_ASSIGN_OR_RETURN(std::vector<std::string> vars, input_vars(0));
+      vars.push_back(pos_var);
+      return vars;
+    }
+    case LOpKind::kProject:
+    case LOpKind::kUnionAll:
+      return project_vars;
+    case LOpKind::kIndexSearch:
+    case LOpKind::kBtreeSearch: {
+      SIMDB_ASSIGN_OR_RETURN(std::vector<std::string> vars, input_vars(0));
+      vars.push_back(pk_var);
+      return vars;
+    }
+    case LOpKind::kPrimaryLookup: {
+      SIMDB_ASSIGN_OR_RETURN(std::vector<std::string> vars, input_vars(0));
+      vars.push_back(out_var);
+      return vars;
+    }
+  }
+  return Status::Internal("unreachable LOp kind");
+}
+
+std::string LOp::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + std::string(LOpKindToString(kind));
+  switch (kind) {
+    case LOpKind::kDataScan:
+      out += " " + dataset + " -> $" + out_var;
+      break;
+    case LOpKind::kSelect:
+    case LOpKind::kJoin:
+      if (expr) out += " cond=" + expr->ToString();
+      if (kind == LOpKind::kJoin &&
+          join_strategy == JoinStrategy::kBroadcastHash) {
+        out += " [bcast]";
+      }
+      break;
+    case LOpKind::kAssign:
+      for (const auto& [name, e] : assigns) {
+        out += " $" + name + ":=" + e->ToString();
+      }
+      break;
+    case LOpKind::kGroupBy:
+      for (const auto& [name, e] : group_keys) {
+        out += " $" + name + ":=" + e->ToString();
+      }
+      for (const LAgg& agg : group_aggs) {
+        out += " agg($" + agg.out_var + ")";
+      }
+      break;
+    case LOpKind::kUnnest:
+      out += " " + expr->ToString() + " -> $" + out_var;
+      if (!pos_var.empty()) out += " at $" + pos_var;
+      break;
+    case LOpKind::kIndexSearch:
+    case LOpKind::kBtreeSearch:
+      out += " " + dataset + "." + index_name + " key=" + expr->ToString() +
+             " -> $" + pk_var;
+      break;
+    case LOpKind::kPrimaryLookup:
+      out += " " + dataset + " $" + pk_var + " -> $" + out_var;
+      break;
+    case LOpKind::kProject:
+    case LOpKind::kUnionAll:
+      for (const std::string& v : project_vars) out += " $" + v;
+      break;
+    default:
+      break;
+  }
+  out += "\n";
+  for (const LOpPtr& in : inputs) out += in->ToString(indent + 1);
+  return out;
+}
+
+namespace {
+
+LOpPtr MakeNode(LOpKind kind, std::vector<LOpPtr> inputs) {
+  auto op = std::make_shared<LOp>();
+  op->kind = kind;
+  op->inputs = std::move(inputs);
+  return op;
+}
+
+}  // namespace
+
+LOpPtr MakeDataScan(std::string dataset, std::string var) {
+  LOpPtr op = MakeNode(LOpKind::kDataScan, {});
+  op->dataset = std::move(dataset);
+  op->out_var = std::move(var);
+  return op;
+}
+
+LOpPtr MakeSelect(LOpPtr input, LExprPtr cond) {
+  LOpPtr op = MakeNode(LOpKind::kSelect, {std::move(input)});
+  op->expr = std::move(cond);
+  return op;
+}
+
+LOpPtr MakeAssign(LOpPtr input,
+                  std::vector<std::pair<std::string, LExprPtr>> assigns) {
+  LOpPtr op = MakeNode(LOpKind::kAssign, {std::move(input)});
+  op->assigns = std::move(assigns);
+  return op;
+}
+
+LOpPtr MakeJoin(LOpPtr left, LOpPtr right, LExprPtr cond,
+                JoinStrategy strategy) {
+  LOpPtr op = MakeNode(LOpKind::kJoin, {std::move(left), std::move(right)});
+  op->expr = std::move(cond);
+  op->join_strategy = strategy;
+  return op;
+}
+
+LOpPtr MakeGroupBy(LOpPtr input,
+                   std::vector<std::pair<std::string, LExprPtr>> keys,
+                   std::vector<LAgg> aggs) {
+  LOpPtr op = MakeNode(LOpKind::kGroupBy, {std::move(input)});
+  op->group_keys = std::move(keys);
+  op->group_aggs = std::move(aggs);
+  return op;
+}
+
+LOpPtr MakeOrderBy(LOpPtr input, std::vector<LSortKey> keys) {
+  LOpPtr op = MakeNode(LOpKind::kOrderBy, {std::move(input)});
+  op->sort_keys = std::move(keys);
+  return op;
+}
+
+LOpPtr MakeUnnest(LOpPtr input, LExprPtr list, std::string var,
+                  std::string pos_var) {
+  LOpPtr op = MakeNode(LOpKind::kUnnest, {std::move(input)});
+  op->expr = std::move(list);
+  op->out_var = std::move(var);
+  op->pos_var = std::move(pos_var);
+  return op;
+}
+
+LOpPtr MakeProject(LOpPtr input, std::vector<std::string> vars) {
+  LOpPtr op = MakeNode(LOpKind::kProject, {std::move(input)});
+  op->project_vars = std::move(vars);
+  return op;
+}
+
+LOpPtr MakeLimit(LOpPtr input, int64_t limit) {
+  LOpPtr op = MakeNode(LOpKind::kLimit, {std::move(input)});
+  op->limit = limit;
+  return op;
+}
+
+LOpPtr MakeUnionAll(LOpPtr left, LOpPtr right, std::vector<std::string> vars) {
+  LOpPtr op = MakeNode(LOpKind::kUnionAll, {std::move(left), std::move(right)});
+  op->project_vars = std::move(vars);
+  return op;
+}
+
+LOpPtr MakeRank(LOpPtr input, std::string pos_var) {
+  LOpPtr op = MakeNode(LOpKind::kRank, {std::move(input)});
+  op->pos_var = std::move(pos_var);
+  return op;
+}
+
+LOpPtr MakeConstantTuple() { return MakeNode(LOpKind::kConstantTuple, {}); }
+
+LOpPtr MakeIndexSearch(LOpPtr input, std::string dataset, std::string index,
+                       LExprPtr key, hyracks::SimSearchSpec spec,
+                       std::string pk_var) {
+  LOpPtr op = MakeNode(LOpKind::kIndexSearch, {std::move(input)});
+  op->dataset = std::move(dataset);
+  op->index_name = std::move(index);
+  op->expr = std::move(key);
+  op->sim_spec = spec;
+  op->pk_var = std::move(pk_var);
+  return op;
+}
+
+LOpPtr MakePrimaryLookup(LOpPtr input, std::string dataset, std::string pk_var,
+                         std::string record_var) {
+  LOpPtr op = MakeNode(LOpKind::kPrimaryLookup, {std::move(input)});
+  op->dataset = std::move(dataset);
+  op->pk_var = std::move(pk_var);
+  op->out_var = std::move(record_var);
+  return op;
+}
+
+LOpPtr MakeBtreeSearch(LOpPtr input, std::string dataset, std::string index,
+                       LExprPtr key, std::string pk_var) {
+  LOpPtr op = MakeNode(LOpKind::kBtreeSearch, {std::move(input)});
+  op->dataset = std::move(dataset);
+  op->index_name = std::move(index);
+  op->expr = std::move(key);
+  op->pk_var = std::move(pk_var);
+  return op;
+}
+
+LOpPtr MakeLocalSort(LOpPtr input, std::vector<LSortKey> keys) {
+  LOpPtr op = MakeNode(LOpKind::kLocalSort, {std::move(input)});
+  op->sort_keys = std::move(keys);
+  return op;
+}
+
+LOpPtr CloneTree(const LOpPtr& op) {
+  if (op == nullptr) return nullptr;
+  auto copy = std::make_shared<LOp>(*op);
+  for (LOpPtr& input : copy->inputs) input = CloneTree(input);
+  return copy;
+}
+
+}  // namespace simdb::algebricks

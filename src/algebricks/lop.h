@@ -1,0 +1,134 @@
+#ifndef SIMDB_ALGEBRICKS_LOP_H_
+#define SIMDB_ALGEBRICKS_LOP_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebricks/lexpr.h"
+#include "common/result.h"
+#include "hyracks/ops_index.h"
+
+namespace simdb::algebricks {
+
+/// Logical operator kinds. The first group comes from query translation; the
+/// index-access kinds are introduced by optimizer rewrite rules (paper
+/// Section 5.1).
+enum class LOpKind {
+  kDataScan,       // dataset primary-index scan, binds out_var to the record
+  kSelect,         // filter by expr
+  kAssign,         // bind new vars to expressions
+  kJoin,           // binary join with condition (inputs[0]=outer/left)
+  kGroupBy,        // hash group-by with aggregates
+  kOrderBy,        // global order (gathers to one partition)
+  kUnnest,         // iterate a list expr, binds out_var (and maybe pos_var)
+  kProject,        // restrict live variables
+  kLimit,          // cap row count
+  kUnionAll,       // bag union of two inputs over union_vars
+  kRank,           // bind 1-based position over a gathered ordered input
+  kConstantTuple,  // single empty tuple (source for constant index searches)
+  kIndexSearch,    // inverted-index T-occurrence search, binds pk_var
+  kBtreeSearch,    // exact-match secondary B+-tree search, binds pk_var
+  kPrimaryLookup,  // pk -> record lookup, binds out_var
+  kLocalSort,      // per-partition sort (e.g. pks before primary lookup)
+};
+
+std::string_view LOpKindToString(LOpKind kind);
+
+struct LOp;
+using LOpPtr = std::shared_ptr<LOp>;
+
+/// One aggregate of a kGroupBy.
+struct LAgg {
+  enum class Kind { kListify, kCount, kSum, kMin, kMax, kFirst };
+  Kind kind = Kind::kListify;
+  LExprPtr input;  // null for kCount
+  std::string out_var;
+};
+
+struct LSortKey {
+  LExprPtr expr;
+  bool ascending = true;
+};
+
+/// How a kJoin should be executed; decided by hints and rules, consumed by
+/// the job generator.
+enum class JoinStrategy {
+  kAuto,           // hash join when equi keys exist, else broadcast NL
+  kBroadcastHash,  // broadcast the right input, local hash join
+  kBroadcastNl,    // broadcast the right input, local NL join
+};
+
+/// A logical operator node. Sharing an LOpPtr between two parents expresses
+/// the materialize/reuse pattern (paper Figure 20): the job generator emits
+/// the shared subplan once.
+struct LOp {
+  LOpKind kind;
+  std::vector<LOpPtr> inputs;
+
+  // kDataScan: dataset + record var. kPrimaryLookup: dataset + record var.
+  std::string dataset;
+  std::string out_var;
+  std::string pos_var;  // kUnnest / kRank position variable (may be empty)
+
+  LExprPtr expr;  // kSelect/kJoin condition, kUnnest list, kIndexSearch key
+
+  std::vector<std::pair<std::string, LExprPtr>> assigns;  // kAssign
+
+  std::vector<std::pair<std::string, LExprPtr>> group_keys;  // kGroupBy
+  std::vector<LAgg> group_aggs;
+
+  std::vector<LSortKey> sort_keys;  // kOrderBy / kLocalSort
+
+  std::vector<std::string> project_vars;  // kProject / kUnionAll schema
+  int64_t limit = 0;
+
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
+
+  // kIndexSearch parameters.
+  std::string index_name;
+  hyracks::SimSearchSpec sim_spec;
+  std::string pk_var;  // kIndexSearch output / kPrimaryLookup input
+
+  /// Variables visible in this node's output.
+  Result<std::vector<std::string>> OutputVars() const;
+
+  std::string ToString(int indent = 0) const;
+};
+
+// ---- constructors ----
+LOpPtr MakeDataScan(std::string dataset, std::string var);
+LOpPtr MakeSelect(LOpPtr input, LExprPtr cond);
+LOpPtr MakeAssign(LOpPtr input,
+                  std::vector<std::pair<std::string, LExprPtr>> assigns);
+LOpPtr MakeJoin(LOpPtr left, LOpPtr right, LExprPtr cond,
+                JoinStrategy strategy = JoinStrategy::kAuto);
+LOpPtr MakeGroupBy(LOpPtr input,
+                   std::vector<std::pair<std::string, LExprPtr>> keys,
+                   std::vector<LAgg> aggs);
+LOpPtr MakeOrderBy(LOpPtr input, std::vector<LSortKey> keys);
+LOpPtr MakeUnnest(LOpPtr input, LExprPtr list, std::string var,
+                  std::string pos_var = "");
+LOpPtr MakeProject(LOpPtr input, std::vector<std::string> vars);
+LOpPtr MakeLimit(LOpPtr input, int64_t limit);
+LOpPtr MakeUnionAll(LOpPtr left, LOpPtr right, std::vector<std::string> vars);
+LOpPtr MakeRank(LOpPtr input, std::string pos_var);
+LOpPtr MakeConstantTuple();
+LOpPtr MakeIndexSearch(LOpPtr input, std::string dataset, std::string index,
+                       LExprPtr key, hyracks::SimSearchSpec spec,
+                       std::string pk_var);
+LOpPtr MakeBtreeSearch(LOpPtr input, std::string dataset, std::string index,
+                       LExprPtr key, std::string pk_var);
+LOpPtr MakePrimaryLookup(LOpPtr input, std::string dataset, std::string pk_var,
+                         std::string record_var);
+LOpPtr MakeLocalSort(LOpPtr input, std::vector<LSortKey> keys);
+
+/// Deep-copies a plan tree (shared nodes are duplicated). Used to ablate the
+/// materialize/reuse optimization: cloned subtrees compile to independent
+/// pipelines instead of one shared, replicated one.
+LOpPtr CloneTree(const LOpPtr& op);
+
+}  // namespace simdb::algebricks
+
+#endif  // SIMDB_ALGEBRICKS_LOP_H_

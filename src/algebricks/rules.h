@@ -1,0 +1,81 @@
+#ifndef SIMDB_ALGEBRICKS_RULES_H_
+#define SIMDB_ALGEBRICKS_RULES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebricks/lop.h"
+#include "common/result.h"
+#include "storage/catalog.h"
+
+namespace simdb::algebricks {
+
+/// Session + engine state visible to rewrite rules. The feature flags allow
+/// benchmarks to ablate individual optimizations (paper Section 5.4).
+struct OptContext {
+  storage::Catalog* catalog = nullptr;
+
+  // `set simfunction` / `set simthreshold` session parameters (paper §3.2).
+  std::string sim_function_alias = "jaccard";
+  double sim_threshold = 0.5;
+
+  // Optimization feature flags (ablation knobs for paper Section 5.4).
+  bool enable_index_select = true;
+  bool enable_index_join = true;
+  bool enable_three_stage_join = true;
+  bool enable_surrogate_join = true;
+  bool enable_count_rewrite = true;
+  bool enable_subplan_reuse = true;
+
+  /// Names of rules that fired, in order (for explain output and tests).
+  std::vector<std::string> fired_rules;
+
+  /// Time spent generating plans through the AQL+ framework (template
+  /// instantiation + re-parse + re-translate), for the Section 6.4.1
+  /// compile-overhead measurement.
+  double aqlplus_seconds = 0;
+};
+
+/// A rewrite rule applied node-by-node, top-down. `op` is a reference to the
+/// edge pointing at the node, so a rule can replace the whole subtree.
+class RewriteRule {
+ public:
+  virtual ~RewriteRule() = default;
+  virtual std::string name() const = 0;
+  virtual Result<bool> Apply(LOpPtr& op, OptContext& ctx) = 0;
+};
+
+/// An ordered group of rules applied to a fixpoint (bounded by
+/// `max_iterations` full passes), mirroring Algebricks' sequential rule sets.
+struct RuleSet {
+  std::string name;
+  std::vector<std::shared_ptr<RewriteRule>> rules;
+  int max_iterations = 8;
+};
+
+/// Applies one rule set over the whole plan (DAG-aware: shared nodes are
+/// visited once per pass). Returns whether anything changed.
+Result<bool> ApplyRuleSet(LOpPtr& root, const RuleSet& set, OptContext& ctx);
+
+// ---- generic (non-similarity) rules, as in stock Algebricks ----
+
+/// SELECT over JOIN: merge the selection condition into the join condition.
+std::shared_ptr<RewriteRule> MakePushSelectIntoJoinRule();
+
+/// Conjuncts of a JOIN condition that reference only one branch's variables
+/// are pushed into a SELECT on that branch.
+std::shared_ptr<RewriteRule> MakePushSelectBelowJoinRule();
+
+/// Drops SELECT(true) nodes left behind by other rewrites.
+std::shared_ptr<RewriteRule> MakeRemoveTrivialSelectRule();
+
+/// GROUP-BY listify aggregates whose output is only ever used inside
+/// count()/len() become count aggregates (the paper's hash-group count path;
+/// avoids materializing per-group lists when ranking tokens by frequency).
+/// Applied as a whole-plan pass because it needs global variable usage.
+Result<bool> ApplyCountListifyRewrite(LOpPtr& root, OptContext& ctx);
+
+}  // namespace simdb::algebricks
+
+#endif  // SIMDB_ALGEBRICKS_RULES_H_

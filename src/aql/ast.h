@@ -1,0 +1,126 @@
+#ifndef SIMDB_AQL_AST_H_
+#define SIMDB_AQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+
+namespace simdb::aql {
+
+struct Flwor;
+using FlworPtr = std::shared_ptr<Flwor>;
+
+/// AST expression. Binary operators are normalized to call form ("eq", "lt",
+/// "add", ...); the `~=` similarity operator becomes a "sim-eq" call that the
+/// optimizer's sugar rule resolves using the session's simfunction /
+/// simthreshold settings (paper Section 3.2).
+struct AExpr {
+  enum class Kind {
+    kVar,         // $name
+    kLiteral,
+    kField,       // base.field
+    kCall,        // fn(args)
+    kRecord,      // {'a': e, ...}
+    kList,        // [e, ...]
+    kDatasetRef,  // dataset Name / dataset('Name')
+    kSubquery,    // ( flwor )
+    kUnion,       // union((flwor), (flwor))  [AQL+ helper]
+    kMetaVar,     // $$NAME                    [AQL+]
+    kMetaClause,  // ##NAME                    [AQL+]
+  };
+
+  Kind kind = Kind::kLiteral;
+  std::string name;  // var/field/fn/dataset/meta name
+  adm::Value literal;
+  std::vector<std::shared_ptr<AExpr>> children;
+  std::vector<std::string> field_names;  // kRecord
+  FlworPtr subquery;                     // kSubquery
+  std::vector<FlworPtr> branches;        // kUnion
+  /// `/*+ bcast */` on the right operand of an equality (paper Fig. 11).
+  bool bcast_hint = false;
+};
+
+using AExprPtr = std::shared_ptr<AExpr>;
+
+/// One FLWOR clause.
+struct Clause {
+  enum class Kind { kFor, kLet, kWhere, kGroupBy, kOrderBy, kLimit, kJoin };
+
+  Kind kind = Kind::kFor;
+
+  // kFor: `for $var (at $pos_var)? in source`; kLet: `let $var := source`.
+  std::string var;
+  std::string pos_var;
+  AExprPtr source;
+
+  // kWhere.
+  AExprPtr condition;
+
+  // kGroupBy: `group by $k := e, ... with $v, ...` (+ optional /*+ hash */).
+  std::vector<std::pair<std::string, AExprPtr>> group_keys;
+  std::vector<std::string> with_vars;
+  bool hash_hint = false;
+
+  // kOrderBy: exprs with ascending flags.
+  std::vector<std::pair<AExprPtr, bool>> order_keys;
+
+  // kLimit.
+  int64_t limit = 0;
+
+  // kJoin (AQL+ explicit join clause): `join $a in src1, $b in src2 on cond`.
+  std::vector<std::pair<std::string, AExprPtr>> join_bindings;
+  AExprPtr join_condition;
+};
+
+/// A FLWOR block: clauses plus the return expression.
+struct Flwor {
+  std::vector<Clause> clauses;
+  AExprPtr return_expr;
+};
+
+/// A top-level statement.
+struct Statement {
+  enum class Kind {
+    kUseDataverse,    // use dataverse X
+    kSet,             // set name 'value'
+    kCreateDataset,   // create dataset X primary key id [partitions N]
+    kCreateIndex,     // create index i on X(field) type ngram(2)|keyword|btree
+    kCreateFunction,  // create function f($a, $b) { expr }
+    kInsert,          // insert into X <record-or-list literal>
+    kDelete,          // delete $v from dataset X where <cond>
+    kLoad,            // load dataset X from '<path>' (JSON lines)
+    kQuery,           // an expression (usually a subquery / count(subquery))
+    kExplain,         // explain <query>
+  };
+
+  Kind kind = Kind::kQuery;
+  std::string name;        // dataverse / set key / dataset / index / function
+  std::string set_value;   // kSet
+  std::string dataset;     // kCreateDataset / kCreateIndex target
+  std::string pk_field;    // kCreateDataset
+  int partitions = 0;      // kCreateDataset (0 = engine default)
+  std::string field;       // kCreateIndex
+  std::string index_type;  // "ngram" | "keyword" | "btree"
+  int gram_len = 2;        // kCreateIndex ngram(n)
+  std::vector<std::string> params;  // kCreateFunction parameter names
+  AExprPtr body;           // kCreateFunction body / kQuery / kInsert payload
+  std::string var;         // kDelete iteration variable
+  AExprPtr condition;      // kDelete predicate (may be null = delete all)
+  std::string path;        // kLoad source file
+};
+
+struct Program {
+  std::vector<Statement> statements;
+};
+
+// ---- constructors ----
+AExprPtr MakeVar(std::string name);
+AExprPtr MakeLiteral(adm::Value v);
+AExprPtr MakeField(AExprPtr base, std::string field);
+AExprPtr MakeCall(std::string fn, std::vector<AExprPtr> args);
+
+}  // namespace simdb::aql
+
+#endif  // SIMDB_AQL_AST_H_

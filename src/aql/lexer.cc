@@ -1,0 +1,180 @@
+#include "aql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace simdb::aql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto err = [&](const std::string& msg) {
+    return Status::ParseError(msg + " at offset " + std::to_string(i));
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments and hints.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      bool is_hint = i + 2 < n && text[i + 2] == '+';
+      size_t start = i + (is_hint ? 3 : 2);
+      size_t end = text.find("*/", start);
+      if (end == std::string_view::npos) return err("unterminated comment");
+      if (is_hint) {
+        std::string body(text.substr(start, end - start));
+        // trim
+        while (!body.empty() && std::isspace(static_cast<unsigned char>(body.front()))) {
+          body.erase(body.begin());
+        }
+        while (!body.empty() && std::isspace(static_cast<unsigned char>(body.back()))) {
+          body.pop_back();
+        }
+        tokens.push_back({TokenKind::kHint, body, 0, 0, i});
+      }
+      i = end + 2;
+      continue;
+    }
+    // Variables and meta tokens.
+    if (c == '$') {
+      size_t start = i;
+      bool meta = i + 1 < n && text[i + 1] == '$';
+      i += meta ? 2 : 1;
+      size_t name_start = i;
+      while (i < n && IsIdentChar(text[i])) ++i;
+      if (i == name_start) return err("expected variable name after '$'");
+      tokens.push_back({meta ? TokenKind::kMetaVar : TokenKind::kVariable,
+                        std::string(text.substr(name_start, i - name_start)),
+                        0, 0, start});
+      continue;
+    }
+    if (c == '#' && i + 1 < n && text[i + 1] == '#') {
+      size_t start = i;
+      i += 2;
+      size_t name_start = i;
+      while (i < n && IsIdentChar(text[i])) ++i;
+      if (i == name_start) return err("expected name after '##'");
+      tokens.push_back({TokenKind::kMetaClause,
+                        std::string(text.substr(name_start, i - name_start)),
+                        0, 0, start});
+      continue;
+    }
+    // Strings.
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      size_t start = i++;
+      std::string out;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) {
+          ++i;
+          switch (text[i]) {
+            case 'n':
+              out.push_back('\n');
+              break;
+            case 't':
+              out.push_back('\t');
+              break;
+            default:
+              out.push_back(text[i]);
+          }
+        } else {
+          out.push_back(text[i]);
+        }
+        ++i;
+      }
+      if (i >= n) return err("unterminated string");
+      ++i;  // closing quote
+      tokens.push_back({TokenKind::kString, std::move(out), 0, 0, start});
+      continue;
+    }
+    // Numbers (including ".5" and the AQL float suffix "f": ".5f").
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      if (i < n && text[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      } else if (i < n && text[i] == '.' &&
+                 !(i + 1 < n && IsIdentStart(text[i + 1]))) {
+        is_double = true;
+        ++i;
+      }
+      if (i < n && (text[i] == 'e' || text[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (text[i] == '+' || text[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      }
+      std::string num(text.substr(start, i - start));
+      if (i < n && (text[i] == 'f' || text[i] == 'F')) {
+        is_double = true;
+        ++i;  // consume float suffix
+      }
+      Token tok;
+      tok.offset = start;
+      if (is_double) {
+        tok.kind = TokenKind::kDouble;
+        tok.double_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kInteger;
+        tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(text[i])) ++i;
+      tokens.push_back({TokenKind::kIdentifier,
+                        std::string(text.substr(start, i - start)), 0, 0,
+                        start});
+      continue;
+    }
+    // Multi-char symbols first.
+    auto symbol = [&](std::string s) {
+      tokens.push_back({TokenKind::kSymbol, std::move(s), 0, 0, i});
+    };
+    std::string_view rest = text.substr(i);
+    if (rest.rfind(":=", 0) == 0 || rest.rfind("<=", 0) == 0 ||
+        rest.rfind(">=", 0) == 0 || rest.rfind("!=", 0) == 0 ||
+        rest.rfind("~=", 0) == 0) {
+      symbol(std::string(rest.substr(0, 2)));
+      i += 2;
+      continue;
+    }
+    if (std::string("(){}[],;=<>+-*/.:").find(c) != std::string::npos) {
+      symbol(std::string(1, c));
+      ++i;
+      continue;
+    }
+    return err(std::string("unexpected character '") + c + "'");
+  }
+  tokens.push_back({TokenKind::kEnd, "", 0, 0, n});
+  return tokens;
+}
+
+}  // namespace simdb::aql

@@ -1,0 +1,39 @@
+#ifndef SIMDB_AQL_LEXER_H_
+#define SIMDB_AQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace simdb::aql {
+
+enum class TokenKind {
+  kIdentifier,  // for, dataset, foo  (keywords are identifiers contextually)
+  kVariable,    // $x
+  kMetaVar,     // $$X        [AQL+]
+  kMetaClause,  // ##X        [AQL+]
+  kString,      // 'abc' or "abc"
+  kInteger,
+  kDouble,
+  kHint,        // /*+ ... */
+  kSymbol,      // punctuation / operators, text holds the exact symbol
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier/variable/meta name, symbol, hint body
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;      // for error messages
+};
+
+/// Tokenizes AQL/AQL+ text. `//` and non-hint `/* */` comments are skipped;
+/// `/*+ ... */` hints become kHint tokens.
+Result<std::vector<Token>> Lex(std::string_view text);
+
+}  // namespace simdb::aql
+
+#endif  // SIMDB_AQL_LEXER_H_

@@ -1,0 +1,52 @@
+#include "cluster/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace simdb::cluster {
+
+MakespanReport ComputeMakespan(const hyracks::ExecStats& stats,
+                               const hyracks::ClusterTopology& topology,
+                               const NetworkModel& net) {
+  MakespanReport report;
+  int nodes = std::max(1, topology.num_nodes);
+  for (const hyracks::OpStats& op : stats.ops) {
+    // Compute: the slowest node bounds the stage.
+    std::vector<double> node_seconds(static_cast<size_t>(nodes), 0.0);
+    for (size_t p = 0; p < op.partition_seconds.size(); ++p) {
+      int node = topology.NodeOfPartition(static_cast<int>(p));
+      if (node >= 0 && node < nodes) {
+        node_seconds[static_cast<size_t>(node)] += op.partition_seconds[p];
+      }
+    }
+    double stage = 0;
+    for (double s : node_seconds) stage = std::max(stage, s);
+    report.compute_seconds += stage;
+
+    // Network: remote bytes flow through per-node NICs roughly evenly; frame
+    // latency is charged per 32 KiB frame, also spread across nodes.
+    if (op.remote_bytes > 0) {
+      double per_node_bytes = static_cast<double>(op.remote_bytes) / nodes;
+      double frames = std::ceil(static_cast<double>(op.remote_bytes) /
+                                net.frame_bytes) /
+                      nodes;
+      report.network_seconds +=
+          per_node_bytes / net.bandwidth_bytes_per_sec +
+          frames * net.frame_latency_sec;
+    }
+  }
+  return report;
+}
+
+std::string FormatMakespan(const MakespanReport& report) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "%.3fs (compute %.3fs + network %.3fs)",
+                report.total_seconds(), report.compute_seconds,
+                report.network_seconds);
+  return buf;
+}
+
+}  // namespace simdb::cluster

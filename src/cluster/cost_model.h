@@ -1,0 +1,42 @@
+#ifndef SIMDB_CLUSTER_COST_MODEL_H_
+#define SIMDB_CLUSTER_COST_MODEL_H_
+
+#include <string>
+
+#include "hyracks/exec.h"
+
+namespace simdb::cluster {
+
+/// Network parameters of the simulated cluster. Defaults approximate the
+/// paper's testbed (1 GbE per node; payload bandwidth ~117 MiB/s) with
+/// frame-granularity transfer latency.
+struct NetworkModel {
+  double bandwidth_bytes_per_sec = 117.0 * 1024 * 1024;
+  double frame_bytes = 32 * 1024;
+  double frame_latency_sec = 3e-5;
+};
+
+/// A simulated parallel execution time ("makespan") derived from measured
+/// per-partition compute times and counted exchange traffic. The executor is
+/// stage-sequential, so the makespan is the sum over operators of
+///   max over nodes (sum of that node's partition compute seconds)
+/// plus the modeled time to move each exchange's remote bytes through the
+/// per-node NICs. This preserves the paper's scale-out/speed-up shapes on a
+/// single machine (see DESIGN.md).
+struct MakespanReport {
+  double compute_seconds = 0;
+  double network_seconds = 0;
+
+  double total_seconds() const { return compute_seconds + network_seconds; }
+};
+
+MakespanReport ComputeMakespan(const hyracks::ExecStats& stats,
+                               const hyracks::ClusterTopology& topology,
+                               const NetworkModel& net = {});
+
+/// One-line rendering for bench output.
+std::string FormatMakespan(const MakespanReport& report);
+
+}  // namespace simdb::cluster
+
+#endif  // SIMDB_CLUSTER_COST_MODEL_H_

@@ -1,0 +1,115 @@
+#ifndef SIMDB_COMMON_BYTES_H_
+#define SIMDB_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace simdb {
+
+/// Appends fixed-width little-endian primitives and length-prefixed strings to
+/// a byte buffer. Paired with ByteReader; used for record and index-entry
+/// serialization in the storage layer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) {
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    out_->append(buf, 4);
+  }
+
+  void PutU64(uint64_t v) {
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out_->append(buf, 8);
+  }
+
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    PutU64(bits);
+  }
+
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Reads values written by ByteWriter. All getters fail with Corruption when
+/// the buffer is exhausted, so malformed files are detected rather than read
+/// out of bounds.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data), pos_(0) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+  Result<uint8_t> GetU8() {
+    if (remaining() < 1) return Truncated();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> GetU32() {
+    if (remaining() < 4) return Truncated();
+    uint32_t v;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> GetU64() {
+    if (remaining() < 8) return Truncated();
+    uint64_t v;
+    std::memcpy(&v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<int64_t> GetI64() {
+    SIMDB_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+    return static_cast<int64_t>(v);
+  }
+
+  Result<double> GetDouble() {
+    SIMDB_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  Result<std::string_view> GetString() {
+    SIMDB_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+    if (remaining() < len) return Truncated();
+    std::string_view s(data_.data() + pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  Status Truncated() const {
+    return Status::Corruption("byte buffer truncated at offset " +
+                              std::to_string(pos_));
+  }
+
+  std::string_view data_;
+  size_t pos_;
+};
+
+}  // namespace simdb
+
+#endif  // SIMDB_COMMON_BYTES_H_

@@ -1,0 +1,56 @@
+#ifndef SIMDB_COMMON_LOGGING_H_
+#define SIMDB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace simdb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded. Defaults to kWarn so
+/// tests and benches stay quiet unless something is wrong.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink: accumulates a line and emits it on destruction.
+/// When `fatal` is set the process aborts after emitting the line (used by
+/// SIMDB_CHECK for invariants that must never fail in correct code).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace simdb
+
+#define SIMDB_LOG(level)                                              \
+  if (::simdb::LogLevel::level >= ::simdb::GetLogLevel())             \
+  ::simdb::internal_logging::LogMessage(::simdb::LogLevel::level,     \
+                                        __FILE__, __LINE__)
+
+// Aborts the process with a message when `cond` is false.
+#define SIMDB_CHECK(cond)                                                   \
+  if (!(cond))                                                              \
+  ::simdb::internal_logging::LogMessage(::simdb::LogLevel::kError,          \
+                                        __FILE__, __LINE__, /*fatal=*/true) \
+      << "Check failed: " #cond " "
+
+#endif  // SIMDB_COMMON_LOGGING_H_

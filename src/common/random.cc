@@ -1,0 +1,25 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simdb {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double skew) : n_(n) {
+  cdf_.resize(n_);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < n_; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = sum;
+  }
+  for (uint64_t i = 0; i < n_; ++i) cdf_[i] /= sum;
+}
+
+uint64_t ZipfGenerator::Next(Random& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace simdb

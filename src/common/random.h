@@ -1,0 +1,61 @@
+#ifndef SIMDB_COMMON_RANDOM_H_
+#define SIMDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace simdb {
+
+/// Deterministic, fast PRNG (splitmix64). Used everywhere randomness is
+/// needed so that tests and benchmarks are reproducible across runs.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return NextU64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Samples ranks from a Zipf(s) distribution over [0, n). Token frequencies in
+/// the paper's text datasets are heavily skewed; the generator reproduces that
+/// skew so T-occurrence candidate-set behaviour matches the paper's shape.
+class ZipfGenerator {
+ public:
+  /// `skew` is the Zipf exponent (1.0 is classic Zipf; 0 is uniform).
+  ZipfGenerator(uint64_t n, double skew);
+
+  /// Returns a rank in [0, n); rank 0 is the most frequent.
+  uint64_t Next(Random& rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;  // cumulative probabilities, size n_.
+};
+
+}  // namespace simdb
+
+#endif  // SIMDB_COMMON_RANDOM_H_

@@ -1,0 +1,86 @@
+#ifndef SIMDB_COMMON_RESULT_H_
+#define SIMDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace simdb {
+
+/// Holds either a value of type T or an error Status. Modeled after
+/// arrow::Result / absl::StatusOr. A Result is never default-ok without a
+/// value: constructing from an OK status is a programming error reported as
+/// an Internal status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace simdb
+
+// Propagates a non-OK Status out of the enclosing function.
+#define SIMDB_RETURN_IF_ERROR(expr)             \
+  do {                                          \
+    ::simdb::Status _simdb_status = (expr);     \
+    if (!_simdb_status.ok()) return _simdb_status; \
+  } while (false)
+
+#define SIMDB_CONCAT_IMPL(a, b) a##b
+#define SIMDB_CONCAT(a, b) SIMDB_CONCAT_IMPL(a, b)
+
+// Evaluates `rexpr` (a Result<T>); on error propagates the Status, otherwise
+// move-assigns the value into `lhs` (which may include a declaration).
+#define SIMDB_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  SIMDB_ASSIGN_OR_RETURN_IMPL(SIMDB_CONCAT(_simdb_result_, __LINE__), \
+                              lhs, rexpr)
+
+#define SIMDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // SIMDB_COMMON_RESULT_H_

@@ -1,0 +1,46 @@
+#ifndef SIMDB_COMMON_THREAD_POOL_H_
+#define SIMDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simdb {
+
+/// Fixed-size worker pool used to run dataset partitions in parallel
+/// (simulating AsterixDB node controllers). Tasks are plain closures; use
+/// RunAll to execute a batch and wait for completion.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs all tasks (possibly concurrently) and blocks until every one has
+  /// finished. Tasks must not throw; they communicate failure out of band.
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace simdb
+
+#endif  // SIMDB_COMMON_THREAD_POOL_H_

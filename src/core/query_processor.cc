@@ -1,0 +1,352 @@
+#include "core/query_processor.h"
+
+#include <cctype>
+
+#include "common/stopwatch.h"
+#include "core/rules_similarity.h"
+#include "core/three_stage.h"
+#include "hyracks/functions.h"
+#include "storage/file_util.h"
+
+namespace simdb::core {
+
+using algebricks::LOpPtr;
+using algebricks::RuleSet;
+
+QueryProcessor::QueryProcessor(EngineOptions options)
+    : options_(std::move(options)),
+      catalog_(options_.data_dir, options_.lsm),
+      pool_(std::make_unique<ThreadPool>(options_.num_threads)) {
+  opt_.catalog = &catalog_;
+}
+
+Result<storage::Dataset*> QueryProcessor::CreateDataset(
+    const std::string& name, const std::string& pk_field) {
+  storage::DatasetSpec spec;
+  spec.name = name;
+  spec.pk_field = pk_field;
+  spec.num_partitions = options_.topology.total_partitions();
+  return catalog_.CreateDataset(std::move(spec));
+}
+
+Status QueryProcessor::Insert(const std::string& dataset, adm::Value record) {
+  storage::Dataset* ds = catalog_.Find(dataset);
+  if (ds == nullptr) return Status::NotFound("dataset " + dataset);
+  SIMDB_ASSIGN_OR_RETURN(int64_t pk, ds->Insert(std::move(record)));
+  (void)pk;
+  return Status::OK();
+}
+
+void QueryProcessor::RegisterSimilarityUdf(similarity::SimilarityFunction fn) {
+  // Make it callable by name in queries...
+  hyracks::FunctionDef def;
+  def.name = fn.name;
+  def.min_args = 2;
+  def.max_args = 2;
+  auto eval = fn.eval;
+  def.fn = [eval](const std::vector<adm::Value>& args) {
+    return eval(args[0], args[1]);
+  };
+  hyracks::FunctionRegistry::Global().Register(std::move(def));
+  // ...and resolvable as a `set simfunction` alias for `~=`.
+  similarity::SimilarityFunctionRegistry::Global().Register(std::move(fn));
+}
+
+Status QueryProcessor::OptimizePlan(LOpPtr& plan) {
+  RuleSet normalize;
+  normalize.name = "normalize";
+  normalize.rules = {
+      algebricks::MakeRemoveTrivialSelectRule(),
+      MakeSimilaritySugarRule(),
+      algebricks::MakePushSelectIntoJoinRule(),
+      algebricks::MakePushSelectBelowJoinRule(),
+  };
+  RuleSet similarity_set;
+  similarity_set.name = "similarity";
+  similarity_set.rules = {
+      MakeIndexSelectRule(),
+      MakeIndexJoinRule(),
+      MakeThreeStageJoinRule(),
+  };
+  // Paper Section 5.3: normalize, apply the similarity rule set (which may
+  // regenerate whole subplans through AQL+), then let the newly generated
+  // plan go through the earlier rules again, and finally specialize
+  // aggregates.
+  RuleSet finalize;
+  finalize.name = "finalize";
+  finalize.rules = {MakeUseCheckVariantRule()};
+  finalize.max_iterations = 1;
+  SIMDB_RETURN_IF_ERROR(ApplyRuleSet(plan, normalize, opt_).status());
+  SIMDB_RETURN_IF_ERROR(ApplyRuleSet(plan, similarity_set, opt_).status());
+  SIMDB_RETURN_IF_ERROR(ApplyRuleSet(plan, normalize, opt_).status());
+  SIMDB_RETURN_IF_ERROR(ApplyCountListifyRewrite(plan, opt_).status());
+  SIMDB_RETURN_IF_ERROR(ApplyRuleSet(plan, finalize, opt_).status());
+  return Status::OK();
+}
+
+Status QueryProcessor::RunQuery(const aql::AExprPtr& query,
+                                QueryResult* result) {
+  CompileStats compile;
+  Stopwatch total;
+
+  Stopwatch phase;
+  aql::Translator translator({}, &functions_);
+  SIMDB_ASSIGN_OR_RETURN(aql::TranslationResult tr,
+                         translator.TranslateQuery(query));
+  compile.translate_seconds = phase.ElapsedSeconds();
+
+  phase.Restart();
+  double aqlplus_before = opt_.aqlplus_seconds;
+  size_t fired_before = opt_.fired_rules.size();
+  SIMDB_RETURN_IF_ERROR(OptimizePlan(tr.plan));
+  compile.optimize_seconds = phase.ElapsedSeconds();
+  compile.aqlplus_seconds = opt_.aqlplus_seconds - aqlplus_before;
+
+  phase.Restart();
+  hyracks::Job job;
+  algebricks::JobGenerator jobgen;
+  SIMDB_RETURN_IF_ERROR(jobgen.Generate(tr.plan, &job));
+  compile.jobgen_seconds = phase.ElapsedSeconds();
+  compile.total_seconds = total.ElapsedSeconds();
+
+  hyracks::ExecStats exec_stats;
+  hyracks::ExecContext ctx;
+  ctx.pool = pool_.get();
+  ctx.catalog = &catalog_;
+  ctx.topology = options_.topology;
+  ctx.stats = &exec_stats;
+  ctx.t_occurrence_algorithm = options_.t_occurrence_algorithm;
+  SIMDB_ASSIGN_OR_RETURN(hyracks::PartitionedRows rows,
+                         hyracks::Executor::Run(job, ctx));
+
+  if (result != nullptr) {
+    result->rows.clear();
+    if (tr.is_count) {
+      result->rows.push_back(
+          adm::Value::Int64(static_cast<int64_t>(hyracks::RowsCount(rows))));
+    } else {
+      for (const hyracks::Rows& part : rows) {
+        for (const hyracks::Tuple& tuple : part) {
+          result->rows.push_back(tuple.empty() ? adm::Value::Missing()
+                                               : tuple[0]);
+        }
+      }
+    }
+    result->exec = std::move(exec_stats);
+    result->compile = compile;
+    result->logical_plan = tr.plan->ToString();
+    result->fired_rules.assign(opt_.fired_rules.begin() + fired_before,
+                               opt_.fired_rules.end());
+  }
+  return Status::OK();
+}
+
+Status QueryProcessor::ExecuteStatement(const aql::Statement& stmt,
+                                        QueryResult* result) {
+  switch (stmt.kind) {
+    case aql::Statement::Kind::kUseDataverse:
+      return Status::OK();  // single-dataverse engine
+    case aql::Statement::Kind::kSet: {
+      if (stmt.name == "simfunction") {
+        opt_.sim_function_alias = stmt.set_value;
+        return Status::OK();
+      }
+      if (stmt.name == "simthreshold") {
+        char* end = nullptr;
+        double v = std::strtod(stmt.set_value.c_str(), &end);
+        if (end == stmt.set_value.c_str()) {
+          return Status::ParseError("bad simthreshold");
+        }
+        opt_.sim_threshold = v;
+        return Status::OK();
+      }
+      return Status::OK();  // unknown settings are accepted and ignored
+    }
+    case aql::Statement::Kind::kCreateDataset: {
+      storage::DatasetSpec spec;
+      spec.name = stmt.dataset;
+      spec.pk_field = stmt.pk_field;
+      spec.num_partitions = stmt.partitions > 0
+                                ? stmt.partitions
+                                : options_.topology.total_partitions();
+      return catalog_.CreateDataset(std::move(spec)).status();
+    }
+    case aql::Statement::Kind::kCreateIndex: {
+      storage::Dataset* ds = catalog_.Find(stmt.dataset);
+      if (ds == nullptr) return Status::NotFound("dataset " + stmt.dataset);
+      storage::IndexSpec spec;
+      spec.name = stmt.name;
+      spec.field = stmt.field;
+      if (stmt.index_type == "ngram") {
+        spec.kind = similarity::IndexKind::kNGram;
+        spec.gram_len = stmt.gram_len;
+      } else if (stmt.index_type == "keyword") {
+        spec.kind = similarity::IndexKind::kKeyword;
+      } else {
+        spec.kind = similarity::IndexKind::kBtree;
+      }
+      return ds->CreateIndex(std::move(spec));
+    }
+    case aql::Statement::Kind::kCreateFunction: {
+      functions_[stmt.name] = {stmt.params, stmt.body};
+      return Status::OK();
+    }
+    case aql::Statement::Kind::kInsert: {
+      storage::Dataset* ds = catalog_.Find(stmt.dataset);
+      if (ds == nullptr) return Status::NotFound("dataset " + stmt.dataset);
+      SIMDB_ASSIGN_OR_RETURN(adm::Value payload, EvalConstantAst(stmt.body));
+      if (payload.is_object()) {
+        return ds->Insert(std::move(payload)).status();
+      }
+      if (payload.is_list()) {
+        for (const adm::Value& record : payload.AsList()) {
+          SIMDB_RETURN_IF_ERROR(ds->Insert(record).status());
+        }
+        return Status::OK();
+      }
+      return Status::TypeError("insert expects a record or list of records");
+    }
+    case aql::Statement::Kind::kDelete: {
+      storage::Dataset* ds = catalog_.Find(stmt.dataset);
+      if (ds == nullptr) return Status::NotFound("dataset " + stmt.dataset);
+      // Evaluate `for $v in dataset X where cond return $v.<pk>` and delete
+      // the surviving primary keys.
+      auto flwor = std::make_shared<aql::Flwor>();
+      aql::Clause for_clause;
+      for_clause.kind = aql::Clause::Kind::kFor;
+      for_clause.var = stmt.var;
+      auto ds_ref = std::make_shared<aql::AExpr>();
+      ds_ref->kind = aql::AExpr::Kind::kDatasetRef;
+      ds_ref->name = stmt.dataset;
+      for_clause.source = ds_ref;
+      flwor->clauses.push_back(std::move(for_clause));
+      if (stmt.condition != nullptr) {
+        aql::Clause where_clause;
+        where_clause.kind = aql::Clause::Kind::kWhere;
+        where_clause.condition = stmt.condition;
+        flwor->clauses.push_back(std::move(where_clause));
+      }
+      flwor->return_expr =
+          aql::MakeField(aql::MakeVar(stmt.var), ds->spec().pk_field);
+      auto query = std::make_shared<aql::AExpr>();
+      query->kind = aql::AExpr::Kind::kSubquery;
+      query->subquery = std::move(flwor);
+      QueryResult pks;
+      SIMDB_RETURN_IF_ERROR(RunQuery(query, &pks));
+      for (const adm::Value& pk : pks.rows) {
+        if (!pk.is_int64()) return Status::TypeError("non-int64 primary key");
+        SIMDB_RETURN_IF_ERROR(ds->Delete(pk.AsInt64()));
+      }
+      return Status::OK();
+    }
+    case aql::Statement::Kind::kLoad: {
+      storage::Dataset* ds = catalog_.Find(stmt.dataset);
+      if (ds == nullptr) return Status::NotFound("dataset " + stmt.dataset);
+      SIMDB_ASSIGN_OR_RETURN(std::string data, storage::ReadFile(stmt.path));
+      size_t start = 0;
+      while (start < data.size()) {
+        size_t end = data.find('\n', start);
+        if (end == std::string::npos) end = data.size();
+        std::string_view line(data.data() + start, end - start);
+        start = end + 1;
+        // Skip blank lines.
+        bool blank = true;
+        for (char c : line) {
+          if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+        }
+        if (blank) continue;
+        SIMDB_ASSIGN_OR_RETURN(adm::Value record, adm::Value::FromJson(line));
+        SIMDB_RETURN_IF_ERROR(ds->Insert(std::move(record)).status());
+      }
+      return Status::OK();
+    }
+    case aql::Statement::Kind::kExplain: {
+      aql::Translator translator({}, &functions_);
+      SIMDB_ASSIGN_OR_RETURN(aql::TranslationResult tr,
+                             translator.TranslateQuery(stmt.body));
+      size_t fired_before = opt_.fired_rules.size();
+      SIMDB_RETURN_IF_ERROR(OptimizePlan(tr.plan));
+      if (result != nullptr) {
+        result->rows = {adm::Value::String(tr.plan->ToString())};
+        result->logical_plan = tr.plan->ToString();
+        result->fired_rules.assign(opt_.fired_rules.begin() + fired_before,
+                                   opt_.fired_rules.end());
+      }
+      return Status::OK();
+    }
+    case aql::Statement::Kind::kQuery:
+      return RunQuery(stmt.body, result);
+  }
+  return Status::Internal("unreachable statement kind");
+}
+
+Result<adm::Value> QueryProcessor::EvalConstantAst(const aql::AExprPtr& expr) {
+  if (expr == nullptr) return Status::PlanError("empty expression");
+  switch (expr->kind) {
+    case aql::AExpr::Kind::kLiteral:
+      return expr->literal;
+    case aql::AExpr::Kind::kRecord: {
+      adm::Value::Object fields;
+      for (size_t i = 0; i < expr->children.size(); ++i) {
+        SIMDB_ASSIGN_OR_RETURN(adm::Value v, EvalConstantAst(expr->children[i]));
+        fields.emplace_back(expr->field_names[i], std::move(v));
+      }
+      return adm::Value::MakeObject(std::move(fields));
+    }
+    case aql::AExpr::Kind::kList: {
+      adm::Value::Array items;
+      for (const aql::AExprPtr& c : expr->children) {
+        SIMDB_ASSIGN_OR_RETURN(adm::Value v, EvalConstantAst(c));
+        items.push_back(std::move(v));
+      }
+      return adm::Value::MakeArray(std::move(items));
+    }
+    case aql::AExpr::Kind::kCall: {
+      const hyracks::FunctionDef* def =
+          hyracks::FunctionRegistry::Global().Find(expr->name);
+      if (def == nullptr) {
+        return Status::PlanError("unknown function " + expr->name);
+      }
+      std::vector<adm::Value> args;
+      for (const aql::AExprPtr& c : expr->children) {
+        SIMDB_ASSIGN_OR_RETURN(adm::Value v, EvalConstantAst(c));
+        args.push_back(std::move(v));
+      }
+      return def->fn(args);
+    }
+    default:
+      return Status::PlanError(
+          "insert payloads must be constant records/lists");
+  }
+}
+
+Status QueryProcessor::Execute(std::string_view aql, QueryResult* result) {
+  Stopwatch parse;
+  SIMDB_ASSIGN_OR_RETURN(aql::Program program, aql::ParseProgram(aql));
+  double parse_seconds = parse.ElapsedSeconds();
+  for (const aql::Statement& stmt : program.statements) {
+    SIMDB_RETURN_IF_ERROR(ExecuteStatement(stmt, result));
+  }
+  if (result != nullptr) result->compile.parse_seconds = parse_seconds;
+  return Status::OK();
+}
+
+Result<std::string> QueryProcessor::Explain(std::string_view aql) {
+  SIMDB_ASSIGN_OR_RETURN(aql::Program program, aql::ParseProgram(aql));
+  const aql::AExprPtr* query = nullptr;
+  for (const aql::Statement& stmt : program.statements) {
+    if (stmt.kind == aql::Statement::Kind::kQuery) {
+      query = &stmt.body;
+    } else {
+      SIMDB_RETURN_IF_ERROR(ExecuteStatement(stmt, nullptr));
+    }
+  }
+  if (query == nullptr) return Status::InvalidArgument("no query to explain");
+  aql::Translator translator({}, &functions_);
+  SIMDB_ASSIGN_OR_RETURN(aql::TranslationResult tr,
+                         translator.TranslateQuery(*query));
+  SIMDB_RETURN_IF_ERROR(OptimizePlan(tr.plan));
+  return tr.plan->ToString();
+}
+
+}  // namespace simdb::core

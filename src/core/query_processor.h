@@ -1,0 +1,100 @@
+#ifndef SIMDB_CORE_QUERY_PROCESSOR_H_
+#define SIMDB_CORE_QUERY_PROCESSOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebricks/jobgen.h"
+#include "algebricks/rules.h"
+#include "aql/parser.h"
+#include "aql/translator.h"
+#include "common/thread_pool.h"
+#include "hyracks/exec.h"
+#include "similarity/similarity_function.h"
+#include "storage/catalog.h"
+
+namespace simdb::core {
+
+/// Engine-wide configuration (the scaled-down analogue of paper Table 2).
+struct EngineOptions {
+  std::string data_dir = "/tmp/simdb_data";
+  hyracks::ClusterTopology topology{1, 2};
+  storage::LsmOptions lsm;
+  /// Worker threads executing partitions (0 = hardware concurrency).
+  size_t num_threads = 0;
+  storage::TOccurrenceAlgorithm t_occurrence_algorithm =
+      storage::TOccurrenceAlgorithm::kScanCount;
+};
+
+/// Compilation timings, including the AQL+ overhead the paper reports in
+/// Section 6.4.1.
+struct CompileStats {
+  double parse_seconds = 0;
+  double translate_seconds = 0;
+  double optimize_seconds = 0;
+  double aqlplus_seconds = 0;  // template generation inside optimization
+  double jobgen_seconds = 0;
+  double total_seconds = 0;
+};
+
+/// Everything a query run produces.
+struct QueryResult {
+  std::vector<adm::Value> rows;
+  hyracks::ExecStats exec;
+  CompileStats compile;
+  std::string logical_plan;  // optimized plan (explain)
+  std::vector<std::string> fired_rules;
+};
+
+/// The end-to-end engine facade: owns the catalog, session settings, the
+/// optimizer pipeline (normalize -> similarity rule set -> normalize ->
+/// count rewrite, paper Section 5.3), the job generator, and the simulated
+/// cluster's thread pool.
+class QueryProcessor {
+ public:
+  explicit QueryProcessor(EngineOptions options);
+
+  /// Executes a full AQL program (set/DDL statements and queries). The last
+  /// query statement's output is stored into `*result` when non-null.
+  Status Execute(std::string_view aql, QueryResult* result = nullptr);
+
+  /// Compiles (but does not run) the last query in `aql`; returns the
+  /// optimized logical plan rendering.
+  Result<std::string> Explain(std::string_view aql);
+
+  /// Session + optimizer state: simfunction/simthreshold and the feature
+  /// flags used by ablation benchmarks.
+  algebricks::OptContext& opt_context() { return opt_; }
+
+  storage::Catalog* catalog() { return &catalog_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Programmatic data path used by generators and benches (bypasses AQL).
+  Result<storage::Dataset*> CreateDataset(const std::string& name,
+                                          const std::string& pk_field);
+  Status Insert(const std::string& dataset, adm::Value record);
+
+  /// Registers a C++ similarity UDF usable both via `~=` (simfunction alias)
+  /// and as a named function in queries.
+  void RegisterSimilarityUdf(similarity::SimilarityFunction fn);
+
+ private:
+  Status ExecuteStatement(const aql::Statement& stmt, QueryResult* result);
+  /// Evaluates a constant AST expression (insert payloads).
+  Result<adm::Value> EvalConstantAst(const aql::AExprPtr& expr);
+  Status RunQuery(const aql::AExprPtr& query, QueryResult* result);
+  Status OptimizePlan(algebricks::LOpPtr& plan);
+
+  EngineOptions options_;
+  storage::Catalog catalog_;
+  std::unique_ptr<ThreadPool> pool_;
+  algebricks::OptContext opt_;
+  std::map<std::string, aql::Translator::FunctionDefAst> functions_;
+};
+
+}  // namespace simdb::core
+
+#endif  // SIMDB_CORE_QUERY_PROCESSOR_H_

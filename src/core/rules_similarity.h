@@ -1,0 +1,38 @@
+#ifndef SIMDB_CORE_RULES_SIMILARITY_H_
+#define SIMDB_CORE_RULES_SIMILARITY_H_
+
+#include <memory>
+
+#include "algebricks/rules.h"
+
+namespace simdb::core {
+
+/// Resolves the `~=` similarity operator (parsed as a "sim-eq" call) into the
+/// session's similarity function + threshold comparison (paper Section 3.2):
+///   simfunction 'jaccard'       -> similarity-jaccard(a, b) >= delta
+///   simfunction 'edit-distance' -> edit-distance(a, b) <= k
+std::shared_ptr<algebricks::RewriteRule> MakeSimilaritySugarRule();
+
+/// Rewrites SELECT-over-DATA-SCAN with an indexable similarity condition on a
+/// constant into the secondary-to-primary index plan of paper Figure 7:
+///   INDEX-SEARCH -> LOCAL-SORT(pk) -> PRIMARY-LOOKUP -> SELECT(verify).
+/// Detects the edit-distance corner case (T <= 0) at compile time and leaves
+/// the scan plan in place (paper Section 5.1.1).
+std::shared_ptr<algebricks::RewriteRule> MakeIndexSelectRule();
+
+/// Rewrites a JOIN whose inner branch is a DATA-SCAN with a compatible index
+/// into the index-nested-loop plan of paper Figures 10/14/19, including the
+/// runtime corner-case split (replicate -> T>0 / T<=0 -> union) and the
+/// surrogate optimization (project the outer to (surrogate, key), resolve
+/// surrogates with a top-level equi join).
+std::shared_ptr<algebricks::RewriteRule> MakeIndexJoinRule();
+
+/// Final pass: rewrites verification predicates into their early-terminating
+/// check variants (similarity-jaccard-check / edit-distance-check), which
+/// apply length filters and abort early (paper Section 3.2's "variations of
+/// similarity functions ... that can do early termination").
+std::shared_ptr<algebricks::RewriteRule> MakeUseCheckVariantRule();
+
+}  // namespace simdb::core
+
+#endif  // SIMDB_CORE_RULES_SIMILARITY_H_

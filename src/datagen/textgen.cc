@@ -1,0 +1,206 @@
+#include "datagen/textgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "similarity/tokenizer.h"
+
+namespace simdb::datagen {
+
+using adm::Value;
+
+TextProfile AmazonProfile() {
+  TextProfile p;
+  p.label = "amazon";
+  p.name_field = "reviewerName";
+  p.text_field = "summary";
+  p.vocab_size = 2000;
+  p.avg_words = 4;
+  p.max_words = 44;
+  p.name_pool_size = 300;
+  return p;
+}
+
+TextProfile RedditProfile() {
+  TextProfile p;
+  p.label = "reddit";
+  p.name_field = "author";
+  p.text_field = "title";
+  p.vocab_size = 4000;
+  p.avg_words = 12;  // scaled stand-in for the paper's very long titles
+  p.max_words = 120;
+  p.name_pool_size = 500;
+  p.name_suffix_rate = 0.9;  // reddit authors look like "name_1234"
+  return p;
+}
+
+TextProfile TwitterProfile() {
+  TextProfile p;
+  p.label = "twitter";
+  p.name_field = "user_name";
+  p.text_field = "text";
+  p.vocab_size = 3000;
+  p.avg_words = 10;
+  p.max_words = 70;
+  p.name_pool_size = 400;
+  return p;
+}
+
+namespace {
+
+// All syllables are exactly two characters so that the little-endian
+// syllable decomposition in Word() parses uniquely (injective ranks).
+constexpr const char* kSyllables[] = {
+    "ba", "ri", "to", "ma", "lu", "ke", "sa", "do", "vi", "na",
+    "pe", "go", "ti", "ra", "mo", "ch", "le", "qu", "za", "fe"};
+constexpr size_t kNumSyllables = sizeof(kSyllables) / sizeof(kSyllables[0]);
+
+constexpr const char* kBaseNames[] = {
+    "james", "mary",   "robert", "patricia", "john",   "jennifer",
+    "michael", "linda", "david", "elizabeth", "william", "barbara",
+    "richard", "susan", "joseph", "jessica",  "thomas", "sarah",
+    "charles", "karen", "maria",  "marla",    "mario",  "jamie",
+    "daniel",  "nancy", "matthew", "lisa",    "anthony", "betty",
+    "mark",    "helen", "donald", "sandra",   "steven",  "donna",
+    "paul",    "carol", "andrew", "ruth",     "joshua",  "sharon",
+    "kenneth", "michelle", "kevin", "laura",  "brian",   "amy"};
+constexpr size_t kNumBaseNames = sizeof(kBaseNames) / sizeof(kBaseNames[0]);
+
+}  // namespace
+
+TextDatasetGenerator::TextDatasetGenerator(TextProfile profile, uint64_t seed)
+    : profile_(std::move(profile)),
+      rng_(seed),
+      zipf_(static_cast<uint64_t>(profile_.vocab_size), profile_.zipf_skew) {
+  // Build the name pool: base names, optionally suffixed with digits.
+  name_pool_.reserve(static_cast<size_t>(profile_.name_pool_size));
+  for (int i = 0; i < profile_.name_pool_size; ++i) {
+    std::string name(kBaseNames[static_cast<size_t>(i) % kNumBaseNames]);
+    if (rng_.NextDouble() < profile_.name_suffix_rate) {
+      name += std::to_string(rng_.Uniform(1000));
+    }
+    name_pool_.push_back(std::move(name));
+  }
+}
+
+std::string TextDatasetGenerator::Word(uint64_t rank) const {
+  // Decompose the rank in base-kNumSyllables so every rank maps to a unique
+  // pronounceable word of 2+ syllables.
+  // Minimum two syllables; little-endian digits in base kNumSyllables.
+  std::string word = kSyllables[rank % kNumSyllables];
+  uint64_t v = rank / kNumSyllables;
+  word += kSyllables[v % kNumSyllables];
+  v /= kNumSyllables;
+  while (v > 0) {
+    word += kSyllables[v % kNumSyllables];
+    v /= kNumSyllables;
+  }
+  return word;
+}
+
+std::string TextDatasetGenerator::PerturbName(const std::string& name) {
+  std::string out = name;
+  int edits = 1 + static_cast<int>(rng_.Uniform(2));
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    size_t pos = rng_.Uniform(out.size());
+    char c = static_cast<char>('a' + rng_.Uniform(26));
+    switch (rng_.Uniform(3)) {
+      case 0:
+        out[pos] = c;
+        break;
+      case 1:
+        out.insert(pos, 1, c);
+        break;
+      default:
+        out.erase(pos, 1);
+    }
+  }
+  return out.empty() ? name : out;
+}
+
+std::string TextDatasetGenerator::PerturbText(const std::string& text) {
+  std::vector<std::string> words = similarity::WordTokens(text);
+  if (words.empty()) return text;
+  int edits = 1 + static_cast<int>(rng_.Uniform(2));
+  for (int e = 0; e < edits && !words.empty(); ++e) {
+    size_t pos = rng_.Uniform(words.size());
+    switch (rng_.Uniform(3)) {
+      case 0:
+        words[pos] = Word(zipf_.Next(rng_));
+        break;
+      case 1:
+        words.insert(words.begin() + static_cast<std::ptrdiff_t>(pos),
+                     Word(zipf_.Next(rng_)));
+        break;
+      default:
+        words.erase(words.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+  }
+  if (words.empty()) words.push_back(Word(zipf_.Next(rng_)));
+  std::string out;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += words[i];
+  }
+  return out;
+}
+
+std::string TextDatasetGenerator::MakeName() {
+  if (!names_.empty() && rng_.NextDouble() < profile_.name_typo_rate) {
+    return PerturbName(names_[rng_.Uniform(names_.size())]);
+  }
+  return name_pool_[rng_.Uniform(name_pool_.size())];
+}
+
+std::string TextDatasetGenerator::MakeText() {
+  if (!texts_.empty() && rng_.NextDouble() < profile_.near_duplicate_rate) {
+    return PerturbText(texts_[rng_.Uniform(texts_.size())]);
+  }
+  // Exponential length distribution clipped to [min_words, max_words].
+  double u = rng_.NextDouble();
+  int len = static_cast<int>(
+      std::round(-std::log(1.0 - u) * profile_.avg_words));
+  len = std::clamp(len, profile_.min_words, profile_.max_words);
+  std::string out;
+  for (int i = 0; i < len; ++i) {
+    if (i > 0) out += ' ';
+    out += Word(zipf_.Next(rng_));
+  }
+  return out;
+}
+
+Value TextDatasetGenerator::NextRecord(int64_t id) {
+  std::string name = MakeName();
+  std::string text = MakeText();
+  names_.push_back(name);
+  texts_.push_back(text);
+  return Value::MakeObject({{"id", Value::Int64(id)},
+                            {profile_.name_field, Value::String(name)},
+                            {profile_.text_field, Value::String(text)}});
+}
+
+WorkloadSampler::WorkloadSampler(std::vector<std::string> values,
+                                 uint64_t seed)
+    : values_(std::move(values)), rng_(seed) {}
+
+Result<std::string> WorkloadSampler::SampleWithMinWords(int min_words) {
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const std::string& v = values_[rng_.Uniform(values_.size())];
+    if (static_cast<int>(similarity::WordTokens(v).size()) >= min_words) {
+      return v;
+    }
+  }
+  return Status::NotFound("no value with >= " + std::to_string(min_words) +
+                          " words");
+}
+
+Result<std::string> WorkloadSampler::SampleWithMinChars(int min_chars) {
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const std::string& v = values_[rng_.Uniform(values_.size())];
+    if (static_cast<int>(v.size()) >= min_chars) return v;
+  }
+  return Status::NotFound("no value with >= " + std::to_string(min_chars) +
+                          " chars");
+}
+
+}  // namespace simdb::datagen

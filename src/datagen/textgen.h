@@ -1,0 +1,92 @@
+#ifndef SIMDB_DATAGEN_TEXTGEN_H_
+#define SIMDB_DATAGEN_TEXTGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/random.h"
+#include "common/result.h"
+
+namespace simdb::datagen {
+
+/// Statistical shape of one synthetic text dataset, calibrated against the
+/// field characteristics of paper Table 4 (scaled: e.g. Reddit titles average
+/// 1,173 words in the paper; we keep the relative ordering of datasets while
+/// staying laptop-sized). Token frequencies are Zipf-distributed, names come
+/// from a pool with typo perturbation, and a fraction of records are
+/// near-duplicates so similarity joins have non-trivial answers.
+struct TextProfile {
+  std::string label;        // "amazon", "reddit", "twitter"
+  std::string name_field;   // short string field (edit distance)
+  std::string text_field;   // long tokenizable field (Jaccard)
+
+  int vocab_size = 2000;
+  double zipf_skew = 1.0;
+  int min_words = 1;
+  int avg_words = 4;
+  int max_words = 44;
+
+  int name_pool_size = 300;
+  double name_suffix_rate = 0.5;   // append digits to the base name
+  double name_typo_rate = 0.3;     // apply 1-2 character edits
+  double near_duplicate_rate = 0.15;
+};
+
+/// Profiles mirroring the paper's three datasets (Table 3/4).
+TextProfile AmazonProfile();
+TextProfile RedditProfile();
+TextProfile TwitterProfile();
+
+/// Generates records {<pk>: int64, <name_field>: string, <text_field>:
+/// string} deterministically from a seed.
+class TextDatasetGenerator {
+ public:
+  explicit TextDatasetGenerator(TextProfile profile, uint64_t seed = 42);
+
+  const TextProfile& profile() const { return profile_; }
+
+  /// Produces the record with primary key `id` ("id" field).
+  adm::Value NextRecord(int64_t id);
+
+  /// Values generated so far (for workload sampling, paper Section 6.3).
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<std::string>& texts() const { return texts_; }
+
+  /// The i-th vocabulary word (rank 0 = most frequent).
+  std::string Word(uint64_t rank) const;
+
+ private:
+  std::string MakeName();
+  std::string MakeText();
+  std::string PerturbName(const std::string& name);
+  std::string PerturbText(const std::string& text);
+
+  TextProfile profile_;
+  Random rng_;
+  ZipfGenerator zipf_;
+  std::vector<std::string> name_pool_;
+  std::vector<std::string> names_;
+  std::vector<std::string> texts_;
+};
+
+/// Samples workload values per the paper's protocol: random unique values
+/// from a field, with a minimum word count (Jaccard) or character length
+/// (edit distance).
+class WorkloadSampler {
+ public:
+  WorkloadSampler(std::vector<std::string> values, uint64_t seed = 7);
+
+  /// A random value with at least `min_words` word tokens.
+  Result<std::string> SampleWithMinWords(int min_words);
+  /// A random value with at least `min_chars` characters.
+  Result<std::string> SampleWithMinChars(int min_chars);
+
+ private:
+  std::vector<std::string> values_;
+  Random rng_;
+};
+
+}  // namespace simdb::datagen
+
+#endif  // SIMDB_DATAGEN_TEXTGEN_H_

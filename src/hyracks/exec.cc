@@ -1,0 +1,104 @@
+#include "hyracks/exec.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace simdb::hyracks {
+
+Status RunPerPartition(ExecContext& ctx, int num_partitions, OpStats* stats,
+                       const std::function<Status(int)>& fn) {
+  if (stats != nullptr) {
+    stats->partition_seconds.assign(static_cast<size_t>(num_partitions), 0.0);
+  }
+  std::vector<Status> statuses(static_cast<size_t>(num_partitions));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<size_t>(num_partitions));
+  for (int p = 0; p < num_partitions; ++p) {
+    tasks.push_back([&, p] {
+      Stopwatch sw;
+      statuses[static_cast<size_t>(p)] = fn(p);
+      if (stats != nullptr) {
+        stats->partition_seconds[static_cast<size_t>(p)] = sw.ElapsedSeconds();
+      }
+    });
+  }
+  if (ctx.pool != nullptr) {
+    ctx.pool->RunAll(std::move(tasks));
+  } else {
+    for (auto& t : tasks) t();
+  }
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+int Job::Add(std::unique_ptr<Operator> op, std::vector<int> inputs,
+             RowSchema schema) {
+  int id = static_cast<int>(nodes_.size());
+  for (int in : inputs) {
+    SIMDB_CHECK(in >= 0 && in < id) << "job inputs must precede the node";
+  }
+  nodes_.push_back(Node{std::move(op), std::move(inputs), std::move(schema)});
+  return id;
+}
+
+std::string Job::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    out += std::to_string(i) + ": " + nodes_[i].op->name() + " <- [";
+    for (size_t j = 0; j < nodes_[i].inputs.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += std::to_string(nodes_[i].inputs[j]);
+    }
+    out += "] " + nodes_[i].schema.ToString() + "\n";
+  }
+  return out;
+}
+
+Result<PartitionedRows> Executor::Run(const Job& job, ExecContext& ctx) {
+  const auto& nodes = job.nodes();
+  if (nodes.empty()) return Status::PlanError("empty job");
+
+  // Reference counts so intermediate outputs are freed when every consumer
+  // has run (the root output always survives).
+  std::vector<int> refcount(nodes.size(), 0);
+  for (const auto& node : nodes) {
+    for (int in : node.inputs) ++refcount[static_cast<size_t>(in)];
+  }
+  ++refcount[static_cast<size_t>(job.root())];
+
+  Stopwatch sw;
+  std::vector<PartitionedRows> outputs(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    std::vector<const PartitionedRows*> inputs;
+    inputs.reserve(nodes[i].inputs.size());
+    for (int in : nodes[i].inputs) {
+      inputs.push_back(&outputs[static_cast<size_t>(in)]);
+    }
+    OpStats op_stats;
+    op_stats.name = nodes[i].op->name();
+    SIMDB_ASSIGN_OR_RETURN(outputs[i],
+                           nodes[i].op->Execute(ctx, inputs, &op_stats));
+    // Normalize: every operator must emit exactly total_partitions parts.
+    if (static_cast<int>(outputs[i].size()) != ctx.topology.total_partitions()) {
+      return Status::Internal("operator " + nodes[i].op->name() +
+                              " produced wrong partition count");
+    }
+    op_stats.rows_out = RowsCount(outputs[i]);
+    if (ctx.stats != nullptr) ctx.stats->ops.push_back(std::move(op_stats));
+    // Release inputs that are no longer needed.
+    for (int in : nodes[i].inputs) {
+      if (--refcount[static_cast<size_t>(in)] == 0) {
+        outputs[static_cast<size_t>(in)] = PartitionedRows();
+      }
+    }
+  }
+  if (ctx.stats != nullptr) ctx.stats->wall_seconds += sw.ElapsedSeconds();
+  return std::move(outputs[static_cast<size_t>(job.root())]);
+}
+
+}  // namespace simdb::hyracks

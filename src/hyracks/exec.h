@@ -1,0 +1,116 @@
+#ifndef SIMDB_HYRACKS_EXEC_H_
+#define SIMDB_HYRACKS_EXEC_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "hyracks/tuple.h"
+#include "storage/catalog.h"
+#include "storage/inverted_index.h"
+
+namespace simdb::hyracks {
+
+/// Shape of the simulated shared-nothing cluster: partitions are laid out
+/// contiguously across nodes (paper: 2 partitions per node, 8 nodes).
+struct ClusterTopology {
+  int num_nodes = 1;
+  int partitions_per_node = 2;
+
+  int total_partitions() const { return num_nodes * partitions_per_node; }
+  int NodeOfPartition(int p) const { return p / partitions_per_node; }
+};
+
+/// Per-operator execution counters; the cluster cost model composes these
+/// into a simulated makespan (see cluster/cost_model.h).
+struct OpStats {
+  std::string name;
+  /// Measured compute seconds for each partition's work.
+  std::vector<double> partition_seconds;
+  uint64_t rows_out = 0;
+  /// Exchange traffic (zero for non-exchange operators).
+  uint64_t local_bytes = 0;
+  uint64_t remote_bytes = 0;
+  uint64_t remote_transfers = 0;
+};
+
+struct ExecStats {
+  std::vector<OpStats> ops;
+  double wall_seconds = 0;
+
+  uint64_t TotalRemoteBytes() const {
+    uint64_t total = 0;
+    for (const OpStats& op : ops) total += op.remote_bytes;
+    return total;
+  }
+};
+
+/// Everything an operator needs at runtime. `stats` may be null.
+struct ExecContext {
+  ThreadPool* pool = nullptr;
+  storage::Catalog* catalog = nullptr;
+  ClusterTopology topology;
+  ExecStats* stats = nullptr;
+  storage::TOccurrenceAlgorithm t_occurrence_algorithm =
+      storage::TOccurrenceAlgorithm::kScanCount;
+};
+
+/// A physical operator. Execution is stage-materialized: an operator
+/// consumes fully materialized partitioned inputs and produces partitioned
+/// output. Local operators parallelize across partitions via RunPerPartition;
+/// exchange operators reroute tuples between partitions and account traffic.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual std::string name() const = 0;
+  virtual Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) = 0;
+};
+
+/// Runs `fn(p)` for every partition on the context's thread pool, recording
+/// per-partition compute seconds into `stats` (when non-null). Returns the
+/// first error encountered.
+Status RunPerPartition(ExecContext& ctx, int num_partitions, OpStats* stats,
+                       const std::function<Status(int)>& fn);
+
+/// A dataflow DAG of operators. Nodes must be added in topological order
+/// (inputs referencing earlier nodes only); the last node is the root whose
+/// output the executor returns. A node may feed several consumers — that is
+/// the REPLICATE / materialize-reuse pattern of the paper (Figure 20): its
+/// output is computed once and shared.
+class Job {
+ public:
+  struct Node {
+    std::unique_ptr<Operator> op;
+    std::vector<int> inputs;
+    RowSchema schema;
+  };
+
+  /// Returns the id of the new node.
+  int Add(std::unique_ptr<Operator> op, std::vector<int> inputs,
+          RowSchema schema);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const RowSchema& schema(int id) const { return nodes_[id].schema; }
+  int root() const { return static_cast<int>(nodes_.size()) - 1; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+/// Executes a Job: topological, node at a time, sharing node outputs across
+/// consumers. Returns the root node's partitioned output.
+class Executor {
+ public:
+  static Result<PartitionedRows> Run(const Job& job, ExecContext& ctx);
+};
+
+}  // namespace simdb::hyracks
+
+#endif  // SIMDB_HYRACKS_EXEC_H_

@@ -1,0 +1,58 @@
+#include "hyracks/expr.h"
+
+namespace simdb::hyracks {
+
+Result<ExprPtr> CallExpr::Make(std::string name, std::vector<ExprPtr> args) {
+  const FunctionDef* def = FunctionRegistry::Global().Find(name);
+  if (def == nullptr) {
+    return Status::PlanError("unknown function: " + name);
+  }
+  int n = static_cast<int>(args.size());
+  if (n < def->min_args || n > def->max_args) {
+    return Status::PlanError("function " + name + " called with " +
+                             std::to_string(n) + " arguments");
+  }
+  return ExprPtr(new CallExpr(std::move(name), std::move(args), def));
+}
+
+std::string CallExpr::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string RecordConstructorExpr::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names_[i] + ": " + exprs_[i]->ToString();
+  }
+  out += "}";
+  return out;
+}
+
+std::string ListConstructorExpr::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString();
+  }
+  out += "]";
+  return out;
+}
+
+ExprPtr Col(int index, std::string name) {
+  return std::make_shared<ColumnExpr>(index, std::move(name));
+}
+
+ExprPtr Lit(adm::Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
+
+Result<ExprPtr> Call(std::string name, std::vector<ExprPtr> args) {
+  return CallExpr::Make(std::move(name), std::move(args));
+}
+
+}  // namespace simdb::hyracks

@@ -1,0 +1,218 @@
+#include "hyracks/ops_basic.h"
+
+#include <algorithm>
+
+namespace simdb::hyracks {
+
+using adm::Value;
+
+namespace {
+
+Status ExpectOneInput(const std::vector<const PartitionedRows*>& inputs,
+                      const std::string& op) {
+  if (inputs.size() != 1) {
+    return Status::Internal(op + " expects exactly one input");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PartitionedRows> SelectOp::Execute(
+    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+    OpStats* stats) {
+  SIMDB_RETURN_IF_ERROR(ExpectOneInput(inputs, "SELECT"));
+  const PartitionedRows& in = *inputs[0];
+  PartitionedRows out(in.size());
+  SIMDB_RETURN_IF_ERROR(RunPerPartition(
+      ctx, static_cast<int>(in.size()), stats, [&](int p) -> Status {
+        for (const Tuple& row : in[static_cast<size_t>(p)]) {
+          SIMDB_ASSIGN_OR_RETURN(Value v, predicate_->Eval(row));
+          if (v.is_boolean() && v.AsBoolean()) {
+            out[static_cast<size_t>(p)].push_back(row);
+          } else if (!v.is_boolean() && !v.is_missing() && !v.is_null()) {
+            return Status::TypeError("SELECT predicate must return boolean");
+          }
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+std::string AssignOp::name() const {
+  std::string out = "ASSIGN(";
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names_[i] + ":=" + exprs_[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Result<PartitionedRows> AssignOp::Execute(
+    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+    OpStats* stats) {
+  SIMDB_RETURN_IF_ERROR(ExpectOneInput(inputs, "ASSIGN"));
+  const PartitionedRows& in = *inputs[0];
+  PartitionedRows out(in.size());
+  SIMDB_RETURN_IF_ERROR(RunPerPartition(
+      ctx, static_cast<int>(in.size()), stats, [&](int p) -> Status {
+        Rows& rows = out[static_cast<size_t>(p)];
+        rows.reserve(in[static_cast<size_t>(p)].size());
+        for (const Tuple& row : in[static_cast<size_t>(p)]) {
+          Tuple extended = row;
+          // Evaluate against the growing tuple so later expressions may
+          // reference the columns produced by earlier ones.
+          for (const ExprPtr& e : exprs_) {
+            SIMDB_ASSIGN_OR_RETURN(Value v, e->Eval(extended));
+            extended.push_back(std::move(v));
+          }
+          rows.push_back(std::move(extended));
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<PartitionedRows> ProjectOp::Execute(
+    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+    OpStats* stats) {
+  SIMDB_RETURN_IF_ERROR(ExpectOneInput(inputs, "PROJECT"));
+  const PartitionedRows& in = *inputs[0];
+  PartitionedRows out(in.size());
+  SIMDB_RETURN_IF_ERROR(RunPerPartition(
+      ctx, static_cast<int>(in.size()), stats, [&](int p) -> Status {
+        Rows& rows = out[static_cast<size_t>(p)];
+        rows.reserve(in[static_cast<size_t>(p)].size());
+        for (const Tuple& row : in[static_cast<size_t>(p)]) {
+          Tuple projected;
+          projected.reserve(keep_.size());
+          for (int k : keep_) {
+            if (k < 0 || static_cast<size_t>(k) >= row.size()) {
+              return Status::Internal("PROJECT column out of range");
+            }
+            projected.push_back(row[static_cast<size_t>(k)]);
+          }
+          rows.push_back(std::move(projected));
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<PartitionedRows> SortOp::Execute(
+    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+    OpStats* stats) {
+  SIMDB_RETURN_IF_ERROR(ExpectOneInput(inputs, "SORT"));
+  PartitionedRows out = *inputs[0];  // copy, then sort in place
+  SIMDB_RETURN_IF_ERROR(RunPerPartition(
+      ctx, static_cast<int>(out.size()), stats, [&](int p) -> Status {
+        Rows& rows = out[static_cast<size_t>(p)];
+        std::stable_sort(rows.begin(), rows.end(),
+                         [this](const Tuple& a, const Tuple& b) {
+                           for (const SortKey& k : keys_) {
+                             int c = Value::Compare(
+                                 a[static_cast<size_t>(k.column)],
+                                 b[static_cast<size_t>(k.column)]);
+                             if (c != 0) return k.ascending ? c < 0 : c > 0;
+                           }
+                           return false;
+                         });
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<PartitionedRows> UnnestOp::Execute(
+    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+    OpStats* stats) {
+  SIMDB_RETURN_IF_ERROR(ExpectOneInput(inputs, "UNNEST"));
+  const PartitionedRows& in = *inputs[0];
+  PartitionedRows out(in.size());
+  SIMDB_RETURN_IF_ERROR(RunPerPartition(
+      ctx, static_cast<int>(in.size()), stats, [&](int p) -> Status {
+        Rows& rows = out[static_cast<size_t>(p)];
+        for (const Tuple& row : in[static_cast<size_t>(p)]) {
+          SIMDB_ASSIGN_OR_RETURN(Value list, list_expr_->Eval(row));
+          if (list.is_missing() || list.is_null()) continue;
+          if (!list.is_list()) {
+            return Status::TypeError("UNNEST expects a list, got " +
+                                     std::string(adm::ValueTypeToString(
+                                         list.type())));
+          }
+          int64_t pos = 1;
+          for (const Value& item : list.AsList()) {
+            Tuple extended = row;
+            extended.push_back(item);
+            if (with_position_) extended.push_back(Value::Int64(pos));
+            rows.push_back(std::move(extended));
+            ++pos;
+          }
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<PartitionedRows> UnionAllOp::Execute(
+    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+    OpStats* stats) {
+  if (inputs.empty()) return Status::Internal("UNION-ALL needs inputs");
+  size_t parts = inputs[0]->size();
+  PartitionedRows out(parts);
+  SIMDB_RETURN_IF_ERROR(RunPerPartition(
+      ctx, static_cast<int>(parts), stats, [&](int p) -> Status {
+        for (const PartitionedRows* in : inputs) {
+          if (in->size() != parts) {
+            return Status::Internal("UNION-ALL partition mismatch");
+          }
+          const Rows& rows = (*in)[static_cast<size_t>(p)];
+          out[static_cast<size_t>(p)].insert(out[static_cast<size_t>(p)].end(),
+                                             rows.begin(), rows.end());
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<PartitionedRows> RankAssignOp::Execute(
+    ExecContext&, const std::vector<const PartitionedRows*>& inputs,
+    OpStats*) {
+  if (inputs.size() != 1) return Status::Internal("RANK-ASSIGN input");
+  const PartitionedRows& in = *inputs[0];
+  for (size_t p = 1; p < in.size(); ++p) {
+    if (!in[p].empty()) {
+      return Status::Internal(
+          "RANK-ASSIGN requires a gathered (single-partition) input");
+    }
+  }
+  PartitionedRows out(in.size());
+  int64_t rank = start_;
+  if (!in.empty()) {
+    out[0].reserve(in[0].size());
+    for (const Tuple& row : in[0]) {
+      Tuple extended = row;
+      extended.push_back(Value::Int64(rank++));
+      out[0].push_back(std::move(extended));
+    }
+  }
+  return out;
+}
+
+Result<PartitionedRows> LimitOp::Execute(
+    ExecContext&, const std::vector<const PartitionedRows*>& inputs,
+    OpStats*) {
+  if (inputs.size() != 1) return Status::Internal("LIMIT input");
+  const PartitionedRows& in = *inputs[0];
+  PartitionedRows out(in.size());
+  int64_t remaining = limit_;
+  for (size_t p = 0; p < in.size() && remaining > 0; ++p) {
+    for (const Tuple& row : in[p]) {
+      if (remaining-- <= 0) break;
+      out[p].push_back(row);
+    }
+  }
+  return out;
+}
+
+}  // namespace simdb::hyracks

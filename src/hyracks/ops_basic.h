@@ -1,0 +1,135 @@
+#ifndef SIMDB_HYRACKS_OPS_BASIC_H_
+#define SIMDB_HYRACKS_OPS_BASIC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hyracks/exec.h"
+#include "hyracks/expr.h"
+
+namespace simdb::hyracks {
+
+/// Filters rows where `predicate` evaluates to boolean true.
+class SelectOp : public Operator {
+ public:
+  explicit SelectOp(ExprPtr predicate) : predicate_(std::move(predicate)) {}
+  std::string name() const override {
+    return "SELECT(" + predicate_->ToString() + ")";
+  }
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+
+ private:
+  ExprPtr predicate_;
+};
+
+/// Appends one computed column per expression to each row.
+class AssignOp : public Operator {
+ public:
+  AssignOp(std::vector<ExprPtr> exprs, std::vector<std::string> names)
+      : exprs_(std::move(exprs)), names_(std::move(names)) {}
+  std::string name() const override;
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+
+ private:
+  std::vector<ExprPtr> exprs_;
+  std::vector<std::string> names_;
+};
+
+/// Keeps only the listed column positions, in the given order.
+class ProjectOp : public Operator {
+ public:
+  explicit ProjectOp(std::vector<int> keep) : keep_(std::move(keep)) {}
+  std::string name() const override { return "PROJECT"; }
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+
+ private:
+  std::vector<int> keep_;
+};
+
+struct SortKey {
+  int column;
+  bool ascending = true;
+};
+
+/// Per-partition sort. Combine with MergeGatherOp for a global order.
+class SortOp : public Operator {
+ public:
+  explicit SortOp(std::vector<SortKey> keys) : keys_(std::move(keys)) {}
+  std::string name() const override { return "SORT"; }
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+
+ private:
+  std::vector<SortKey> keys_;
+};
+
+/// Expands a list-valued expression: one output row per element, keeping the
+/// input columns and appending the element (and its 1-based position when
+/// `with_position`, supporting AQL's `for $x at $i in ...`).
+class UnnestOp : public Operator {
+ public:
+  UnnestOp(ExprPtr list_expr, bool with_position)
+      : list_expr_(std::move(list_expr)), with_position_(with_position) {}
+  std::string name() const override {
+    return "UNNEST(" + list_expr_->ToString() + ")";
+  }
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+
+ private:
+  ExprPtr list_expr_;
+  bool with_position_;
+};
+
+/// Concatenates any number of inputs partition-wise (UNION ALL).
+class UnionAllOp : public Operator {
+ public:
+  std::string name() const override { return "UNION-ALL"; }
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+};
+
+/// Appends an int64 rank column start, start+1, ... in row order. Input must
+/// already be gathered into partition 0 (used to materialize the global token
+/// order of the three-stage join's stage 1; AQL's `at $i` is 1-based).
+class RankAssignOp : public Operator {
+ public:
+  explicit RankAssignOp(int64_t start = 0) : start_(start) {}
+  std::string name() const override { return "RANK-ASSIGN"; }
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+
+ private:
+  int64_t start_;
+};
+
+/// Caps the total number of output rows (first `limit` rows by partition
+/// order; apply after a gather for deterministic results).
+class LimitOp : public Operator {
+ public:
+  explicit LimitOp(int64_t limit) : limit_(limit) {}
+  std::string name() const override {
+    return "LIMIT(" + std::to_string(limit_) + ")";
+  }
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+
+ private:
+  int64_t limit_;
+};
+
+}  // namespace simdb::hyracks
+
+#endif  // SIMDB_HYRACKS_OPS_BASIC_H_

@@ -1,0 +1,133 @@
+#include "hyracks/ops_exchange.h"
+
+#include <algorithm>
+
+namespace simdb::hyracks {
+
+using adm::Value;
+
+namespace {
+
+uint64_t HashKeys(const Tuple& row, const std::vector<int>& key_columns) {
+  uint64_t h = 0x5150;
+  for (int c : key_columns) {
+    uint64_t v = row[static_cast<size_t>(c)].Hash();
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+/// Accounts one tuple moving src->dst for the network model.
+void AccountMove(const ExecContext& ctx, OpStats* stats, int src, int dst,
+                 const Tuple& row) {
+  if (stats == nullptr) return;
+  uint64_t bytes = TupleBytes(row);
+  if (ctx.topology.NodeOfPartition(src) == ctx.topology.NodeOfPartition(dst)) {
+    stats->local_bytes += bytes;
+  } else {
+    stats->remote_bytes += bytes;
+    ++stats->remote_transfers;
+  }
+}
+
+}  // namespace
+
+Result<PartitionedRows> HashExchangeOp::Execute(
+    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+    OpStats* stats) {
+  if (inputs.size() != 1) return Status::Internal("HASH-EXCHANGE input");
+  const PartitionedRows& in = *inputs[0];
+  size_t parts = in.size();
+  PartitionedRows out(parts);
+  for (size_t src = 0; src < parts; ++src) {
+    for (const Tuple& row : in[src]) {
+      for (int c : key_columns_) {
+        if (c < 0 || static_cast<size_t>(c) >= row.size()) {
+          return Status::Internal("HASH-EXCHANGE key column out of range");
+        }
+      }
+      size_t dst = HashKeys(row, key_columns_) % parts;
+      AccountMove(ctx, stats, static_cast<int>(src), static_cast<int>(dst),
+                  row);
+      out[dst].push_back(row);
+    }
+  }
+  return out;
+}
+
+Result<PartitionedRows> BroadcastExchangeOp::Execute(
+    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+    OpStats* stats) {
+  if (inputs.size() != 1) return Status::Internal("BROADCAST input");
+  const PartitionedRows& in = *inputs[0];
+  size_t parts = in.size();
+  PartitionedRows out(parts);
+  for (size_t src = 0; src < parts; ++src) {
+    for (const Tuple& row : in[src]) {
+      for (size_t dst = 0; dst < parts; ++dst) {
+        AccountMove(ctx, stats, static_cast<int>(src), static_cast<int>(dst),
+                    row);
+        out[dst].push_back(row);
+      }
+    }
+  }
+  return out;
+}
+
+Result<PartitionedRows> GatherOp::Execute(
+    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+    OpStats* stats) {
+  if (inputs.size() != 1) return Status::Internal("GATHER input");
+  const PartitionedRows& in = *inputs[0];
+  PartitionedRows out(in.size());
+  for (size_t src = 0; src < in.size(); ++src) {
+    for (const Tuple& row : in[src]) {
+      AccountMove(ctx, stats, static_cast<int>(src), 0, row);
+      out[0].push_back(row);
+    }
+  }
+  return out;
+}
+
+Result<PartitionedRows> MergeGatherOp::Execute(
+    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+    OpStats* stats) {
+  if (inputs.size() != 1) return Status::Internal("MERGE-GATHER input");
+  const PartitionedRows& in = *inputs[0];
+  PartitionedRows out(in.size());
+  // Account traffic.
+  for (size_t src = 0; src < in.size(); ++src) {
+    for (const Tuple& row : in[src]) {
+      AccountMove(ctx, stats, static_cast<int>(src), 0, row);
+    }
+  }
+  // K-way merge of the sorted partitions.
+  auto less = [this](const Tuple& a, const Tuple& b) {
+    for (const SortKey& k : keys_) {
+      int c = Value::Compare(a[static_cast<size_t>(k.column)],
+                             b[static_cast<size_t>(k.column)]);
+      if (c != 0) return k.ascending ? c < 0 : c > 0;
+    }
+    return false;
+  };
+  std::vector<size_t> pos(in.size(), 0);
+  size_t total = 0;
+  for (const Rows& rows : in) total += rows.size();
+  out[0].reserve(total);
+  for (;;) {
+    int best = -1;
+    for (size_t p = 0; p < in.size(); ++p) {
+      if (pos[p] >= in[p].size()) continue;
+      if (best < 0 || less(in[p][pos[p]], in[static_cast<size_t>(best)]
+                                            [pos[static_cast<size_t>(best)]])) {
+        best = static_cast<int>(p);
+      }
+    }
+    if (best < 0) break;
+    out[0].push_back(in[static_cast<size_t>(best)][pos[static_cast<size_t>(best)]]);
+    ++pos[static_cast<size_t>(best)];
+  }
+  return out;
+}
+
+}  // namespace simdb::hyracks

@@ -1,0 +1,62 @@
+#ifndef SIMDB_HYRACKS_OPS_EXCHANGE_H_
+#define SIMDB_HYRACKS_OPS_EXCHANGE_H_
+
+#include <string>
+#include <vector>
+
+#include "hyracks/exec.h"
+#include "hyracks/ops_basic.h"
+
+namespace simdb::hyracks {
+
+/// Repartitions rows by the hash of the listed key columns. Tuples with
+/// equal keys land on the same partition ("Hash repartition" in the paper's
+/// plan diagrams). Traffic crossing node boundaries is accounted.
+class HashExchangeOp : public Operator {
+ public:
+  explicit HashExchangeOp(std::vector<int> key_columns)
+      : key_columns_(std::move(key_columns)) {}
+  std::string name() const override { return "HASH-EXCHANGE"; }
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+
+ private:
+  std::vector<int> key_columns_;
+};
+
+/// Replicates every row to every partition ("Broadcast to all nodes").
+class BroadcastExchangeOp : public Operator {
+ public:
+  std::string name() const override { return "BROADCAST-EXCHANGE"; }
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+};
+
+/// Collects all rows into partition 0 (the coordinator).
+class GatherOp : public Operator {
+ public:
+  std::string name() const override { return "GATHER"; }
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+};
+
+/// Collects into partition 0 while merging partitions that are already
+/// sorted on `keys` ("Hash repartition merge" / sort-merge gather).
+class MergeGatherOp : public Operator {
+ public:
+  explicit MergeGatherOp(std::vector<SortKey> keys) : keys_(std::move(keys)) {}
+  std::string name() const override { return "MERGE-GATHER"; }
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+
+ private:
+  std::vector<SortKey> keys_;
+};
+
+}  // namespace simdb::hyracks
+
+#endif  // SIMDB_HYRACKS_OPS_EXCHANGE_H_

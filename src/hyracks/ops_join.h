@@ -1,0 +1,54 @@
+#ifndef SIMDB_HYRACKS_OPS_JOIN_H_
+#define SIMDB_HYRACKS_OPS_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "hyracks/exec.h"
+#include "hyracks/expr.h"
+
+namespace simdb::hyracks {
+
+/// Local per-partition equi hash join. Inputs must already be co-partitioned
+/// on the join keys (via HashExchange) or one side broadcast. Output tuples
+/// are left columns followed by right columns. `residual` (over the combined
+/// tuple) filters matches when set; MISSING/NULL keys never match.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(std::vector<int> left_keys, std::vector<int> right_keys,
+             ExprPtr residual = nullptr)
+      : left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)),
+        residual_(std::move(residual)) {}
+  std::string name() const override { return "HASH-JOIN"; }
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+
+ private:
+  std::vector<int> left_keys_;
+  std::vector<int> right_keys_;
+  ExprPtr residual_;
+};
+
+/// Local per-partition nested-loop theta join: emits left×right pairs where
+/// `predicate` (over the combined tuple) holds. Broadcast one side first for
+/// a parallel NL join.
+class NestedLoopJoinOp : public Operator {
+ public:
+  explicit NestedLoopJoinOp(ExprPtr predicate)
+      : predicate_(std::move(predicate)) {}
+  std::string name() const override {
+    return "NL-JOIN(" + predicate_->ToString() + ")";
+  }
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+
+ private:
+  ExprPtr predicate_;
+};
+
+}  // namespace simdb::hyracks
+
+#endif  // SIMDB_HYRACKS_OPS_JOIN_H_

@@ -1,0 +1,64 @@
+#ifndef SIMDB_HYRACKS_OPS_SCAN_H_
+#define SIMDB_HYRACKS_OPS_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "hyracks/exec.h"
+#include "hyracks/expr.h"
+
+namespace simdb::hyracks {
+
+/// Scans a dataset's primary index; partition p of the output holds the
+/// records of dataset partition p (one record-object column). The dataset's
+/// partition count must equal the cluster's total partition count
+/// (co-location, as in AsterixDB).
+class DataScanOp : public Operator {
+ public:
+  explicit DataScanOp(std::string dataset) : dataset_(std::move(dataset)) {}
+  std::string name() const override { return "DATA-SCAN(" + dataset_ + ")"; }
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+
+ private:
+  std::string dataset_;
+};
+
+/// Emits fixed rows into partition 0 (used for constant search keys, which
+/// the coordinator then broadcasts — paper Figure 6 step 1).
+class ConstantSourceOp : public Operator {
+ public:
+  explicit ConstantSourceOp(Rows rows) : rows_(std::move(rows)) {}
+  std::string name() const override { return "CONSTANT-SOURCE"; }
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+
+ private:
+  Rows rows_;
+};
+
+/// Looks up each input row's pk (int64 column `pk_column`) in the local
+/// partition of the dataset's primary index and appends the record object.
+/// Rows whose pk does not exist locally are dropped — by construction the
+/// upstream secondary-index search produced pks of the same partition.
+class PrimaryLookupOp : public Operator {
+ public:
+  PrimaryLookupOp(std::string dataset, int pk_column)
+      : dataset_(std::move(dataset)), pk_column_(pk_column) {}
+  std::string name() const override {
+    return "PRIMARY-LOOKUP(" + dataset_ + ")";
+  }
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) override;
+
+ private:
+  std::string dataset_;
+  int pk_column_;
+};
+
+}  // namespace simdb::hyracks
+
+#endif  // SIMDB_HYRACKS_OPS_SCAN_H_

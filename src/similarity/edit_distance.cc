@@ -1,0 +1,29 @@
+#include "similarity/edit_distance.h"
+
+#include "similarity/tokenizer.h"
+
+namespace simdb::similarity {
+
+int EditDistance(std::string_view a, std::string_view b) {
+  return internal::EditDistanceImpl(a, b);
+}
+
+int EditDistance(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+  return internal::EditDistanceImpl(a, b);
+}
+
+int EditDistanceCheck(std::string_view a, std::string_view b, int k) {
+  return internal::EditDistanceCheckImpl(a, b, k);
+}
+
+int EditDistanceCheck(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b, int k) {
+  return internal::EditDistanceCheckImpl(a, b, k);
+}
+
+int EditDistanceTOccurrence(int query_len, int gram_len, int k) {
+  return GramCount(query_len, gram_len) - k * gram_len;
+}
+
+}  // namespace simdb::similarity

@@ -1,0 +1,89 @@
+#ifndef SIMDB_SIMILARITY_EDIT_DISTANCE_H_
+#define SIMDB_SIMILARITY_EDIT_DISTANCE_H_
+
+#include <algorithm>
+#include <climits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simdb::similarity {
+
+namespace internal {
+
+/// Full O(|a|·|b|) Levenshtein DP over any indexable sequences with
+/// equality-comparable elements.
+template <typename SeqA, typename SeqB>
+int EditDistanceImpl(const SeqA& a, const SeqB& b) {
+  size_t n = a.size(), m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+/// Banded (Ukkonen) verification: returns the edit distance if it is <= k,
+/// otherwise -1, in O(k·min(|a|,|b|)) time with early termination when every
+/// cell in the band exceeds k. This is the `edit-distance-check` fast path
+/// used by verification after T-occurrence candidate generation.
+template <typename SeqA, typename SeqB>
+int EditDistanceCheckImpl(const SeqA& a, const SeqB& b, int k) {
+  if (k < 0) return -1;
+  int n = static_cast<int>(a.size()), m = static_cast<int>(b.size());
+  if (std::abs(n - m) > k) return -1;  // length filter
+  if (n == 0) return m <= k ? m : -1;
+  if (m == 0) return n <= k ? n : -1;
+  const int kInf = INT_MAX / 2;
+  std::vector<int> prev(m + 1, kInf), cur(m + 1, kInf);
+  for (int j = 0; j <= std::min(m, k); ++j) prev[j] = j;
+  for (int i = 1; i <= n; ++i) {
+    int lo = std::max(1, i - k), hi = std::min(m, i + k);
+    std::fill(cur.begin(), cur.end(), kInf);
+    if (i <= k) cur[0] = i;
+    bool any_within = false;
+    for (int j = lo; j <= hi; ++j) {
+      int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      int del = prev[j] + 1;
+      int ins = cur[j - 1] + 1;
+      cur[j] = std::min({sub, del, ins});
+      if (cur[j] <= k) any_within = true;
+    }
+    if (!any_within && !(i <= k && cur[0] <= k)) return -1;  // early exit
+    std::swap(prev, cur);
+  }
+  return prev[m] <= k ? prev[m] : -1;
+}
+
+}  // namespace internal
+
+/// Exact edit (Levenshtein) distance between two strings.
+int EditDistance(std::string_view a, std::string_view b);
+
+/// Exact edit distance between two ordered lists of strings (the paper's
+/// generalization of edit distance to ordered lists).
+int EditDistance(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b);
+
+/// Returns the edit distance if it is <= k, else -1 (early-terminating).
+int EditDistanceCheck(std::string_view a, std::string_view b, int k);
+int EditDistanceCheck(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b, int k);
+
+/// T-occurrence lower bound for edit distance with q-grams: a string within
+/// edit distance k of q must share at least T = |G(q)| - k*n grams. T <= 0 is
+/// the corner case: the index cannot prune and a scan is required (paper
+/// Sections 2.2 and 5.1.1).
+int EditDistanceTOccurrence(int query_len, int gram_len, int k);
+
+}  // namespace simdb::similarity
+
+#endif  // SIMDB_SIMILARITY_EDIT_DISTANCE_H_

@@ -1,0 +1,32 @@
+#include "similarity/index_compat.h"
+
+namespace simdb::similarity {
+
+std::string_view IndexKindToString(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kBtree:
+      return "btree";
+    case IndexKind::kNGram:
+      return "ngram";
+    case IndexKind::kKeyword:
+      return "keyword";
+  }
+  return "?";
+}
+
+bool IsIndexCompatible(IndexKind kind, std::string_view function_name) {
+  switch (kind) {
+    case IndexKind::kNGram:
+      return function_name == "edit-distance" ||
+             function_name == "edit-distance-check" ||
+             function_name == "contains";
+    case IndexKind::kKeyword:
+      return function_name == "similarity-jaccard" ||
+             function_name == "similarity-jaccard-check";
+    case IndexKind::kBtree:
+      return function_name == "eq";
+  }
+  return false;
+}
+
+}  // namespace simdb::similarity

@@ -1,0 +1,25 @@
+#ifndef SIMDB_SIMILARITY_INDEX_COMPAT_H_
+#define SIMDB_SIMILARITY_INDEX_COMPAT_H_
+
+#include <string_view>
+
+namespace simdb::similarity {
+
+/// Secondary-index kinds supported by the storage layer.
+enum class IndexKind {
+  kBtree,    // exact-match / range secondary index
+  kNGram,    // n-gram inverted index (edit distance, contains)
+  kKeyword,  // keyword inverted index (Jaccard on token sets)
+};
+
+std::string_view IndexKindToString(IndexKind kind);
+
+/// The index-to-function compatibility table from the paper (Figure 13):
+///   n-gram  -> edit-distance(), edit-distance-check(), contains()
+///   keyword -> similarity-jaccard(), similarity-jaccard-check()
+///   btree   -> exact equality only
+bool IsIndexCompatible(IndexKind kind, std::string_view function_name);
+
+}  // namespace simdb::similarity
+
+#endif  // SIMDB_SIMILARITY_INDEX_COMPAT_H_

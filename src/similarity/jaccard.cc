@@ -1,0 +1,130 @@
+#include "similarity/jaccard.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simdb::similarity {
+
+double JaccardSorted(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b) {
+  // 0/0 is defined as 0 so that empty fields never match (keeps scan-based,
+  // index-based, and three-stage plans consistent with each other).
+  if (a.empty() && b.empty()) return 0.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    int c = a[i].compare(b[j]);
+    if (c == 0) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (c < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double Jaccard(std::vector<std::string> a, std::vector<std::string> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return JaccardSorted(a, b);
+}
+
+double JaccardCheckSorted(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b, double delta) {
+  if (a.empty() && b.empty()) return 0.0 >= delta ? 0.0 : -1.0;
+  size_t la = a.size(), lb = b.size();
+  // Length filter: Jaccard <= min/max.
+  double min_len = static_cast<double>(std::min(la, lb));
+  double max_len = static_cast<double>(std::max(la, lb));
+  if (max_len > 0 && min_len / max_len < delta) return -1.0;
+
+  size_t i = 0, j = 0, inter = 0;
+  while (i < la && j < lb) {
+    // Early termination: even if every remaining element matched, the best
+    // achievable intersection is inter + remaining_min.
+    size_t remaining = std::min(la - i, lb - j);
+    size_t best_inter = inter + remaining;
+    double best_jacc = static_cast<double>(best_inter) /
+                       static_cast<double>(la + lb - best_inter);
+    if (best_jacc < delta) return -1.0;
+    int c = a[i].compare(b[j]);
+    if (c == 0) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (c < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  double jacc = static_cast<double>(inter) /
+                static_cast<double>(la + lb - inter);
+  return jacc >= delta ? jacc : -1.0;
+}
+
+int PrefixLenJaccard(int len, double delta) {
+  if (len <= 0) return 0;
+  int keep = static_cast<int>(std::ceil(delta * len));
+  int prefix = len - keep + 1;
+  if (prefix < 0) prefix = 0;
+  if (prefix > len) prefix = len;
+  return prefix;
+}
+
+int JaccardTOccurrence(int query_len, double delta) {
+  int t = static_cast<int>(std::ceil(delta * query_len));
+  return t < 1 ? 1 : t;
+}
+
+int JaccardMinLength(int len, double delta) {
+  return static_cast<int>(std::ceil(delta * len));
+}
+
+int JaccardMaxLength(int len, double delta) {
+  if (delta <= 0) return 1 << 30;
+  return static_cast<int>(std::floor(len / delta));
+}
+
+namespace {
+
+size_t SortedIntersection(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    int c = a[i].compare(b[j]);
+    if (c == 0) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (c < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return inter;
+}
+
+}  // namespace
+
+double DiceSorted(const std::vector<std::string>& a,
+                  const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  return 2.0 * static_cast<double>(SortedIntersection(a, b)) /
+         static_cast<double>(a.size() + b.size());
+}
+
+double CosineSorted(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  return static_cast<double>(SortedIntersection(a, b)) /
+         std::sqrt(static_cast<double>(a.size()) *
+                   static_cast<double>(b.size()));
+}
+
+}  // namespace simdb::similarity

@@ -1,0 +1,55 @@
+#ifndef SIMDB_SIMILARITY_JACCARD_H_
+#define SIMDB_SIMILARITY_JACCARD_H_
+
+#include <string>
+#include <vector>
+
+namespace simdb::similarity {
+
+/// Exact multiset Jaccard |r ∩ s| / |r ∪ s| over two token multisets given as
+/// *sorted* vectors. Duplicate tokens intersect up to min(count_r, count_s)
+/// and union up to max(count_r, count_s). Returns 1.0 when both are empty.
+double JaccardSorted(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b);
+
+/// Convenience wrapper that sorts copies of the inputs first.
+double Jaccard(std::vector<std::string> a, std::vector<std::string> b);
+
+/// Early-terminating verifier: returns the Jaccard value if it is >= delta,
+/// else -1. Applies the length filter (|a| and |b| must satisfy
+/// delta <= min/max) and aborts the merge as soon as the remaining elements
+/// cannot reach the threshold (the paper's `similarity-jaccard-check`).
+/// Inputs must be sorted.
+double JaccardCheckSorted(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b, double delta);
+
+/// Prefix length for Jaccard threshold `delta` over a set of size `len`:
+/// two sets r, s with Jaccard(r,s) >= delta must share at least one token in
+/// the first (len - ceil(delta*len) + 1) tokens of their global ordering
+/// (the paper's `prefix-len-jaccard()` builtin).
+int PrefixLenJaccard(int len, double delta);
+
+/// T-occurrence lower bound for an index lookup with query token-set size
+/// `query_len`: any answer shares at least ceil(delta * query_len) tokens
+/// with the query. Always >= 1 for delta > 0, so Jaccard has no corner case
+/// (paper Section 5.1.1).
+int JaccardTOccurrence(int query_len, double delta);
+
+/// Length filter bounds: a set s can only satisfy Jaccard(r, s) >= delta if
+/// |s| is within [ceil(delta*|r|), floor(|r|/delta)].
+int JaccardMinLength(int len, double delta);
+int JaccardMaxLength(int len, double delta);
+
+/// Dice coefficient 2|r ∩ s| / (|r| + |s|) over sorted token multisets (the
+/// paper lists dice and cosine as the other common set-similarity measures).
+/// Both-empty inputs yield 0, consistent with Jaccard.
+double DiceSorted(const std::vector<std::string>& a,
+                  const std::vector<std::string>& b);
+
+/// Cosine similarity |r ∩ s| / sqrt(|r|·|s|) over sorted token multisets.
+double CosineSorted(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b);
+
+}  // namespace simdb::similarity
+
+#endif  // SIMDB_SIMILARITY_JACCARD_H_

@@ -1,0 +1,65 @@
+#ifndef SIMDB_SIMILARITY_SIMILARITY_FUNCTION_H_
+#define SIMDB_SIMILARITY_SIMILARITY_FUNCTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/result.h"
+
+namespace simdb::similarity {
+
+/// How a similarity function's threshold is interpreted in a predicate:
+/// similarity measures match when sim >= threshold, distance measures match
+/// when dist <= threshold.
+enum class ThresholdSense { kSimilarityAtLeast, kDistanceAtMost };
+
+/// Metadata + evaluator for one similarity measure. System-provided measures
+/// (edit-distance, similarity-jaccard) are pre-registered; users can register
+/// their own (the paper's UDF path) via SimilarityFunctionRegistry::Register.
+struct SimilarityFunction {
+  std::string name;
+  ThresholdSense sense = ThresholdSense::kSimilarityAtLeast;
+  /// Computes the raw similarity/distance value for two operands.
+  std::function<Result<adm::Value>(const adm::Value&, const adm::Value&)> eval;
+  /// Optimized predicate check with early termination; returns whether the
+  /// pair satisfies the threshold. Falls back to eval when unset.
+  std::function<Result<bool>(const adm::Value&, const adm::Value&, double)>
+      check;
+};
+
+/// Process-wide registry of similarity measures, consulted by the expression
+/// library, the `~=` sugar rewrite, and the optimizer rules.
+class SimilarityFunctionRegistry {
+ public:
+  static SimilarityFunctionRegistry& Global();
+
+  /// Registers (or replaces) a measure under `fn.name`.
+  void Register(SimilarityFunction fn);
+
+  /// Looks up by exact function name ("edit-distance", "similarity-jaccard",
+  /// or a registered UDF name); nullptr when unknown.
+  const SimilarityFunction* Find(std::string_view name) const;
+
+  /// Resolves the `set simfunction '<alias>'` aliases used with `~=`:
+  /// "jaccard" -> similarity-jaccard, "edit-distance"/"ed" -> edit-distance.
+  const SimilarityFunction* FindByAlias(std::string_view alias) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  SimilarityFunctionRegistry();
+
+  std::vector<std::unique_ptr<SimilarityFunction>> functions_;
+};
+
+/// Extracts a string-token vector from a list Value (elements must be
+/// strings). Used by both evaluators and the inverted-index search path.
+Result<std::vector<std::string>> ValueToTokens(const adm::Value& v);
+
+}  // namespace simdb::similarity
+
+#endif  // SIMDB_SIMILARITY_SIMILARITY_FUNCTION_H_

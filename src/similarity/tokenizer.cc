@@ -1,0 +1,66 @@
+#include "similarity/tokenizer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace simdb::similarity {
+
+std::vector<std::string> WordTokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> GramTokens(std::string_view text, int n,
+                                    bool pre_post_pad) {
+  std::vector<std::string> grams;
+  if (n <= 0) return grams;
+  std::string padded;
+  std::string_view s = text;
+  if (pre_post_pad) {
+    padded.reserve(text.size() + 2 * (n - 1));
+    padded.append(static_cast<size_t>(n - 1), '#');
+    padded.append(text);
+    padded.append(static_cast<size_t>(n - 1), '$');
+    s = padded;
+  }
+  if (s.size() < static_cast<size_t>(n)) return grams;
+  grams.reserve(s.size() - n + 1);
+  for (size_t i = 0; i + n <= s.size(); ++i) {
+    grams.emplace_back(s.substr(i, n));
+  }
+  return grams;
+}
+
+int GramCount(int len, int n) {
+  int g = len - n + 1;
+  return g > 0 ? g : 0;
+}
+
+std::vector<std::string> DedupOccurrences(
+    const std::vector<std::string>& tokens) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  std::unordered_map<std::string, int> seen;
+  for (const std::string& t : tokens) {
+    int count = seen[t]++;
+    if (count == 0) {
+      out.push_back(t);
+    } else {
+      out.push_back(t + "#" + std::to_string(count));
+    }
+  }
+  return out;
+}
+
+}  // namespace simdb::similarity

@@ -1,0 +1,33 @@
+#ifndef SIMDB_SIMILARITY_TOKENIZER_H_
+#define SIMDB_SIMILARITY_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simdb::similarity {
+
+/// Splits `text` into lowercase word tokens on non-alphanumeric boundaries.
+/// This is the `word-tokens()` builtin used for Jaccard queries.
+std::vector<std::string> WordTokens(std::string_view text);
+
+/// Extracts the n-grams of `text` (length-n substrings). When `pre_post_pad`
+/// is set, the string is padded with (n-1) leading '#' and trailing '$'
+/// characters, as in AsterixDB's gram-tokens(). Without padding a string
+/// shorter than n yields no grams.
+std::vector<std::string> GramTokens(std::string_view text, int n,
+                                    bool pre_post_pad = false);
+
+/// Number of grams a string of length `len` produces (without padding):
+/// max(len - n + 1, 0).
+int GramCount(int len, int n);
+
+/// Deduplicates a token multiset into set form by tagging the i-th duplicate
+/// occurrence of a token with a suffix marker ("tok", "tok#1", "tok#2", ...).
+/// The three-stage join (Vernica et al.) requires set semantics; this mapping
+/// preserves multiset Jaccard exactly because matching occurrences pair up.
+std::vector<std::string> DedupOccurrences(const std::vector<std::string>& tokens);
+
+}  // namespace simdb::similarity
+
+#endif  // SIMDB_SIMILARITY_TOKENIZER_H_

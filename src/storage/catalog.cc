@@ -1,0 +1,32 @@
+#include "storage/catalog.h"
+
+#include "storage/file_util.h"
+
+namespace simdb::storage {
+
+Result<Dataset*> Catalog::CreateDataset(DatasetSpec spec) {
+  if (datasets_.count(spec.name) > 0) {
+    return Status::AlreadyExists("dataset " + spec.name);
+  }
+  std::string name = spec.name;
+  SIMDB_ASSIGN_OR_RETURN(
+      auto dataset,
+      Dataset::Create(root_dir_ + "/" + name, std::move(spec), options_));
+  Dataset* ptr = dataset.get();
+  datasets_[name] = std::move(dataset);
+  return ptr;
+}
+
+Dataset* Catalog::Find(const std::string& name) const {
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second.get();
+}
+
+Status Catalog::DropDataset(const std::string& name) {
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) return Status::NotFound("dataset " + name);
+  datasets_.erase(it);
+  return RemoveAll(root_dir_ + "/" + name);
+}
+
+}  // namespace simdb::storage

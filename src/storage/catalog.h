@@ -1,0 +1,38 @@
+#ifndef SIMDB_STORAGE_CATALOG_H_
+#define SIMDB_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/dataset.h"
+
+namespace simdb::storage {
+
+/// Names the datasets of one engine instance (a "dataverse"). Owns the
+/// Dataset objects and their on-disk directories under `root_dir`.
+class Catalog {
+ public:
+  explicit Catalog(std::string root_dir, LsmOptions options = {})
+      : root_dir_(std::move(root_dir)), options_(options) {}
+
+  Result<Dataset*> CreateDataset(DatasetSpec spec);
+
+  /// nullptr when absent.
+  Dataset* Find(const std::string& name) const;
+
+  Status DropDataset(const std::string& name);
+
+  const std::string& root_dir() const { return root_dir_; }
+  const LsmOptions& options() const { return options_; }
+
+ private:
+  std::string root_dir_;
+  LsmOptions options_;
+  std::map<std::string, std::unique_ptr<Dataset>> datasets_;
+};
+
+}  // namespace simdb::storage
+
+#endif  // SIMDB_STORAGE_CATALOG_H_

@@ -1,0 +1,87 @@
+#include "storage/file_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace simdb::storage {
+
+namespace fs = std::filesystem;
+
+Status EnsureDir(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IOError("create_directories " + dir + ": " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveAll(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) return Status::IOError("remove_all " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) return Status::IOError("short write to " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IOError("rename " + tmp + ": " + ec.message());
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read error on " + path);
+  return data;
+}
+
+Result<uint64_t> FileSizeBytes(const std::string& path) {
+  std::error_code ec;
+  uint64_t size = fs::file_size(path, ec);
+  if (ec) return Status::IOError("file_size " + path + ": " + ec.message());
+  return size;
+}
+
+uint64_t DirSizeBytes(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return 0;
+  uint64_t total = 0;
+  for (auto it = fs::recursive_directory_iterator(dir, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file(ec)) {
+      total += it->file_size(ec);
+    }
+  }
+  return total;
+}
+
+Result<std::vector<std::string>> ListFiles(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (auto it = fs::directory_iterator(dir, ec);
+       !ec && it != fs::directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file(ec)) names.push_back(it->path().filename().string());
+  }
+  if (ec) return Status::IOError("list " + dir + ": " + ec.message());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool PathExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+}  // namespace simdb::storage

@@ -1,0 +1,36 @@
+#ifndef SIMDB_STORAGE_FILE_UTIL_H_
+#define SIMDB_STORAGE_FILE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace simdb::storage {
+
+/// Creates `dir` (and parents) if missing.
+Status EnsureDir(const std::string& dir);
+
+/// Removes a file or directory tree; missing paths are not an error.
+Status RemoveAll(const std::string& path);
+
+/// Writes `data` to `path` atomically (write temp + rename).
+Status WriteFileAtomic(const std::string& path, const std::string& data);
+
+Result<std::string> ReadFile(const std::string& path);
+
+Result<uint64_t> FileSizeBytes(const std::string& path);
+
+/// Total size of all regular files under `dir` (0 when missing).
+uint64_t DirSizeBytes(const std::string& dir);
+
+/// Lexicographically sorted names of regular files directly under `dir`.
+Result<std::vector<std::string>> ListFiles(const std::string& dir);
+
+bool PathExists(const std::string& path);
+
+}  // namespace simdb::storage
+
+#endif  // SIMDB_STORAGE_FILE_UTIL_H_

@@ -1,0 +1,47 @@
+#include "storage/index_tokens.h"
+
+#include "similarity/similarity_function.h"
+#include "similarity/tokenizer.h"
+
+namespace simdb::storage {
+
+using adm::Value;
+using similarity::IndexKind;
+
+Result<std::vector<std::string>> ExtractIndexTokens(const IndexSpec& spec,
+                                                    const Value& field_value) {
+  if (field_value.is_missing() || field_value.is_null()) {
+    return std::vector<std::string>();
+  }
+  switch (spec.kind) {
+    case IndexKind::kKeyword: {
+      std::vector<std::string> tokens;
+      if (field_value.is_string()) {
+        tokens = similarity::WordTokens(field_value.AsString());
+      } else if (field_value.is_list()) {
+        SIMDB_ASSIGN_OR_RETURN(tokens,
+                               similarity::ValueToTokens(field_value));
+      } else {
+        return Status::TypeError(
+            "keyword index requires a string or list field, got " +
+            std::string(adm::ValueTypeToString(field_value.type())));
+      }
+      return similarity::DedupOccurrences(tokens);
+    }
+    case IndexKind::kNGram: {
+      if (!field_value.is_string()) {
+        return Status::TypeError(
+            "ngram index requires a string field, got " +
+            std::string(adm::ValueTypeToString(field_value.type())));
+      }
+      std::vector<std::string> grams = similarity::GramTokens(
+          field_value.AsString(), spec.gram_len, spec.pre_post_pad);
+      return similarity::DedupOccurrences(grams);
+    }
+    case IndexKind::kBtree:
+      return Status::InvalidArgument("btree index has no token extraction");
+  }
+  return Status::Internal("unreachable index kind");
+}
+
+}  // namespace simdb::storage

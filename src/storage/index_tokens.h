@@ -1,0 +1,34 @@
+#ifndef SIMDB_STORAGE_INDEX_TOKENS_H_
+#define SIMDB_STORAGE_INDEX_TOKENS_H_
+
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/result.h"
+#include "similarity/index_compat.h"
+
+namespace simdb::storage {
+
+/// How one secondary index is configured. `gram_len` applies to n-gram
+/// indexes only (paper DDL: `create index nix on X(f) type ngram(2)`).
+struct IndexSpec {
+  std::string name;
+  std::string field;
+  similarity::IndexKind kind = similarity::IndexKind::kKeyword;
+  int gram_len = 2;
+  bool pre_post_pad = false;
+};
+
+/// Extracts the secondary keys an inverted index stores for one field value,
+/// occurrence-deduped so multiset semantics survive set processing:
+///  - keyword index on a string: lowercase word tokens;
+///  - keyword index on a list: its (string) elements;
+///  - n-gram index on a string: its n-grams.
+/// MISSING/NULL values yield no tokens (the record is simply not indexed).
+Result<std::vector<std::string>> ExtractIndexTokens(
+    const IndexSpec& spec, const adm::Value& field_value);
+
+}  // namespace simdb::storage
+
+#endif  // SIMDB_STORAGE_INDEX_TOKENS_H_

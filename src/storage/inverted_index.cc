@@ -1,0 +1,141 @@
+#include "storage/inverted_index.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace simdb::storage {
+
+using adm::Value;
+
+Result<std::unique_ptr<InvertedIndex>> InvertedIndex::Open(std::string dir,
+                                                           LsmOptions options) {
+  SIMDB_ASSIGN_OR_RETURN(auto lsm, LsmIndex::Open(std::move(dir), options));
+  return std::unique_ptr<InvertedIndex>(new InvertedIndex(std::move(lsm)));
+}
+
+namespace {
+
+CompositeKey PostingKey(const std::string& token, int64_t pk) {
+  return {Value::String(token), Value::Int64(pk)};
+}
+
+}  // namespace
+
+Status InvertedIndex::Insert(const std::vector<std::string>& tokens,
+                             int64_t pk) {
+  for (const std::string& t : tokens) {
+    SIMDB_RETURN_IF_ERROR(lsm_->Put(PostingKey(t, pk), ""));
+  }
+  return Status::OK();
+}
+
+Status InvertedIndex::Remove(const std::vector<std::string>& tokens,
+                             int64_t pk) {
+  for (const std::string& t : tokens) {
+    SIMDB_RETURN_IF_ERROR(lsm_->Delete(PostingKey(t, pk)));
+  }
+  return Status::OK();
+}
+
+Status InvertedIndex::BulkLoad(
+    std::vector<std::pair<std::string, int64_t>> postings) {
+  std::sort(postings.begin(), postings.end());
+  postings.erase(std::unique(postings.begin(), postings.end()),
+                 postings.end());
+  std::vector<std::pair<CompositeKey, std::string>> entries;
+  entries.reserve(postings.size());
+  for (const auto& [token, pk] : postings) {
+    entries.emplace_back(PostingKey(token, pk), "");
+  }
+  return lsm_->BulkLoadSorted(entries);
+}
+
+Result<std::vector<int64_t>> InvertedIndex::PostingList(
+    const std::string& token) const {
+  std::vector<int64_t> pks;
+  CompositeKey lower = {Value::String(token)};
+  SIMDB_ASSIGN_OR_RETURN(auto it, lsm_->NewIterator(&lower));
+  while (it->Valid()) {
+    const CompositeKey& key = it->key();
+    if (key.size() != 2 || !key[0].is_string() || key[0].AsString() != token) {
+      break;
+    }
+    pks.push_back(key[1].AsInt64());
+    SIMDB_RETURN_IF_ERROR(it->Next());
+  }
+  return pks;
+}
+
+Result<std::vector<int64_t>> InvertedIndex::SearchTOccurrence(
+    const std::vector<std::string>& query_tokens, int t,
+    TOccurrenceAlgorithm algorithm, InvertedSearchStats* stats) const {
+  if (t < 1) {
+    return Status::InvalidArgument(
+        "SearchTOccurrence requires t >= 1 (corner case must be handled by "
+        "the plan)");
+  }
+  // Ignore duplicate query tokens: occurrence-deduped inputs are unique by
+  // construction, but user-supplied token lists may not be.
+  std::vector<std::string> distinct;
+  {
+    std::unordered_set<std::string> seen;
+    distinct.reserve(query_tokens.size());
+    for (const std::string& q : query_tokens) {
+      if (seen.insert(q).second) distinct.push_back(q);
+    }
+  }
+  InvertedSearchStats local;
+  std::vector<int64_t> result;
+
+  if (algorithm == TOccurrenceAlgorithm::kScanCount) {
+    std::unordered_map<int64_t, int> counts;
+    for (const std::string& q : distinct) {
+      SIMDB_ASSIGN_OR_RETURN(std::vector<int64_t> list, PostingList(q));
+      ++local.lists_probed;
+      local.postings_read += list.size();
+      for (int64_t pk : list) ++counts[pk];
+    }
+    for (const auto& [pk, count] : counts) {
+      if (count >= t) result.push_back(pk);
+    }
+    std::sort(result.begin(), result.end());
+  } else {
+    // Heap merge over the sorted posting lists; a pk appearing in >= t lists
+    // produces a run of >= t equal heads.
+    std::vector<std::vector<int64_t>> lists;
+    lists.reserve(distinct.size());
+    for (const std::string& q : distinct) {
+      SIMDB_ASSIGN_OR_RETURN(std::vector<int64_t> list, PostingList(q));
+      ++local.lists_probed;
+      local.postings_read += list.size();
+      if (!list.empty()) lists.push_back(std::move(list));
+    }
+    using Head = std::pair<int64_t, size_t>;  // (pk, list id)
+    std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heap;
+    std::vector<size_t> pos(lists.size(), 0);
+    for (size_t i = 0; i < lists.size(); ++i) heap.push({lists[i][0], i});
+    while (!heap.empty()) {
+      int64_t pk = heap.top().first;
+      int count = 0;
+      while (!heap.empty() && heap.top().first == pk) {
+        auto [_, li] = heap.top();
+        heap.pop();
+        ++count;
+        if (++pos[li] < lists[li].size()) heap.push({lists[li][pos[li]], li});
+      }
+      if (count >= t) result.push_back(pk);
+    }
+  }
+
+  local.candidates = result.size();
+  if (stats != nullptr) {
+    stats->lists_probed += local.lists_probed;
+    stats->postings_read += local.postings_read;
+    stats->candidates += local.candidates;
+  }
+  return result;
+}
+
+}  // namespace simdb::storage

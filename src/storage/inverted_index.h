@@ -1,0 +1,70 @@
+#ifndef SIMDB_STORAGE_INVERTED_INDEX_H_
+#define SIMDB_STORAGE_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/lsm_index.h"
+
+namespace simdb::storage {
+
+/// Algorithm used to solve the T-occurrence problem over posting lists.
+enum class TOccurrenceAlgorithm {
+  kScanCount,  // hash-count every posting (robust default)
+  kHeapMerge,  // k-way merge of sorted lists counting equal runs
+};
+
+/// Counters describing one inverted-index search (reported by Table 6 and
+/// the kernel ablation benches).
+struct InvertedSearchStats {
+  uint64_t lists_probed = 0;
+  uint64_t postings_read = 0;
+  uint64_t candidates = 0;
+};
+
+/// A secondary inverted index on one field, stored as an LSM index with
+/// composite keys [token, pk]. Serves both the "keyword" and "n-gram" index
+/// types of the paper; the difference is only in how keys are tokenized
+/// (see index_tokens.h).
+class InvertedIndex {
+ public:
+  static Result<std::unique_ptr<InvertedIndex>> Open(std::string dir,
+                                                     LsmOptions options = {});
+
+  /// Adds one posting per token. Tokens must already be occurrence-deduped
+  /// (DedupOccurrences) so multiset semantics are preserved.
+  Status Insert(const std::vector<std::string>& tokens, int64_t pk);
+  Status Remove(const std::vector<std::string>& tokens, int64_t pk);
+
+  /// Sorted bulk load of (token, pk) pairs; input need not be sorted.
+  Status BulkLoad(std::vector<std::pair<std::string, int64_t>> postings);
+
+  /// Returns the sorted pks on the posting list of `token`.
+  Result<std::vector<int64_t>> PostingList(const std::string& token) const;
+
+  /// Solves the T-occurrence problem: returns the sorted pks that appear on
+  /// at least `t` of the query tokens' posting lists. `t` must be >= 1 (the
+  /// caller is responsible for corner-case detection when t <= 0). Query
+  /// tokens must be occurrence-deduped (duplicates are ignored here).
+  Result<std::vector<int64_t>> SearchTOccurrence(
+      const std::vector<std::string>& query_tokens, int t,
+      TOccurrenceAlgorithm algorithm = TOccurrenceAlgorithm::kScanCount,
+      InvertedSearchStats* stats = nullptr) const;
+
+  Status Flush() { return lsm_->Flush(); }
+  uint64_t DiskSizeBytes() const { return lsm_->DiskSizeBytes(); }
+  LsmIndex* lsm() { return lsm_.get(); }
+
+ private:
+  explicit InvertedIndex(std::unique_ptr<LsmIndex> lsm)
+      : lsm_(std::move(lsm)) {}
+
+  std::unique_ptr<LsmIndex> lsm_;
+};
+
+}  // namespace simdb::storage
+
+#endif  // SIMDB_STORAGE_INVERTED_INDEX_H_

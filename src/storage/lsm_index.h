@@ -1,0 +1,114 @@
+#ifndef SIMDB_STORAGE_LSM_INDEX_H_
+#define SIMDB_STORAGE_LSM_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/key.h"
+#include "storage/sorted_run.h"
+
+namespace simdb::storage {
+
+/// How disk components are merged when they accumulate.
+enum class MergePolicy {
+  /// Merge every run into one once there are more than max_runs (the
+  /// simplest correct policy; write-amplification heavy).
+  kFullMerge,
+  /// Merge groups of >= tier_min_runs size-similar runs (each within
+  /// size_ratio of the group's smallest), like size-tiered compaction;
+  /// tombstones are only dropped when a merge covers every run.
+  kSizeTiered,
+};
+
+/// Tuning knobs for one LSM index instance (scaled-down analogues of the
+/// paper's Table 2 parameters).
+struct LsmOptions {
+  /// In-memory component budget; a flush is triggered when exceeded.
+  size_t memtable_budget_bytes = 8 * 1024 * 1024;
+  /// Trigger compaction when the disk-run count exceeds this.
+  int max_runs = 6;
+  /// Sparse-index granularity inside each run.
+  int sparse_interval = 64;
+  MergePolicy merge_policy = MergePolicy::kFullMerge;
+  double size_ratio = 3.0;  // kSizeTiered: max size spread within a tier
+  int tier_min_runs = 3;    // kSizeTiered: runs needed to trigger a merge
+};
+
+/// A log-structured merge index: an in-memory component (std::map) plus a
+/// stack of immutable sorted runs, newest first. This is the storage
+/// primitive behind the primary index, secondary B+-trees, and the inverted
+/// indexes (AsterixDB stores all of these as LSM structures).
+class LsmIndex {
+ public:
+  /// Opens (creating if needed) an index rooted at `dir`; existing runs are
+  /// reloaded so data persists across instances.
+  static Result<std::unique_ptr<LsmIndex>> Open(std::string dir,
+                                                LsmOptions options = {});
+
+  Status Put(const CompositeKey& key, std::string value);
+  Status Delete(const CompositeKey& key);
+
+  /// Point lookup across memtable + runs (newest wins; tombstones hide
+  /// older entries).
+  Result<std::optional<std::string>> Get(const CompositeKey& key) const;
+
+  /// Merged forward iterator over live entries with key >= lower_bound (all
+  /// entries when null). Tombstoned keys are skipped.
+  class Iterator {
+   public:
+    virtual ~Iterator() = default;
+    virtual bool Valid() const = 0;
+    virtual const CompositeKey& key() const = 0;
+    virtual const std::string& value() const = 0;
+    virtual Status Next() = 0;
+  };
+
+  Result<std::unique_ptr<Iterator>> NewIterator(
+      const CompositeKey* lower_bound = nullptr) const;
+
+  /// Forces the in-memory component to disk (no-op when empty).
+  Status Flush();
+
+  /// Merges all disk runs into one, dropping tombstones.
+  Status Compact();
+
+  /// Applies the configured merge policy once (called after every flush;
+  /// exposed for tests).
+  Status MaybeMerge();
+
+  /// Sorted bulk load: writes one run directly, bypassing the memtable.
+  /// Entries must be sorted by key and unique.
+  Status BulkLoadSorted(
+      const std::vector<std::pair<CompositeKey, std::string>>& entries);
+
+  uint64_t DiskSizeBytes() const;
+  size_t MemtableBytes() const { return mem_bytes_; }
+  size_t num_runs() const { return runs_.size(); }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit LsmIndex(std::string dir, LsmOptions options);
+
+  Status MaybeFlush();
+  /// Merges the runs at positions [first, last] (newest-first order) into
+  /// one; tombstones are dropped only when the range covers the oldest run.
+  Status CompactRange(size_t first, size_t last);
+  std::string NextRunPath();
+
+  std::string dir_;
+  LsmOptions options_;
+  uint64_t next_run_seq_ = 1;
+  // nullopt value == tombstone.
+  std::map<CompositeKey, std::optional<std::string>, KeyLess> memtable_;
+  size_t mem_bytes_ = 0;
+  // Newest first.
+  std::vector<std::unique_ptr<SortedRunReader>> runs_;
+};
+
+}  // namespace simdb::storage
+
+#endif  // SIMDB_STORAGE_LSM_INDEX_H_

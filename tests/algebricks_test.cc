@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "algebricks/jobgen.h"
+#include "algebricks/lexpr.h"
+#include "algebricks/lop.h"
+#include "algebricks/rules.h"
+
+namespace simdb::algebricks {
+namespace {
+
+using adm::Value;
+
+// ---------- LExpr ----------
+
+TEST(LExprTest, ToStringForms) {
+  LExprPtr e = LExpr::CallF(
+      "ge", {LExpr::CallF("similarity-jaccard",
+                          {LExpr::Field(LExpr::Var("t"), "summary"),
+                           LExpr::Lit(Value::String("x"))}),
+             LExpr::Lit(Value::Double(0.5))});
+  EXPECT_EQ(e->ToString(),
+            "ge(similarity-jaccard($t.summary, \"x\"), 0.5)");
+}
+
+TEST(LExprTest, CollectAndUsesVars) {
+  LExprPtr e = LExpr::CallF("eq", {LExpr::Field(LExpr::Var("a"), "x"),
+                                   LExpr::Var("b")});
+  std::set<std::string> vars;
+  e->CollectVars(&vars);
+  EXPECT_EQ(vars, (std::set<std::string>{"a", "b"}));
+  EXPECT_TRUE(e->UsesOnly({"a", "b", "c"}));
+  EXPECT_FALSE(e->UsesOnly({"a"}));
+  EXPECT_TRUE(e->UsesAny({"b"}));
+  EXPECT_FALSE(e->UsesAny({"z"}));
+}
+
+TEST(LExprTest, SplitAndCombineConjuncts) {
+  LExprPtr a = LExpr::Var("a"), b = LExpr::Var("b"), c = LExpr::Var("c");
+  LExprPtr cond = LExpr::CallF("and", {LExpr::CallF("and", {a, b}), c});
+  std::vector<LExprPtr> conjuncts = SplitConjuncts(cond);
+  EXPECT_EQ(conjuncts.size(), 3u);
+  LExprPtr combined = CombineConjuncts(conjuncts);
+  EXPECT_EQ(SplitConjuncts(combined).size(), 3u);
+  // Empty conjunct list is the TRUE literal.
+  LExprPtr empty = CombineConjuncts({});
+  EXPECT_EQ(empty->kind, LExpr::Kind::kLiteral);
+  EXPECT_TRUE(empty->literal.AsBoolean());
+}
+
+TEST(LExprTest, SubstituteVars) {
+  LExprPtr e = LExpr::CallF("eq", {LExpr::Var("a"), LExpr::Var("b")});
+  LExprPtr out = SubstituteVars(e, {{"a", LExpr::Lit(Value::Int64(1))}});
+  EXPECT_EQ(out->children[0]->kind, LExpr::Kind::kLiteral);
+  EXPECT_EQ(out->children[1]->kind, LExpr::Kind::kVar);
+}
+
+TEST(LExprTest, EvaluateConstant) {
+  LExprPtr e = LExpr::CallF(
+      "add", {LExpr::Lit(Value::Int64(2)), LExpr::Lit(Value::Int64(3))});
+  EXPECT_EQ((*EvaluateConstant(e)).AsInt64(), 5);
+  EXPECT_FALSE(EvaluateConstant(LExpr::Var("free")).ok());
+}
+
+// ---------- LOp ----------
+
+TEST(LOpTest, OutputVarsPerKind) {
+  LOpPtr scan = MakeDataScan("X", "t");
+  EXPECT_EQ(*scan->OutputVars(), (std::vector<std::string>{"t"}));
+
+  LOpPtr assign = MakeAssign(scan, {{"a", LExpr::Lit(Value::Int64(1))}});
+  EXPECT_EQ(*assign->OutputVars(), (std::vector<std::string>{"t", "a"}));
+
+  LOpPtr scan2 = MakeDataScan("Y", "u");
+  LOpPtr join = MakeJoin(assign, scan2, LExpr::Lit(Value::Boolean(true)));
+  EXPECT_EQ(*join->OutputVars(), (std::vector<std::string>{"t", "a", "u"}));
+
+  LOpPtr group = MakeGroupBy(join, {{"k", LExpr::Var("a")}},
+                             {{LAgg::Kind::kCount, nullptr, "n"}});
+  EXPECT_EQ(*group->OutputVars(), (std::vector<std::string>{"k", "n"}));
+
+  LOpPtr project = MakeProject(group, {"n"});
+  EXPECT_EQ(*project->OutputVars(), (std::vector<std::string>{"n"}));
+}
+
+TEST(LOpTest, CloneTreeIsDeep) {
+  LOpPtr scan = MakeDataScan("X", "t");
+  LOpPtr select = MakeSelect(scan, LExpr::Lit(Value::Boolean(true)));
+  LOpPtr clone = CloneTree(select);
+  EXPECT_NE(clone.get(), select.get());
+  EXPECT_NE(clone->inputs[0].get(), scan.get());
+  EXPECT_EQ(clone->inputs[0]->dataset, "X");
+}
+
+// ---------- rewrite rules ----------
+
+OptContext Ctx() {
+  OptContext ctx;
+  return ctx;
+}
+
+TEST(RulesTest, PushSelectIntoJoin) {
+  LOpPtr join = MakeJoin(MakeDataScan("X", "a"), MakeDataScan("Y", "b"),
+                         LExpr::Lit(Value::Boolean(true)));
+  LOpPtr root = MakeSelect(
+      join, LExpr::CallF("eq", {LExpr::Field(LExpr::Var("a"), "k"),
+                                LExpr::Field(LExpr::Var("b"), "k")}));
+  OptContext ctx = Ctx();
+  RuleSet set{"s", {MakePushSelectIntoJoinRule()}, 4};
+  ASSERT_TRUE(*ApplyRuleSet(root, set, ctx));
+  EXPECT_EQ(root->kind, LOpKind::kJoin);
+  EXPECT_EQ(root->expr->name, "eq");
+}
+
+TEST(RulesTest, PushSelectBelowJoinSplitsSingleSideConjuncts) {
+  LExprPtr left_only = LExpr::CallF(
+      "gt", {LExpr::Field(LExpr::Var("a"), "id"), LExpr::Lit(Value::Int64(3))});
+  LExprPtr both = LExpr::CallF("eq", {LExpr::Field(LExpr::Var("a"), "k"),
+                                      LExpr::Field(LExpr::Var("b"), "k")});
+  LOpPtr root = MakeJoin(MakeDataScan("X", "a"), MakeDataScan("Y", "b"),
+                         LExpr::CallF("and", {left_only, both}));
+  OptContext ctx = Ctx();
+  RuleSet set{"s", {MakePushSelectBelowJoinRule()}, 4};
+  ASSERT_TRUE(*ApplyRuleSet(root, set, ctx));
+  EXPECT_EQ(root->inputs[0]->kind, LOpKind::kSelect);  // pushed to the left
+  EXPECT_EQ(root->inputs[1]->kind, LOpKind::kDataScan);
+  EXPECT_EQ(SplitConjuncts(root->expr).size(), 1u);  // only the equi stays
+}
+
+TEST(RulesTest, RemoveTrivialSelect) {
+  LOpPtr root = MakeSelect(MakeDataScan("X", "a"),
+                           LExpr::Lit(Value::Boolean(true)));
+  OptContext ctx = Ctx();
+  RuleSet set{"s", {MakeRemoveTrivialSelectRule()}, 4};
+  ASSERT_TRUE(*ApplyRuleSet(root, set, ctx));
+  EXPECT_EQ(root->kind, LOpKind::kDataScan);
+}
+
+TEST(RulesTest, CountListifyRewrite) {
+  // group by collects $t but every use is count($t) -> becomes a count agg.
+  LOpPtr scan = MakeDataScan("X", "t");
+  LOpPtr group = MakeGroupBy(
+      scan, {{"k", LExpr::Field(LExpr::Var("t"), "f")}},
+      {{LAgg::Kind::kListify, LExpr::Var("t"), "collected"}});
+  LOpPtr root = MakeSelect(
+      group, LExpr::CallF("gt", {LExpr::CallF("count", {LExpr::Var("collected")}),
+                                 LExpr::Lit(Value::Int64(2))}));
+  OptContext ctx = Ctx();
+  ASSERT_TRUE(*ApplyCountListifyRewrite(root, ctx));
+  EXPECT_EQ(group->group_aggs[0].kind, LAgg::Kind::kCount);
+  // The count() call collapsed to the bare variable.
+  EXPECT_EQ(root->expr->children[0]->kind, LExpr::Kind::kVar);
+}
+
+TEST(RulesTest, CountListifyKeepsListWhenUsedDirectly) {
+  LOpPtr scan = MakeDataScan("X", "t");
+  LOpPtr group = MakeGroupBy(
+      scan, {{"k", LExpr::Field(LExpr::Var("t"), "f")}},
+      {{LAgg::Kind::kListify, LExpr::Var("t"), "collected"}});
+  // One use is the raw list -> rewrite must NOT fire.
+  LOpPtr root = MakeAssign(
+      group, {{"out", LExpr::CallF("sort-list", {LExpr::Var("collected")})}});
+  OptContext ctx = Ctx();
+  EXPECT_FALSE(*ApplyCountListifyRewrite(root, ctx));
+  EXPECT_EQ(group->group_aggs[0].kind, LAgg::Kind::kListify);
+}
+
+TEST(RulesTest, RuleSetStopsAtFixpoint) {
+  LOpPtr root = MakeSelect(MakeDataScan("X", "a"),
+                           LExpr::Lit(Value::Boolean(true)));
+  OptContext ctx = Ctx();
+  RuleSet set{"s", {MakeRemoveTrivialSelectRule()}, 8};
+  ASSERT_TRUE(*ApplyRuleSet(root, set, ctx));
+  EXPECT_FALSE(*ApplyRuleSet(root, set, ctx));  // nothing left to do
+  EXPECT_EQ(ctx.fired_rules.size(), 1u);
+}
+
+// ---------- job generation shapes ----------
+
+TEST(JobGenTest, ScanSelectProject) {
+  LOpPtr plan = MakeProject(
+      MakeSelect(MakeDataScan("X", "t"),
+                 LExpr::CallF("eq", {LExpr::Field(LExpr::Var("t"), "id"),
+                                     LExpr::Lit(Value::Int64(1))})),
+      {"t"});
+  JobGenerator gen;
+  hyracks::Job job;
+  ASSERT_TRUE(gen.Generate(plan, &job).ok());
+  std::string rendered = job.ToString();
+  EXPECT_NE(rendered.find("DATA-SCAN"), std::string::npos);
+  EXPECT_NE(rendered.find("SELECT"), std::string::npos);
+  EXPECT_NE(rendered.find("GATHER"), std::string::npos);
+}
+
+TEST(JobGenTest, EquiJoinUsesHashExchanges) {
+  LOpPtr join = MakeJoin(
+      MakeDataScan("X", "a"), MakeDataScan("Y", "b"),
+      LExpr::CallF("eq", {LExpr::Field(LExpr::Var("a"), "k"),
+                          LExpr::Field(LExpr::Var("b"), "k")}));
+  JobGenerator gen;
+  hyracks::Job job;
+  ASSERT_TRUE(gen.Generate(join, &job).ok());
+  std::string rendered = job.ToString();
+  EXPECT_NE(rendered.find("HASH-EXCHANGE"), std::string::npos);
+  EXPECT_NE(rendered.find("HASH-JOIN"), std::string::npos);
+  EXPECT_EQ(rendered.find("NL-JOIN"), std::string::npos);
+}
+
+TEST(JobGenTest, ThetaJoinFallsBackToBroadcastNl) {
+  LOpPtr join = MakeJoin(
+      MakeDataScan("X", "a"), MakeDataScan("Y", "b"),
+      LExpr::CallF("lt", {LExpr::Field(LExpr::Var("a"), "k"),
+                          LExpr::Field(LExpr::Var("b"), "k")}));
+  JobGenerator gen;
+  hyracks::Job job;
+  ASSERT_TRUE(gen.Generate(join, &job).ok());
+  std::string rendered = job.ToString();
+  EXPECT_NE(rendered.find("BROADCAST-EXCHANGE"), std::string::npos);
+  EXPECT_NE(rendered.find("NL-JOIN"), std::string::npos);
+}
+
+TEST(JobGenTest, BroadcastHintHonored) {
+  auto eq = std::make_shared<LExpr>();
+  eq->kind = LExpr::Kind::kCall;
+  eq->name = "eq";
+  eq->children = {LExpr::Field(LExpr::Var("a"), "k"),
+                  LExpr::Field(LExpr::Var("b"), "k")};
+  eq->bcast_hint = true;
+  LOpPtr join = MakeJoin(MakeDataScan("X", "a"), MakeDataScan("Y", "b"),
+                         LExprPtr(eq));
+  JobGenerator gen;
+  hyracks::Job job;
+  ASSERT_TRUE(gen.Generate(join, &job).ok());
+  std::string rendered = job.ToString();
+  EXPECT_NE(rendered.find("BROADCAST-EXCHANGE"), std::string::npos);
+  EXPECT_NE(rendered.find("HASH-JOIN"), std::string::npos);
+}
+
+TEST(JobGenTest, SharedNodeCompiledOnce) {
+  LOpPtr scan = MakeDataScan("X", "a");
+  // The same scan feeds both sides of a join (replicate pattern).
+  LOpPtr assign = MakeAssign(scan, {{"id", LExpr::Field(LExpr::Var("a"), "id")}});
+  LOpPtr join = MakeJoin(assign, assign, LExpr::Lit(Value::Boolean(true)));
+  JobGenerator gen;
+  hyracks::Job job;
+  ASSERT_TRUE(gen.Generate(join, &job).ok());
+  int scans = 0;
+  for (const auto& node : job.nodes()) {
+    if (node.op->name().rfind("DATA-SCAN", 0) == 0) ++scans;
+  }
+  EXPECT_EQ(scans, 1);  // compiled once, consumed twice
+}
+
+TEST(JobGenTest, UnboundVariableIsPlanError) {
+  LOpPtr plan = MakeSelect(MakeDataScan("X", "t"),
+                           LExpr::CallF("eq", {LExpr::Var("nope"),
+                                               LExpr::Lit(Value::Int64(1))}));
+  JobGenerator gen;
+  hyracks::Job job;
+  Status s = gen.Generate(plan, &job);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kPlanError);
+}
+
+TEST(JobGenTest, ProjectOfUnboundVariableFails) {
+  LOpPtr plan = MakeProject(MakeDataScan("X", "t"), {"ghost"});
+  JobGenerator gen;
+  hyracks::Job job;
+  EXPECT_FALSE(gen.Generate(plan, &job).ok());
+}
+
+}  // namespace
+}  // namespace simdb::algebricks

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace simdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("dataset foo");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "dataset foo");
+  EXPECT_EQ(s.ToString(), "NotFound: dataset foo");
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kPlanError); ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IOError("disk gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, OkStatusIsInternalError) {
+  Result<int> r(Status::OK());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<int> Doubler(Result<int> in) {
+  SIMDB_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_FALSE(Doubler(Status::Internal("x")).ok());
+}
+
+TEST(BytesTest, RoundTripAllTypes) {
+  std::string buf;
+  ByteWriter w(&buf);
+  w.PutU8(7);
+  w.PutU32(123456);
+  w.PutU64(9999999999ULL);
+  w.PutI64(-42);
+  w.PutDouble(3.5);
+  w.PutString("hello");
+
+  ByteReader r(buf);
+  EXPECT_EQ(*r.GetU8(), 7);
+  EXPECT_EQ(*r.GetU32(), 123456u);
+  EXPECT_EQ(*r.GetU64(), 9999999999ULL);
+  EXPECT_EQ(*r.GetI64(), -42);
+  EXPECT_EQ(*r.GetDouble(), 3.5);
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BytesTest, TruncationIsCorruption) {
+  std::string buf;
+  ByteWriter w(&buf);
+  w.PutU32(10);
+  ByteReader r(buf.substr(0, 2));
+  Result<uint32_t> v = r.GetU32();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, TruncatedStringDetected) {
+  std::string buf;
+  ByteWriter w(&buf);
+  w.PutString("abcdef");
+  ByteReader r(buf.substr(0, 6));
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(1), b(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Random rng(11);
+  ZipfGenerator zipf(1000, 1.0);
+  int low = 0, high = 0;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t r = zipf.Next(rng);
+    ASSERT_LT(r, 1000u);
+    if (r < 10) ++low;
+    if (r >= 500) ++high;
+  }
+  EXPECT_GT(low, high);  // top-10 ranks beat the entire bottom half
+}
+
+TEST(ZipfTest, ZeroSkewIsRoughlyUniform) {
+  Random rng(13);
+  ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Next(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 1500);
+    EXPECT_LT(c, 2500);
+  }
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 1; i <= 100; ++i) {
+    tasks.push_back([&sum, i] { sum += i; });
+  }
+  pool.RunAll(std::move(tasks));
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 10; ++batch) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i) tasks.push_back([&count] { ++count; });
+    pool.RunAll(std::move(tasks));
+  }
+  EXPECT_EQ(count.load(), 80);
+}
+
+TEST(ThreadPoolTest, EmptyBatchIsNoop) {
+  ThreadPool pool(2);
+  pool.RunAll({});
+}
+
+}  // namespace
+}  // namespace simdb

@@ -1,0 +1,172 @@
+// Property tests on the exchange connectors and executor invariants: every
+// repartitioning must preserve the multiset of rows, broadcasts must
+// replicate exactly, and the traffic accounting must add up.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "hyracks/exec.h"
+#include "hyracks/ops_basic.h"
+#include "hyracks/ops_exchange.h"
+#include "hyracks/ops_group.h"
+#include "hyracks/ops_join.h"
+
+namespace simdb::hyracks {
+namespace {
+
+using adm::Value;
+
+class ExchangeProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  ExchangeProperty() : pool_(2) {
+    ctx_.pool = &pool_;
+    ctx_.topology = {4, 2};  // 4 nodes x 2 partitions
+  }
+
+  PartitionedRows RandomRows(Random& rng, int max_rows) {
+    PartitionedRows rows(
+        static_cast<size_t>(ctx_.topology.total_partitions()));
+    int n = 1 + static_cast<int>(rng.Uniform(static_cast<uint64_t>(max_rows)));
+    for (int i = 0; i < n; ++i) {
+      Tuple t = {Value::Int64(rng.UniformRange(0, 20)),
+                 Value::String(std::string(rng.Uniform(8), 'x'))};
+      rows[rng.Uniform(rows.size())].push_back(std::move(t));
+    }
+    return rows;
+  }
+
+  std::multiset<std::string> Flatten(const PartitionedRows& rows) {
+    std::multiset<std::string> out;
+    for (const Rows& part : rows) {
+      for (const Tuple& t : part) {
+        std::string key;
+        for (const Value& v : t) key += v.ToJson() + "|";
+        out.insert(key);
+      }
+    }
+    return out;
+  }
+
+  ThreadPool pool_;
+  ExecContext ctx_;
+};
+
+TEST_P(ExchangeProperty, HashExchangePreservesMultiset) {
+  Random rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    PartitionedRows in = RandomRows(rng, 60);
+    HashExchangeOp op({0});
+    OpStats stats;
+    auto out = *op.Execute(ctx_, {&in}, &stats);
+    EXPECT_EQ(Flatten(in), Flatten(*&out));
+    // Co-location: equal keys in one partition.
+    std::map<int64_t, std::set<size_t>> where;
+    for (size_t p = 0; p < out.size(); ++p) {
+      for (const Tuple& t : out[p]) where[t[0].AsInt64()].insert(p);
+    }
+    for (const auto& [k, parts] : where) {
+      EXPECT_EQ(parts.size(), 1u) << "key " << k;
+    }
+  }
+}
+
+TEST_P(ExchangeProperty, BroadcastReplicatesExactly) {
+  Random rng(GetParam() + 100);
+  PartitionedRows in = RandomRows(rng, 30);
+  BroadcastExchangeOp op;
+  OpStats stats;
+  auto out = *op.Execute(ctx_, {&in}, &stats);
+  std::multiset<std::string> original = Flatten(in);
+  for (const Rows& part : out) {
+    PartitionedRows single(1);
+    single[0] = part;
+    EXPECT_EQ(Flatten(single), original);
+  }
+  // Accounting: every tuple crosses to every partition exactly once.
+  uint64_t expected_total = 0;
+  for (const Rows& part : in) {
+    for (const Tuple& t : part) expected_total += TupleBytes(t) * out.size();
+  }
+  EXPECT_EQ(stats.local_bytes + stats.remote_bytes, expected_total);
+  EXPECT_GT(stats.remote_bytes, stats.local_bytes);  // 4 nodes: mostly remote
+}
+
+TEST_P(ExchangeProperty, GatherMovesEverythingToPartitionZero) {
+  Random rng(GetParam() + 200);
+  PartitionedRows in = RandomRows(rng, 40);
+  GatherOp op;
+  OpStats stats;
+  auto out = *op.Execute(ctx_, {&in}, &stats);
+  EXPECT_EQ(Flatten(in), Flatten(out));
+  for (size_t p = 1; p < out.size(); ++p) EXPECT_TRUE(out[p].empty());
+}
+
+TEST_P(ExchangeProperty, MergeGatherProducesGlobalOrder) {
+  Random rng(GetParam() + 300);
+  PartitionedRows in = RandomRows(rng, 50);
+  SortOp sort({{0, true}});
+  OpStats s1;
+  auto sorted = *sort.Execute(ctx_, {&in}, &s1);
+  MergeGatherOp merge({{0, true}});
+  OpStats s2;
+  auto out = *merge.Execute(ctx_, {&sorted}, &s2);
+  EXPECT_EQ(Flatten(in), Flatten(out));
+  for (size_t i = 1; i < out[0].size(); ++i) {
+    EXPECT_LE(out[0][i - 1][0].AsInt64(), out[0][i][0].AsInt64());
+  }
+}
+
+TEST_P(ExchangeProperty, GroupByCountsMatchNaive) {
+  Random rng(GetParam() + 400);
+  PartitionedRows in = RandomRows(rng, 80);
+  // Naive counts.
+  std::map<int64_t, int64_t> expected;
+  for (const Rows& part : in) {
+    for (const Tuple& t : part) ++expected[t[0].AsInt64()];
+  }
+  // Exchange + group pipeline (what the job generator emits).
+  HashExchangeOp exchange({0});
+  OpStats s1;
+  auto shuffled = *exchange.Execute(ctx_, {&in}, &s1);
+  HashGroupOp group({Col(0, "k")}, {{AggSpec::Kind::kCount, nullptr, "n"}});
+  OpStats s2;
+  auto grouped = *group.Execute(ctx_, {&shuffled}, &s2);
+  std::map<int64_t, int64_t> actual;
+  for (const Rows& part : grouped) {
+    for (const Tuple& t : part) actual[t[0].AsInt64()] = t[1].AsInt64();
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST_P(ExchangeProperty, HashJoinMatchesNaiveJoin) {
+  Random rng(GetParam() + 500);
+  PartitionedRows left = RandomRows(rng, 40);
+  PartitionedRows right = RandomRows(rng, 40);
+  // Naive count of matching pairs.
+  int64_t expected = 0;
+  for (const Rows& lp : left) {
+    for (const Tuple& lt : lp) {
+      for (const Rows& rp : right) {
+        for (const Tuple& rt : rp) {
+          if (lt[0] == rt[0]) ++expected;
+        }
+      }
+    }
+  }
+  HashExchangeOp ex_left({0}), ex_right({0});
+  OpStats s;
+  auto l = *ex_left.Execute(ctx_, {&left}, &s);
+  auto r = *ex_right.Execute(ctx_, {&right}, &s);
+  HashJoinOp join({0}, {0});
+  auto out = *join.Execute(ctx_, {&l, &r}, &s);
+  EXPECT_EQ(static_cast<int64_t>(RowsCount(out)), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExchangeProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace simdb::hyracks

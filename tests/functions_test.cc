@@ -1,0 +1,251 @@
+// Systematic coverage of the scalar function library (hyracks/functions.cc):
+// every builtin's happy path, type errors, and MISSING/NULL behaviour.
+#include <gtest/gtest.h>
+
+#include "hyracks/expr.h"
+#include "hyracks/functions.h"
+
+namespace simdb::hyracks {
+namespace {
+
+using adm::Value;
+
+Result<Value> Eval(const std::string& fn, std::vector<Value> args) {
+  const FunctionDef* def = FunctionRegistry::Global().Find(fn);
+  if (def == nullptr) return Status::NotFound("no function " + fn);
+  return def->fn(args);
+}
+
+Value Str(const char* s) { return Value::String(s); }
+Value I(int64_t v) { return Value::Int64(v); }
+Value D(double v) { return Value::Double(v); }
+Value B(bool v) { return Value::Boolean(v); }
+Value Tokens(std::vector<const char*> items) {
+  Value::Array a;
+  for (const char* s : items) a.push_back(Str(s));
+  return Value::MakeArray(std::move(a));
+}
+
+// ---------- logical ----------
+
+TEST(FunctionsTest, AndOrShortSemantics) {
+  EXPECT_TRUE((*Eval("and", {B(true), B(true)})).AsBoolean());
+  EXPECT_FALSE((*Eval("and", {B(true), B(false)})).AsBoolean());
+  EXPECT_TRUE((*Eval("or", {B(false), B(true)})).AsBoolean());
+  EXPECT_FALSE((*Eval("or", {B(false), B(false)})).AsBoolean());
+  EXPECT_TRUE((*Eval("and", {B(true), B(true), B(true)})).AsBoolean());
+  EXPECT_FALSE(Eval("and", {B(true), I(1)}).ok());  // non-boolean
+}
+
+TEST(FunctionsTest, Not) {
+  EXPECT_FALSE((*Eval("not", {B(true)})).AsBoolean());
+  EXPECT_FALSE(Eval("not", {I(0)}).ok());
+}
+
+// ---------- comparisons ----------
+
+TEST(FunctionsTest, ComparisonOperators) {
+  EXPECT_TRUE((*Eval("eq", {I(3), I(3)})).AsBoolean());
+  EXPECT_TRUE((*Eval("eq", {I(3), D(3.0)})).AsBoolean());  // numeric coercion
+  EXPECT_TRUE((*Eval("neq", {I(3), I(4)})).AsBoolean());
+  EXPECT_TRUE((*Eval("lt", {I(3), I(4)})).AsBoolean());
+  EXPECT_TRUE((*Eval("le", {I(3), I(3)})).AsBoolean());
+  EXPECT_TRUE((*Eval("gt", {Str("b"), Str("a")})).AsBoolean());
+  EXPECT_TRUE((*Eval("ge", {Str("a"), Str("a")})).AsBoolean());
+}
+
+TEST(FunctionsTest, ComparisonsWithMissingNullAreFalse) {
+  for (const char* cmp : {"eq", "neq", "lt", "le", "gt", "ge"}) {
+    EXPECT_FALSE((*Eval(cmp, {Value::Missing(), I(1)})).AsBoolean()) << cmp;
+    EXPECT_FALSE((*Eval(cmp, {I(1), Value::Null()})).AsBoolean()) << cmp;
+  }
+}
+
+// ---------- arithmetic ----------
+
+TEST(FunctionsTest, IntegerArithmeticStaysInt) {
+  Value v = *Eval("add", {I(2), I(3)});
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.AsInt64(), 5);
+  EXPECT_EQ((*Eval("sub", {I(2), I(3)})).AsInt64(), -1);
+  EXPECT_EQ((*Eval("mul", {I(4), I(3)})).AsInt64(), 12);
+}
+
+TEST(FunctionsTest, MixedArithmeticWidens) {
+  Value v = *Eval("add", {I(2), D(0.5)});
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.AsDoubleExact(), 2.5);
+}
+
+TEST(FunctionsTest, DivisionAlwaysDoubleAndChecksZero) {
+  EXPECT_DOUBLE_EQ((*Eval("div", {I(7), I(2)})).AsDoubleExact(), 3.5);
+  EXPECT_FALSE(Eval("div", {I(1), I(0)}).ok());
+}
+
+TEST(FunctionsTest, ArithmeticTypeErrors) {
+  EXPECT_FALSE(Eval("add", {Str("a"), I(1)}).ok());
+}
+
+// ---------- misc ----------
+
+TEST(FunctionsTest, IsMissing) {
+  EXPECT_TRUE((*Eval("is-missing", {Value::Missing()})).AsBoolean());
+  EXPECT_FALSE((*Eval("is-missing", {Value::Null()})).AsBoolean());
+}
+
+TEST(FunctionsTest, IfThenElse) {
+  EXPECT_EQ((*Eval("if-then-else", {B(true), I(1), I(2)})).AsInt64(), 1);
+  EXPECT_EQ((*Eval("if-then-else", {B(false), I(1), I(2)})).AsInt64(), 2);
+  EXPECT_FALSE(Eval("if-then-else", {I(1), I(1), I(2)}).ok());
+}
+
+TEST(FunctionsTest, LenOnStringsAndLists) {
+  EXPECT_EQ((*Eval("len", {Str("abcd")})).AsInt64(), 4);
+  EXPECT_EQ((*Eval("len", {Tokens({"a", "b"})})).AsInt64(), 2);
+  EXPECT_FALSE(Eval("len", {I(1)}).ok());
+}
+
+TEST(FunctionsTest, GetField) {
+  Value rec = Value::MakeObject({{"x", I(7)}});
+  EXPECT_EQ((*Eval("get-field", {rec, Str("x")})).AsInt64(), 7);
+  EXPECT_TRUE((*Eval("get-field", {rec, Str("y")})).is_missing());
+  EXPECT_FALSE(Eval("get-field", {rec, I(1)}).ok());
+}
+
+// ---------- tokenizers ----------
+
+TEST(FunctionsTest, WordTokensBuiltin) {
+  Value v = *Eval("word-tokens", {Str("Great Product!")});
+  ASSERT_EQ(v.AsList().size(), 2u);
+  EXPECT_EQ(v.AsList()[0].AsString(), "great");
+  // MISSING tokenizes to an empty list (records without the field are
+  // simply not matched rather than failing the query).
+  EXPECT_TRUE((*Eval("word-tokens", {Value::Missing()})).AsList().empty());
+  EXPECT_FALSE(Eval("word-tokens", {I(3)}).ok());
+}
+
+TEST(FunctionsTest, GramTokensBuiltin) {
+  Value v = *Eval("gram-tokens", {Str("abcd"), I(2)});
+  EXPECT_EQ(v.AsList().size(), 3u);
+  Value padded = *Eval("gram-tokens", {Str("ab"), I(3), B(true)});
+  EXPECT_EQ(padded.AsList().size(), 4u);
+  EXPECT_FALSE(Eval("gram-tokens", {Str("ab"), Str("x")}).ok());
+}
+
+TEST(FunctionsTest, SortList) {
+  Value v = *Eval("sort-list", {Tokens({"c", "a", "b"})});
+  EXPECT_EQ(v.AsList()[0].AsString(), "a");
+  EXPECT_EQ(v.AsList()[2].AsString(), "c");
+  // Mixed types sort by the cross-type order.
+  Value mixed = *Eval("sort-list", {Value::MakeArray({Str("a"), I(5)})});
+  EXPECT_TRUE(mixed.AsList()[0].is_int64());
+  EXPECT_FALSE(Eval("sort-list", {I(1)}).ok());
+}
+
+TEST(FunctionsTest, DedupOccurrencesBuiltin) {
+  Value v = *Eval("dedup-occurrences", {Tokens({"a", "a", "b"})});
+  ASSERT_EQ(v.AsList().size(), 3u);
+  EXPECT_EQ(v.AsList()[1].AsString(), "a#1");
+}
+
+// ---------- similarity ----------
+
+TEST(FunctionsTest, EditDistanceBuiltins) {
+  EXPECT_EQ((*Eval("edit-distance", {Str("james"), Str("jamie")})).AsInt64(),
+            2);
+  EXPECT_TRUE(
+      (*Eval("edit-distance-check", {Str("james"), Str("jamie"), I(2)}))
+          .AsBoolean());
+  EXPECT_FALSE(
+      (*Eval("edit-distance-check", {Str("james"), Str("jamie"), I(1)}))
+          .AsBoolean());
+  EXPECT_FALSE(Eval("edit-distance-check", {Str("a"), Str("b"), Str("x")})
+                   .ok());
+}
+
+TEST(FunctionsTest, JaccardBuiltins) {
+  Value a = Tokens({"good", "product"});
+  Value b = Tokens({"product"});
+  EXPECT_DOUBLE_EQ((*Eval("similarity-jaccard", {a, b})).AsDoubleExact(), 0.5);
+  EXPECT_TRUE((*Eval("similarity-jaccard-check", {a, b, D(0.5)})).AsBoolean());
+  EXPECT_FALSE((*Eval("similarity-jaccard-check", {a, b, D(0.6)})).AsBoolean());
+}
+
+TEST(FunctionsTest, JaccardOnIntegerLists) {
+  // The three-stage join verifies on rank (int) lists.
+  Value a = Value::MakeArray({I(1), I(2), I(3)});
+  Value b = Value::MakeArray({I(2), I(3), I(4)});
+  EXPECT_DOUBLE_EQ((*Eval("similarity-jaccard", {a, b})).AsDoubleExact(), 0.5);
+}
+
+TEST(FunctionsTest, DiceAndCosineBuiltins) {
+  Value a = Tokens({"one", "two", "three"});
+  Value b = Tokens({"one", "two", "six"});
+  EXPECT_NEAR((*Eval("similarity-dice", {a, b})).AsDoubleExact(), 2.0 / 3, 1e-9);
+  EXPECT_NEAR((*Eval("similarity-cosine", {a, b})).AsDoubleExact(), 2.0 / 3,
+              1e-9);
+}
+
+TEST(FunctionsTest, ContainsBuiltin) {
+  EXPECT_TRUE((*Eval("contains", {Str("KX750-A11"), Str("750")})).AsBoolean());
+  EXPECT_FALSE((*Eval("contains", {Str("abc"), Str("z")})).AsBoolean());
+  EXPECT_FALSE(Eval("contains", {Str("abc"), I(1)}).ok());
+}
+
+// ---------- prefix-filter helpers ----------
+
+TEST(FunctionsTest, PrefixLenJaccardBuiltin) {
+  EXPECT_EQ((*Eval("prefix-len-jaccard", {I(4), D(0.5)})).AsInt64(), 3);
+  EXPECT_FALSE(Eval("prefix-len-jaccard", {Str("x"), D(0.5)}).ok());
+}
+
+TEST(FunctionsTest, SubsetCollectionBuiltin) {
+  Value list = Tokens({"a", "b", "c", "d"});
+  Value v = *Eval("subset-collection", {list, I(1), I(2)});
+  ASSERT_EQ(v.AsList().size(), 2u);
+  EXPECT_EQ(v.AsList()[0].AsString(), "b");
+  // Out-of-range windows clamp instead of failing.
+  EXPECT_EQ((*Eval("subset-collection", {list, I(3), I(10)})).AsList().size(),
+            1u);
+  EXPECT_TRUE(
+      (*Eval("subset-collection", {list, I(-5), I(0)})).AsList().empty());
+}
+
+TEST(FunctionsTest, EditDistanceTOccurrenceBuiltin) {
+  // |G("marla")| - k*n = 4 - 2 = 2 (paper's running example).
+  EXPECT_EQ((*Eval("edit-distance-t-occurrence", {Str("marla"), I(2), I(1)}))
+                .AsInt64(),
+            2);
+  EXPECT_EQ((*Eval("edit-distance-t-occurrence", {Str("marla"), I(2), I(3)}))
+                .AsInt64(),
+            -2);
+}
+
+// ---------- registry behaviour ----------
+
+TEST(FunctionsTest, UnknownFunctionAndArityValidation) {
+  EXPECT_EQ(FunctionRegistry::Global().Find("no-such-fn"), nullptr);
+  EXPECT_FALSE(Call("len", {}).ok());                      // too few
+  EXPECT_FALSE(Call("len", {Lit(I(1)), Lit(I(2))}).ok());  // too many
+}
+
+TEST(FunctionsTest, UserRegistrationAndOverride) {
+  FunctionRegistry::Global().Register(
+      {"test-triple", 1, 1, [](const std::vector<Value>& a) -> Result<Value> {
+         return Value::Int64(a[0].AsInt64() * 3);
+       }});
+  EXPECT_EQ((*Eval("test-triple", {I(4)})).AsInt64(), 12);
+  FunctionRegistry::Global().Register(
+      {"test-triple", 1, 1, [](const std::vector<Value>& a) -> Result<Value> {
+         return Value::Int64(a[0].AsInt64() * 30);
+       }});
+  EXPECT_EQ((*Eval("test-triple", {I(4)})).AsInt64(), 120);
+}
+
+TEST(FunctionsTest, NamesListsBuiltins) {
+  std::vector<std::string> names = FunctionRegistry::Global().Names();
+  EXPECT_GT(names.size(), 25u);
+}
+
+}  // namespace
+}  // namespace simdb::hyracks

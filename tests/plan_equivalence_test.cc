@@ -1,0 +1,156 @@
+// Differential testing: for randomly generated datasets and similarity
+// predicates, every physical strategy the optimizer can pick (scan, index
+// select, index-nested-loop join with/without surrogate, three-stage join,
+// nested loop) must return the same answer. This is the system-level
+// counterpart of the per-module property tests.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/random.h"
+#include "core/query_processor.h"
+#include "datagen/textgen.h"
+#include "storage/file_util.h"
+
+namespace simdb::core {
+namespace {
+
+using adm::Value;
+
+class PlanEquivalence : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  PlanEquivalence() {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("simdb_fuzz_" + std::to_string(::getpid()) + "_" +
+             std::to_string(GetParam())))
+               .string();
+    EngineOptions options;
+    options.data_dir = dir_;
+    options.topology = {2, 2};
+    options.num_threads = 2;
+    engine_ = std::make_unique<QueryProcessor>(options);
+  }
+  ~PlanEquivalence() override { storage::RemoveAll(dir_); }
+
+  int64_t RunCount(const std::string& aql) {
+    QueryResult result;
+    Status s = engine_->Execute(aql, &result);
+    EXPECT_TRUE(s.ok()) << s.ToString() << "\nquery: " << aql;
+    if (!s.ok() || result.rows.size() != 1 || !result.rows[0].is_int64()) {
+      return -1;
+    }
+    return result.rows[0].AsInt64();
+  }
+
+  std::string dir_;
+  std::unique_ptr<QueryProcessor> engine_;
+};
+
+TEST_P(PlanEquivalence, SelectionPlansAgree) {
+  Random rng(GetParam());
+  datagen::TextProfile profile = datagen::AmazonProfile();
+  profile.vocab_size = 60;  // small vocabulary -> dense similarity space
+  profile.near_duplicate_rate = 0.4;
+  profile.name_typo_rate = 0.6;
+  datagen::TextDatasetGenerator gen(profile, GetParam());
+  ASSERT_TRUE(engine_
+                  ->Execute("create dataset D primary key id;"
+                            "create index kw on D(summary) type keyword;"
+                            "create index ng on D(reviewerName) type ngram(2);")
+                  .ok());
+  for (int64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(engine_->Insert("D", gen.NextRecord(i)).ok());
+  }
+  datagen::WorkloadSampler texts(gen.texts(), GetParam() * 3 + 1);
+  datagen::WorkloadSampler names(gen.names(), GetParam() * 5 + 1);
+
+  for (int iter = 0; iter < 6; ++iter) {
+    std::string query;
+    if (rng.OneIn(2)) {
+      double delta = 0.2 + 0.2 * static_cast<double>(rng.Uniform(4));
+      auto v = texts.SampleWithMinWords(1);
+      ASSERT_TRUE(v.ok());
+      query = "count(for $t in dataset D where "
+              "similarity-jaccard(word-tokens($t.summary), word-tokens('" +
+              *v + "')) >= " + std::to_string(delta) + " return $t)";
+    } else {
+      int k = 1 + static_cast<int>(rng.Uniform(3));
+      auto v = names.SampleWithMinChars(3);
+      ASSERT_TRUE(v.ok());
+      query = "count(for $t in dataset D where "
+              "edit-distance($t.reviewerName, '" + *v +
+              "') <= " + std::to_string(k) + " return $t)";
+    }
+    engine_->opt_context().enable_index_select = true;
+    int64_t indexed = RunCount(query);
+    engine_->opt_context().enable_index_select = false;
+    int64_t scan = RunCount(query);
+    engine_->opt_context().enable_index_select = true;
+    EXPECT_EQ(indexed, scan) << query;
+  }
+}
+
+TEST_P(PlanEquivalence, JoinPlansAgree) {
+  Random rng(GetParam() + 1000);
+  datagen::TextProfile profile = datagen::TwitterProfile();
+  profile.vocab_size = 40;
+  profile.near_duplicate_rate = 0.4;
+  profile.name_typo_rate = 0.6;
+  profile.avg_words = 4;
+  datagen::TextDatasetGenerator gen(profile, GetParam() + 7);
+  ASSERT_TRUE(engine_
+                  ->Execute("create dataset D primary key id;"
+                            "create index kw on D(text) type keyword;"
+                            "create index ng on D(user_name) type ngram(2);")
+                  .ok());
+  for (int64_t i = 0; i < 150; ++i) {
+    ASSERT_TRUE(engine_->Insert("D", gen.NextRecord(i)).ok());
+  }
+
+  for (int iter = 0; iter < 3; ++iter) {
+    bool jaccard = rng.OneIn(2);
+    std::string query;
+    if (jaccard) {
+      double delta = 0.4 + 0.2 * static_cast<double>(rng.Uniform(3));
+      query = "count(for $o in dataset D for $i in dataset D where "
+              "similarity-jaccard(word-tokens($o.text), "
+              "word-tokens($i.text)) >= " + std::to_string(delta) +
+              " and $o.id < $i.id return {'o': $o.id})";
+    } else {
+      int k = 1 + static_cast<int>(rng.Uniform(2));
+      query = "count(for $o in dataset D for $i in dataset D where "
+              "edit-distance($o.user_name, $i.user_name) <= " +
+              std::to_string(k) +
+              " and $o.id < $i.id return {'o': $o.id})";
+    }
+    auto& opt = engine_->opt_context();
+    std::vector<int64_t> answers;
+    // index join with surrogate
+    opt.enable_index_join = true;
+    opt.enable_surrogate_join = true;
+    opt.enable_three_stage_join = true;
+    answers.push_back(RunCount(query));
+    // index join without surrogate
+    opt.enable_surrogate_join = false;
+    answers.push_back(RunCount(query));
+    opt.enable_surrogate_join = true;
+    // three-stage (jaccard) or NL (edit distance)
+    opt.enable_index_join = false;
+    answers.push_back(RunCount(query));
+    // pure nested loop
+    opt.enable_three_stage_join = false;
+    answers.push_back(RunCount(query));
+    opt.enable_index_join = true;
+    opt.enable_three_stage_join = true;
+    for (size_t i = 1; i < answers.size(); ++i) {
+      EXPECT_EQ(answers[i], answers[0]) << "variant " << i << ": " << query;
+    }
+    EXPECT_GE(answers[0], 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace simdb::core

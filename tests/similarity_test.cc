@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "similarity/edit_distance.h"
+#include "similarity/index_compat.h"
+#include "similarity/jaccard.h"
+#include "similarity/similarity_function.h"
+#include "similarity/tokenizer.h"
+
+namespace simdb::similarity {
+namespace {
+
+using adm::Value;
+
+// ---------- tokenizers ----------
+
+TEST(WordTokensTest, SplitsAndLowercases) {
+  EXPECT_EQ(WordTokens("Great Product - Fantastic Gift"),
+            (std::vector<std::string>{"great", "product", "fantastic", "gift"}));
+}
+
+TEST(WordTokensTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(WordTokens("").empty());
+  EXPECT_TRUE(WordTokens("--- !!! ...").empty());
+}
+
+TEST(WordTokensTest, KeepsDigits) {
+  EXPECT_EQ(WordTokens("model X100-B"),
+            (std::vector<std::string>{"model", "x100", "b"}));
+}
+
+TEST(GramTokensTest, Enumeration) {
+  EXPECT_EQ(GramTokens("james", 2),
+            (std::vector<std::string>{"ja", "am", "me", "es"}));
+  EXPECT_EQ(GramTokens("marla", 2),
+            (std::vector<std::string>{"ma", "ar", "rl", "la"}));
+}
+
+TEST(GramTokensTest, ShortStringsYieldNothingWithoutPadding) {
+  EXPECT_TRUE(GramTokens("a", 2).empty());
+  EXPECT_TRUE(GramTokens("", 3).empty());
+}
+
+TEST(GramTokensTest, PrePostPadding) {
+  std::vector<std::string> grams = GramTokens("ab", 3, /*pre_post_pad=*/true);
+  // "##ab$$" -> ##a, #ab, ab$, b$$
+  ASSERT_EQ(grams.size(), 4u);
+  EXPECT_EQ(grams.front(), "##a");
+  EXPECT_EQ(grams.back(), "b$$");
+}
+
+TEST(GramCountTest, Formula) {
+  EXPECT_EQ(GramCount(5, 2), 4);
+  EXPECT_EQ(GramCount(2, 2), 1);
+  EXPECT_EQ(GramCount(1, 2), 0);
+  EXPECT_EQ(GramCount(0, 3), 0);
+}
+
+TEST(DedupOccurrencesTest, MarksRepeats) {
+  EXPECT_EQ(DedupOccurrences({"a", "b", "a", "a"}),
+            (std::vector<std::string>{"a", "b", "a#1", "a#2"}));
+}
+
+TEST(DedupOccurrencesTest, PreservesMultisetIntersection) {
+  // |multiset intersection| equals |set intersection of deduped forms|.
+  std::vector<std::string> a = {"x", "x", "y", "z"};
+  std::vector<std::string> b = {"x", "x", "x", "z"};
+  std::vector<std::string> da = DedupOccurrences(a), db = DedupOccurrences(b);
+  std::set<std::string> sa(da.begin(), da.end()), sb(db.begin(), db.end());
+  std::vector<std::string> inter;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(inter));
+  EXPECT_EQ(inter.size(), 3u);  // min(2,3) of x + 1 of z
+}
+
+// ---------- edit distance ----------
+
+TEST(EditDistanceTest, PaperExample) {
+  EXPECT_EQ(EditDistance("james", "jamie"), 2);
+}
+
+TEST(EditDistanceTest, Basics) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", ""), 3);
+  EXPECT_EQ(EditDistance("", "abc"), 3);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+}
+
+TEST(EditDistanceTest, OrderedListsPaperExample) {
+  // ["Better","than","I","expected"] vs ["Better","than","expected"] -> 1.
+  EXPECT_EQ(EditDistance({"Better", "than", "I", "expected"},
+                         {"Better", "than", "expected"}),
+            1);
+}
+
+TEST(EditDistanceCheckTest, WithinThresholdReturnsDistance) {
+  EXPECT_EQ(EditDistanceCheck("james", "jamie", 2), 2);
+  EXPECT_EQ(EditDistanceCheck("abc", "abc", 0), 0);
+}
+
+TEST(EditDistanceCheckTest, BeyondThresholdReturnsMinusOne) {
+  EXPECT_EQ(EditDistanceCheck("james", "jamie", 1), -1);
+  EXPECT_EQ(EditDistanceCheck("abcdef", "x", 2), -1);  // length filter
+  EXPECT_EQ(EditDistanceCheck("a", "b", 0), -1);
+}
+
+class EditDistanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EditDistanceProperty, BandedMatchesFullDp) {
+  Random rng(static_cast<uint64_t>(GetParam()));
+  for (int iter = 0; iter < 200; ++iter) {
+    auto make = [&rng] {
+      std::string s;
+      for (uint64_t i = 0, n = rng.Uniform(12); i < n; ++i) {
+        s.push_back(static_cast<char>('a' + rng.Uniform(4)));
+      }
+      return s;
+    };
+    std::string a = make(), b = make();
+    int full = EditDistance(a, b);
+    for (int k = 0; k <= 5; ++k) {
+      int checked = EditDistanceCheck(a, b, k);
+      if (full <= k) {
+        EXPECT_EQ(checked, full) << a << " vs " << b << " k=" << k;
+      } else {
+        EXPECT_EQ(checked, -1) << a << " vs " << b << " k=" << k;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditDistanceProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(EditDistanceProperty, TriangleAndSymmetry) {
+  Random rng(77);
+  for (int iter = 0; iter < 100; ++iter) {
+    auto make = [&rng] {
+      std::string s;
+      for (uint64_t i = 0, n = rng.Uniform(8); i < n; ++i) {
+        s.push_back(static_cast<char>('a' + rng.Uniform(3)));
+      }
+      return s;
+    };
+    std::string a = make(), b = make(), c = make();
+    EXPECT_EQ(EditDistance(a, b), EditDistance(b, a));
+    EXPECT_LE(EditDistance(a, c), EditDistance(a, b) + EditDistance(b, c));
+  }
+}
+
+TEST(EditDistanceTOccurrenceTest, PaperExample) {
+  // q="marla", n=2, k=1: T = 4 - 2*1 = 2 (paper Section 2.2).
+  EXPECT_EQ(EditDistanceTOccurrence(5, 2, 1), 2);
+  // k=3 gives the corner case: T = 4 - 2*3 = -2.
+  EXPECT_EQ(EditDistanceTOccurrence(5, 2, 3), -2);
+}
+
+// Grams shared by strings within edit distance k is at least T (the
+// T-occurrence guarantee used for candidate generation).
+TEST(EditDistanceTOccurrenceTest, LowerBoundHolds) {
+  Random rng(31);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string a;
+    for (uint64_t i = 0, n = 4 + rng.Uniform(8); i < n; ++i) {
+      a.push_back(static_cast<char>('a' + rng.Uniform(5)));
+    }
+    // Apply <= k random single-char edits.
+    int k = static_cast<int>(rng.Uniform(3));
+    std::string b = a;
+    for (int e = 0; e < k && !b.empty(); ++e) {
+      size_t pos = rng.Uniform(b.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          b[pos] = static_cast<char>('a' + rng.Uniform(5));
+          break;
+        case 1:
+          b.erase(pos, 1);
+          break;
+        default:
+          b.insert(pos, 1, static_cast<char>('a' + rng.Uniform(5)));
+      }
+    }
+    ASSERT_LE(EditDistance(a, b), k);
+    int n = 2;
+    int t = EditDistanceTOccurrence(static_cast<int>(a.size()), n, k);
+    if (t <= 0) continue;
+    // Count multiset gram intersection via occurrence-deduped sets.
+    std::vector<std::string> ga = DedupOccurrences(GramTokens(a, n));
+    std::vector<std::string> gb = DedupOccurrences(GramTokens(b, n));
+    std::set<std::string> sa(ga.begin(), ga.end()), sb(gb.begin(), gb.end());
+    std::vector<std::string> inter;
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::back_inserter(inter));
+    EXPECT_GE(static_cast<int>(inter.size()), t) << a << " vs " << b;
+  }
+}
+
+// ---------- Jaccard ----------
+
+TEST(JaccardTest, PaperExample) {
+  // {"Good","Product","Value"} vs {"Nice","Product"} -> 1/4.
+  EXPECT_DOUBLE_EQ(Jaccard({"Good", "Product", "Value"}, {"Nice", "Product"}),
+                   0.25);
+}
+
+TEST(JaccardTest, EdgeCases) {
+  // 0/0 is defined as 0 so empty fields never match (see jaccard.cc).
+  EXPECT_DOUBLE_EQ(Jaccard({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Jaccard({"a"}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Jaccard({"a", "b"}, {"a", "b"}), 1.0);
+}
+
+TEST(JaccardTest, MultisetSemantics) {
+  // {a,a,b} vs {a,b}: inter = 2 (one a + one b), union = 3 -> 2/3.
+  EXPECT_DOUBLE_EQ(Jaccard({"a", "a", "b"}, {"a", "b"}), 2.0 / 3.0);
+}
+
+TEST(JaccardCheckTest, MatchesExactWhenAboveThreshold) {
+  std::vector<std::string> a = {"a", "b", "c", "d"}, b = {"a", "b", "c", "x"};
+  double exact = JaccardSorted(a, b);
+  EXPECT_DOUBLE_EQ(JaccardCheckSorted(a, b, 0.5), exact);
+  EXPECT_EQ(JaccardCheckSorted(a, b, 0.9), -1.0);
+}
+
+TEST(JaccardCheckTest, LengthFilterShortCircuits) {
+  std::vector<std::string> small = {"a"};
+  std::vector<std::string> big = {"b", "c", "d", "e", "f", "g", "h", "i"};
+  EXPECT_EQ(JaccardCheckSorted(small, big, 0.5), -1.0);
+}
+
+class JaccardProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(JaccardProperty, CheckAgreesWithExact) {
+  double delta = GetParam();
+  Random rng(17);
+  for (int iter = 0; iter < 300; ++iter) {
+    auto make = [&rng] {
+      std::vector<std::string> v;
+      for (uint64_t i = 0, n = rng.Uniform(10); i < n; ++i) {
+        v.push_back(std::string(1, static_cast<char>('a' + rng.Uniform(6))));
+      }
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    std::vector<std::string> a = make(), b = make();
+    double exact = JaccardSorted(a, b);
+    double checked = JaccardCheckSorted(a, b, delta);
+    if (exact >= delta) {
+      EXPECT_DOUBLE_EQ(checked, exact);
+    } else {
+      EXPECT_EQ(checked, -1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, JaccardProperty,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0));
+
+TEST(PrefixLenJaccardTest, Formula) {
+  // len=4, delta=0.5 -> keep ceil(2)=2, prefix = 4-2+1 = 3.
+  EXPECT_EQ(PrefixLenJaccard(4, 0.5), 3);
+  EXPECT_EQ(PrefixLenJaccard(10, 0.8), 3);
+  EXPECT_EQ(PrefixLenJaccard(0, 0.5), 0);
+  EXPECT_EQ(PrefixLenJaccard(5, 1.0), 1);
+}
+
+// Prefix-filter completeness: if Jaccard(a,b) >= delta then the
+// prefix-len prefixes (under any shared total order) intersect.
+TEST(PrefixLenJaccardTest, PrefixFilterComplete) {
+  Random rng(41);
+  for (int iter = 0; iter < 500; ++iter) {
+    auto make = [&rng] {
+      std::set<std::string> s;
+      for (uint64_t i = 0, n = 1 + rng.Uniform(8); i < n; ++i) {
+        s.insert(std::string(1, static_cast<char>('a' + rng.Uniform(8))));
+      }
+      return std::vector<std::string>(s.begin(), s.end());
+    };
+    std::vector<std::string> a = make(), b = make();
+    double delta = 0.5;
+    if (JaccardSorted(a, b) < delta) continue;
+    // Shared order: lexicographic (both are sorted already).
+    int pa = PrefixLenJaccard(static_cast<int>(a.size()), delta);
+    int pb = PrefixLenJaccard(static_cast<int>(b.size()), delta);
+    std::set<std::string> prefix_a(a.begin(), a.begin() + pa);
+    bool overlap = false;
+    for (int i = 0; i < pb; ++i) {
+      if (prefix_a.count(b[static_cast<size_t>(i)]) > 0) overlap = true;
+    }
+    EXPECT_TRUE(overlap);
+  }
+}
+
+TEST(JaccardTOccurrenceTest, Bounds) {
+  EXPECT_EQ(JaccardTOccurrence(10, 0.5), 5);
+  EXPECT_EQ(JaccardTOccurrence(10, 0.81), 9);
+  EXPECT_EQ(JaccardTOccurrence(3, 0.2), 1);
+  EXPECT_GE(JaccardTOccurrence(0, 0.2), 1);  // never a corner case
+}
+
+TEST(JaccardLengthFilterTest, Bounds) {
+  EXPECT_EQ(JaccardMinLength(10, 0.5), 5);
+  EXPECT_EQ(JaccardMaxLength(10, 0.5), 20);
+}
+
+// ---------- registry / compatibility ----------
+
+TEST(RegistryTest, BuiltinsPresent) {
+  auto& reg = SimilarityFunctionRegistry::Global();
+  ASSERT_NE(reg.Find("edit-distance"), nullptr);
+  ASSERT_NE(reg.Find("similarity-jaccard"), nullptr);
+  EXPECT_EQ(reg.Find("no-such-fn"), nullptr);
+}
+
+TEST(RegistryTest, AliasesResolve) {
+  auto& reg = SimilarityFunctionRegistry::Global();
+  EXPECT_EQ(reg.FindByAlias("jaccard")->name, "similarity-jaccard");
+  EXPECT_EQ(reg.FindByAlias("ed")->name, "edit-distance");
+}
+
+TEST(RegistryTest, EvalAndCheck) {
+  auto& reg = SimilarityFunctionRegistry::Global();
+  const SimilarityFunction* ed = reg.Find("edit-distance");
+  Value d = *ed->eval(Value::String("james"), Value::String("jamie"));
+  EXPECT_EQ(d.AsInt64(), 2);
+  EXPECT_TRUE(*ed->check(Value::String("james"), Value::String("jamie"), 2));
+  EXPECT_FALSE(*ed->check(Value::String("james"), Value::String("jamie"), 1));
+
+  const SimilarityFunction* jac = reg.Find("similarity-jaccard");
+  Value a = Value::MakeArray({Value::String("good"), Value::String("product")});
+  Value b = Value::MakeArray({Value::String("product")});
+  EXPECT_DOUBLE_EQ((*jac->eval(a, b)).AsDoubleExact(), 0.5);
+  EXPECT_TRUE(*jac->check(a, b, 0.5));
+  EXPECT_FALSE(*jac->check(a, b, 0.6));
+}
+
+TEST(RegistryTest, UserDefinedFunction) {
+  auto& reg = SimilarityFunctionRegistry::Global();
+  reg.Register({.name = "similarity-test-overlap",
+                .sense = ThresholdSense::kSimilarityAtLeast,
+                .eval =
+                    [](const Value& a, const Value& b) -> Result<Value> {
+                      SIMDB_ASSIGN_OR_RETURN(auto ta, ValueToTokens(a));
+                      SIMDB_ASSIGN_OR_RETURN(auto tb, ValueToTokens(b));
+                      std::set<std::string> sa(ta.begin(), ta.end());
+                      int overlap = 0;
+                      for (const auto& t : tb) overlap += sa.count(t) > 0;
+                      return Value::Int64(overlap);
+                    },
+                .check = nullptr});
+  const SimilarityFunction* udf = reg.Find("similarity-test-overlap");
+  ASSERT_NE(udf, nullptr);
+  Value a = Value::MakeArray({Value::String("x"), Value::String("y")});
+  Value b = Value::MakeArray({Value::String("y")});
+  EXPECT_EQ((*udf->eval(a, b)).AsInt64(), 1);
+}
+
+TEST(IndexCompatTest, PaperFigure13) {
+  EXPECT_TRUE(IsIndexCompatible(IndexKind::kNGram, "edit-distance"));
+  EXPECT_TRUE(IsIndexCompatible(IndexKind::kNGram, "contains"));
+  EXPECT_FALSE(IsIndexCompatible(IndexKind::kNGram, "similarity-jaccard"));
+  EXPECT_TRUE(IsIndexCompatible(IndexKind::kKeyword, "similarity-jaccard"));
+  EXPECT_FALSE(IsIndexCompatible(IndexKind::kKeyword, "edit-distance"));
+}
+
+TEST(ValueToTokensTest, RejectsNonLists) {
+  EXPECT_FALSE(ValueToTokens(Value::String("abc")).ok());
+  EXPECT_FALSE(
+      ValueToTokens(Value::MakeArray({Value::Int64(1)})).ok());
+  Result<std::vector<std::string>> ok =
+      ValueToTokens(Value::MakeArray({Value::String("a")}));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 1u);
+}
+
+}  // namespace
+}  // namespace simdb::similarity

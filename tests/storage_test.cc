@@ -1,0 +1,666 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "similarity/edit_distance.h"
+#include "similarity/jaccard.h"
+#include "similarity/tokenizer.h"
+#include "storage/catalog.h"
+#include "storage/dataset.h"
+#include "storage/file_util.h"
+#include "storage/inverted_index.h"
+#include "storage/key.h"
+#include "storage/lsm_index.h"
+#include "storage/sorted_run.h"
+
+namespace simdb::storage {
+namespace {
+
+using adm::Value;
+
+class TempDir {
+ public:
+  TempDir() {
+    static int counter = 0;
+    path_ = (std::filesystem::temp_directory_path() /
+             ("simdb_test_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter++)))
+                .string();
+    EnsureDir(path_);
+  }
+  ~TempDir() { RemoveAll(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+CompositeKey IntKey(int64_t v) { return {Value::Int64(v)}; }
+
+// ---------- keys ----------
+
+TEST(KeyTest, CompareLexicographic) {
+  CompositeKey a = {Value::String("x"), Value::Int64(1)};
+  CompositeKey b = {Value::String("x"), Value::Int64(2)};
+  CompositeKey c = {Value::String("y")};
+  EXPECT_LT(CompareKeys(a, b), 0);
+  EXPECT_LT(CompareKeys(b, c), 0);
+  EXPECT_EQ(CompareKeys(a, a), 0);
+  EXPECT_LT(CompareKeys(c, {Value::String("y"), Value::Int64(0)}), 0);
+}
+
+TEST(KeyTest, EncodeDecodeRoundTrip) {
+  CompositeKey key = {Value::String("tok"), Value::Int64(42),
+                      Value::Double(1.5)};
+  Result<CompositeKey> back = DecodeKey(EncodeKey(key));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(CompareKeys(key, *back), 0);
+}
+
+// ---------- sorted runs ----------
+
+TEST(SortedRunTest, WriteReadScan) {
+  TempDir dir;
+  std::string path = dir.path() + "/run.dat";
+  SortedRunWriter writer(path, /*sparse_interval=*/4);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(writer.Add(EntryKind::kPut, IntKey(i * 2),
+                           "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+
+  auto reader = SortedRunReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ((*reader)->entry_count(), 100u);
+
+  auto it = (*reader)->NewIterator(nullptr);
+  ASSERT_TRUE(it.ok());
+  int count = 0;
+  while ((*it)->Valid()) {
+    EXPECT_EQ((*it)->key()[0].AsInt64(), count * 2);
+    ASSERT_TRUE((*it)->Next().ok());
+    ++count;
+  }
+  EXPECT_EQ(count, 100);
+}
+
+TEST(SortedRunTest, SeekFindsLowerBound) {
+  TempDir dir;
+  std::string path = dir.path() + "/run.dat";
+  SortedRunWriter writer(path, 4);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(writer.Add(EntryKind::kPut, IntKey(i * 10), "").ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  auto reader = *SortedRunReader::Open(path);
+
+  for (int64_t probe : {-5, 0, 5, 10, 123, 490, 495}) {
+    CompositeKey k = IntKey(probe);
+    auto it = *reader->NewIterator(&k);
+    if (probe <= 490) {
+      ASSERT_TRUE(it->Valid()) << probe;
+      int64_t expected = ((probe + 9) / 10) * 10;
+      if (probe <= 0) expected = 0;
+      EXPECT_EQ(it->key()[0].AsInt64(), expected) << probe;
+    } else {
+      EXPECT_FALSE(it->Valid());
+    }
+  }
+}
+
+TEST(SortedRunTest, GetPointLookup) {
+  TempDir dir;
+  std::string path = dir.path() + "/run.dat";
+  SortedRunWriter writer(path, 8);
+  ASSERT_TRUE(writer.Add(EntryKind::kPut, IntKey(1), "one").ok());
+  ASSERT_TRUE(writer.Add(EntryKind::kTombstone, IntKey(2), "").ok());
+  ASSERT_TRUE(writer.Add(EntryKind::kPut, IntKey(3), "three").ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  auto reader = *SortedRunReader::Open(path);
+
+  auto v1 = *reader->Get(IntKey(1));
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(v1->second, "one");
+  auto v2 = *reader->Get(IntKey(2));
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(v2->first, EntryKind::kTombstone);
+  EXPECT_FALSE((*reader->Get(IntKey(99))).has_value());
+}
+
+TEST(SortedRunTest, RejectsOutOfOrder) {
+  TempDir dir;
+  SortedRunWriter writer(dir.path() + "/run.dat", 8);
+  ASSERT_TRUE(writer.Add(EntryKind::kPut, IntKey(5), "").ok());
+  EXPECT_FALSE(writer.Add(EntryKind::kPut, IntKey(5), "").ok());
+  EXPECT_FALSE(writer.Add(EntryKind::kPut, IntKey(4), "").ok());
+}
+
+TEST(SortedRunTest, CorruptFileDetected) {
+  TempDir dir;
+  std::string path = dir.path() + "/bad.dat";
+  ASSERT_TRUE(WriteFileAtomic(path, "garbage").ok());
+  EXPECT_FALSE(SortedRunReader::Open(path).ok());
+}
+
+// ---------- LSM ----------
+
+TEST(LsmTest, PutGetDelete) {
+  TempDir dir;
+  auto lsm = *LsmIndex::Open(dir.path() + "/lsm");
+  ASSERT_TRUE(lsm->Put(IntKey(1), "a").ok());
+  ASSERT_TRUE(lsm->Put(IntKey(2), "b").ok());
+  EXPECT_EQ(**lsm->Get(IntKey(1)), "a");
+  ASSERT_TRUE(lsm->Delete(IntKey(1)).ok());
+  EXPECT_FALSE((*lsm->Get(IntKey(1))).has_value());
+  EXPECT_EQ(**lsm->Get(IntKey(2)), "b");
+}
+
+TEST(LsmTest, OverwriteKeepsNewest) {
+  TempDir dir;
+  auto lsm = *LsmIndex::Open(dir.path() + "/lsm");
+  ASSERT_TRUE(lsm->Put(IntKey(1), "old").ok());
+  ASSERT_TRUE(lsm->Flush().ok());
+  ASSERT_TRUE(lsm->Put(IntKey(1), "new").ok());
+  EXPECT_EQ(**lsm->Get(IntKey(1)), "new");
+  ASSERT_TRUE(lsm->Flush().ok());
+  EXPECT_EQ(**lsm->Get(IntKey(1)), "new");
+}
+
+TEST(LsmTest, TombstoneSurvivesFlush) {
+  TempDir dir;
+  auto lsm = *LsmIndex::Open(dir.path() + "/lsm");
+  ASSERT_TRUE(lsm->Put(IntKey(1), "x").ok());
+  ASSERT_TRUE(lsm->Flush().ok());
+  ASSERT_TRUE(lsm->Delete(IntKey(1)).ok());
+  ASSERT_TRUE(lsm->Flush().ok());
+  EXPECT_FALSE((*lsm->Get(IntKey(1))).has_value());
+  auto it = *lsm->NewIterator();
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST(LsmTest, PersistsAcrossReopen) {
+  TempDir dir;
+  {
+    auto lsm = *LsmIndex::Open(dir.path() + "/lsm");
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(lsm->Put(IntKey(i), std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(lsm->Flush().ok());
+  }
+  auto lsm = *LsmIndex::Open(dir.path() + "/lsm");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(**lsm->Get(IntKey(i)), std::to_string(i));
+  }
+}
+
+TEST(LsmTest, CompactMergesRunsAndDropsTombstones) {
+  TempDir dir;
+  auto lsm = *LsmIndex::Open(dir.path() + "/lsm");
+  for (int run = 0; run < 4; ++run) {
+    for (int i = run * 10; i < run * 10 + 10; ++i) {
+      ASSERT_TRUE(lsm->Put(IntKey(i), "v").ok());
+    }
+    ASSERT_TRUE(lsm->Flush().ok());
+  }
+  ASSERT_TRUE(lsm->Delete(IntKey(0)).ok());
+  ASSERT_TRUE(lsm->Flush().ok());
+  EXPECT_GT(lsm->num_runs(), 1u);
+  ASSERT_TRUE(lsm->Compact().ok());
+  EXPECT_EQ(lsm->num_runs(), 1u);
+  EXPECT_FALSE((*lsm->Get(IntKey(0))).has_value());
+  EXPECT_TRUE((*lsm->Get(IntKey(39))).has_value());
+}
+
+TEST(LsmTest, AutoFlushOnBudget) {
+  TempDir dir;
+  LsmOptions options;
+  options.memtable_budget_bytes = 4096;
+  auto lsm = *LsmIndex::Open(dir.path() + "/lsm", options);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(lsm->Put(IntKey(i), std::string(64, 'x')).ok());
+  }
+  EXPECT_GT(lsm->num_runs(), 0u);
+  EXPECT_GT(lsm->DiskSizeBytes(), 0u);
+}
+
+// Property: LSM behaves like std::map under random put/delete/get/scan.
+class LsmModelProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LsmModelProperty, MatchesReferenceModel) {
+  TempDir dir;
+  LsmOptions options;
+  options.memtable_budget_bytes = 2048;  // force frequent flushes
+  options.max_runs = 3;                  // force compactions
+  auto lsm = *LsmIndex::Open(dir.path() + "/lsm", options);
+  std::map<int64_t, std::string> model;
+  Random rng(GetParam());
+  for (int op = 0; op < 2000; ++op) {
+    int64_t k = rng.UniformRange(0, 150);
+    switch (rng.Uniform(3)) {
+      case 0: {
+        std::string v = "v" + std::to_string(rng.Uniform(1000));
+        ASSERT_TRUE(lsm->Put(IntKey(k), v).ok());
+        model[k] = v;
+        break;
+      }
+      case 1:
+        ASSERT_TRUE(lsm->Delete(IntKey(k)).ok());
+        model.erase(k);
+        break;
+      default: {
+        auto got = *lsm->Get(IntKey(k));
+        auto it = model.find(k);
+        if (it == model.end()) {
+          EXPECT_FALSE(got.has_value()) << "key " << k;
+        } else {
+          ASSERT_TRUE(got.has_value()) << "key " << k;
+          EXPECT_EQ(*got, it->second);
+        }
+      }
+    }
+  }
+  // Full scan must equal the model.
+  auto it = *lsm->NewIterator();
+  auto mit = model.begin();
+  while (it->Valid()) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(it->key()[0].AsInt64(), mit->first);
+    EXPECT_EQ(it->value(), mit->second);
+    ASSERT_TRUE(it->Next().ok());
+    ++mit;
+  }
+  EXPECT_EQ(mit, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsmModelProperty,
+                         ::testing::Values(1, 22, 333, 4444));
+
+TEST(LsmTest, RangeScanFromLowerBound) {
+  TempDir dir;
+  auto lsm = *LsmIndex::Open(dir.path() + "/lsm");
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(lsm->Put(IntKey(i), "").ok());
+  ASSERT_TRUE(lsm->Flush().ok());
+  for (int i = 50; i < 100; ++i) ASSERT_TRUE(lsm->Put(IntKey(i), "").ok());
+  CompositeKey lower = IntKey(90);
+  auto it = *lsm->NewIterator(&lower);
+  int count = 0;
+  while (it->Valid()) {
+    EXPECT_GE(it->key()[0].AsInt64(), 90);
+    ASSERT_TRUE(it->Next().ok());
+    ++count;
+  }
+  EXPECT_EQ(count, 10);
+}
+
+TEST(LsmTest, BulkLoadSorted) {
+  TempDir dir;
+  auto lsm = *LsmIndex::Open(dir.path() + "/lsm");
+  std::vector<std::pair<CompositeKey, std::string>> entries;
+  for (int i = 0; i < 100; ++i) entries.push_back({IntKey(i), "b"});
+  ASSERT_TRUE(lsm->BulkLoadSorted(entries).ok());
+  EXPECT_EQ(**lsm->Get(IntKey(50)), "b");
+  EXPECT_EQ(lsm->num_runs(), 1u);
+}
+
+TEST(LsmTest, SizeTieredPolicyMergesTiers) {
+  TempDir dir;
+  LsmOptions options;
+  options.merge_policy = MergePolicy::kSizeTiered;
+  options.max_runs = 3;
+  options.tier_min_runs = 3;
+  auto lsm = *LsmIndex::Open(dir.path() + "/lsm", options);
+  // Produce several similar-size runs; the policy must keep the count
+  // bounded without merging everything into one run each time.
+  for (int run = 0; run < 10; ++run) {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(lsm->Put(IntKey(run * 1000 + i), "v").ok());
+    }
+    ASSERT_TRUE(lsm->Flush().ok());
+  }
+  EXPECT_LE(lsm->num_runs(), 6u);
+  // All data still visible.
+  auto it = *lsm->NewIterator();
+  int count = 0;
+  while (it->Valid()) {
+    ++count;
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_EQ(count, 200);
+}
+
+TEST(LsmTest, SizeTieredKeepsTombstonesUntilFullMerge) {
+  TempDir dir;
+  LsmOptions options;
+  options.merge_policy = MergePolicy::kSizeTiered;
+  options.max_runs = 2;
+  options.tier_min_runs = 2;
+  auto lsm = *LsmIndex::Open(dir.path() + "/lsm", options);
+  // Oldest run holds the value.
+  ASSERT_TRUE(lsm->Put(IntKey(1), "old").ok());
+  ASSERT_TRUE(lsm->Flush().ok());
+  // Newer runs: a tombstone plus filler, flushed until tier merges happen
+  // among the NEW runs only.
+  ASSERT_TRUE(lsm->Delete(IntKey(1)).ok());
+  ASSERT_TRUE(lsm->Flush().ok());
+  for (int run = 0; run < 4; ++run) {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(lsm->Put(IntKey(100 + run * 10 + i), "x").ok());
+    }
+    ASSERT_TRUE(lsm->Flush().ok());
+  }
+  // The tombstone must still shadow the old value regardless of which
+  // partial merges ran.
+  EXPECT_FALSE((*lsm->Get(IntKey(1))).has_value());
+  // A full compaction finally drops it.
+  ASSERT_TRUE(lsm->Compact().ok());
+  EXPECT_EQ(lsm->num_runs(), 1u);
+  EXPECT_FALSE((*lsm->Get(IntKey(1))).has_value());
+}
+
+// Property: the size-tiered LSM behaves like std::map too.
+TEST(LsmTest, SizeTieredMatchesReferenceModel) {
+  TempDir dir;
+  LsmOptions options;
+  options.memtable_budget_bytes = 1024;
+  options.max_runs = 3;
+  options.merge_policy = MergePolicy::kSizeTiered;
+  auto lsm = *LsmIndex::Open(dir.path() + "/lsm", options);
+  std::map<int64_t, std::string> model;
+  Random rng(77);
+  for (int op = 0; op < 1500; ++op) {
+    int64_t k = rng.UniformRange(0, 120);
+    if (rng.OneIn(3)) {
+      ASSERT_TRUE(lsm->Delete(IntKey(k)).ok());
+      model.erase(k);
+    } else {
+      std::string v = "v" + std::to_string(op);
+      ASSERT_TRUE(lsm->Put(IntKey(k), v).ok());
+      model[k] = v;
+    }
+  }
+  auto it = *lsm->NewIterator();
+  auto mit = model.begin();
+  while (it->Valid()) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(it->key()[0].AsInt64(), mit->first);
+    EXPECT_EQ(it->value(), mit->second);
+    ASSERT_TRUE(it->Next().ok());
+    ++mit;
+  }
+  EXPECT_EQ(mit, model.end());
+}
+
+// ---------- inverted index ----------
+
+TEST(InvertedIndexTest, PaperFigure3Example) {
+  // Figure 2/3 of the paper: usernames indexed by 2-grams; query "marla",
+  // k=1 => T=2 produces candidates {2,3,5}.
+  TempDir dir;
+  auto index = *InvertedIndex::Open(dir.path() + "/inv");
+  std::vector<std::pair<int64_t, std::string>> users = {
+      {1, "james"}, {2, "mary"}, {3, "mario"}, {4, "jamie"}, {5, "maria"}};
+  for (const auto& [pk, name] : users) {
+    ASSERT_TRUE(index
+                    ->Insert(similarity::DedupOccurrences(
+                                 similarity::GramTokens(name, 2)),
+                             pk)
+                    .ok());
+  }
+  std::vector<std::string> query =
+      similarity::DedupOccurrences(similarity::GramTokens("marla", 2));
+  auto candidates = *index->SearchTOccurrence(query, 2);
+  EXPECT_EQ(candidates, (std::vector<int64_t>{2, 3, 5}));
+  // Verification keeps only review-id 5 ("maria" within ed 1 of "marla").
+  std::vector<int64_t> verified;
+  for (int64_t pk : candidates) {
+    const std::string& name = users[static_cast<size_t>(pk - 1)].second;
+    if (similarity::EditDistanceCheck(name, "marla", 1) >= 0) {
+      verified.push_back(pk);
+    }
+  }
+  EXPECT_EQ(verified, (std::vector<int64_t>{5}));
+}
+
+TEST(InvertedIndexTest, ScanCountAndHeapMergeAgree) {
+  TempDir dir;
+  auto index = *InvertedIndex::Open(dir.path() + "/inv");
+  Random rng(5);
+  std::vector<std::vector<std::string>> docs;
+  for (int64_t pk = 0; pk < 200; ++pk) {
+    std::vector<std::string> tokens;
+    for (uint64_t i = 0, n = 1 + rng.Uniform(8); i < n; ++i) {
+      tokens.push_back("t" + std::to_string(rng.Uniform(30)));
+    }
+    tokens = similarity::DedupOccurrences(tokens);
+    docs.push_back(tokens);
+    ASSERT_TRUE(index->Insert(tokens, pk).ok());
+  }
+  for (int q = 0; q < 20; ++q) {
+    const std::vector<std::string>& query = docs[rng.Uniform(docs.size())];
+    for (int t = 1; t <= 3; ++t) {
+      auto scan = *index->SearchTOccurrence(query, t,
+                                            TOccurrenceAlgorithm::kScanCount);
+      auto heap = *index->SearchTOccurrence(query, t,
+                                            TOccurrenceAlgorithm::kHeapMerge);
+      EXPECT_EQ(scan, heap) << "t=" << t;
+    }
+  }
+}
+
+TEST(InvertedIndexTest, RejectsNonPositiveT) {
+  TempDir dir;
+  auto index = *InvertedIndex::Open(dir.path() + "/inv");
+  EXPECT_FALSE(index->SearchTOccurrence({"a"}, 0).ok());
+}
+
+TEST(InvertedIndexTest, StatsPopulated) {
+  TempDir dir;
+  auto index = *InvertedIndex::Open(dir.path() + "/inv");
+  ASSERT_TRUE(index->Insert({"a", "b"}, 1).ok());
+  ASSERT_TRUE(index->Insert({"a"}, 2).ok());
+  InvertedSearchStats stats;
+  auto result = *index->SearchTOccurrence({"a", "b"}, 1,
+                                          TOccurrenceAlgorithm::kScanCount,
+                                          &stats);
+  EXPECT_EQ(result.size(), 2u);
+  EXPECT_EQ(stats.lists_probed, 2u);
+  EXPECT_EQ(stats.postings_read, 3u);
+  EXPECT_EQ(stats.candidates, 2u);
+}
+
+// Property: T-occurrence candidates are a superset of true edit-distance
+// answers (no false negatives) whenever T > 0.
+class TOccurrenceCompleteness : public ::testing::TestWithParam<int> {};
+
+TEST_P(TOccurrenceCompleteness, NoFalseNegativesForEditDistance) {
+  int k = GetParam();
+  TempDir dir;
+  auto index = *InvertedIndex::Open(dir.path() + "/inv");
+  Random rng(101);
+  std::vector<std::string> names;
+  const char* pool[] = {"maria", "mario", "marla", "mary", "jamie",
+                        "james", "marcus", "mark", "martha", "marion"};
+  for (int64_t pk = 0; pk < 10; ++pk) {
+    names.push_back(pool[pk]);
+    ASSERT_TRUE(index
+                    ->Insert(similarity::DedupOccurrences(
+                                 similarity::GramTokens(pool[pk], 2)),
+                             pk)
+                    .ok());
+  }
+  for (const char* q : pool) {
+    int t = similarity::EditDistanceTOccurrence(
+        static_cast<int>(std::string(q).size()), 2, k);
+    if (t <= 0) continue;  // corner case: index is not used
+    auto candidates = *index->SearchTOccurrence(
+        similarity::DedupOccurrences(similarity::GramTokens(q, 2)), t);
+    std::set<int64_t> candidate_set(candidates.begin(), candidates.end());
+    for (int64_t pk = 0; pk < 10; ++pk) {
+      if (similarity::EditDistanceCheck(names[static_cast<size_t>(pk)], q, k) >=
+          0) {
+        EXPECT_TRUE(candidate_set.count(pk)) << q << " should match " << pk;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, TOccurrenceCompleteness,
+                         ::testing::Values(1, 2));
+
+// ---------- dataset / catalog ----------
+
+Value ReviewRecord(int64_t id, const std::string& name,
+                   const std::string& summary) {
+  return Value::MakeObject({{"id", Value::Int64(id)},
+                            {"reviewerName", Value::String(name)},
+                            {"summary", Value::String(summary)}});
+}
+
+TEST(DatasetTest, InsertAndGet) {
+  TempDir dir;
+  auto ds = *Dataset::Create(dir.path() + "/ds", {"reviews", "id", 4});
+  ASSERT_TRUE(ds->Insert(ReviewRecord(7, "maria", "great product")).ok());
+  auto rec = *ds->GetByPk(7);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->GetField("reviewerName").AsString(), "maria");
+  EXPECT_FALSE((*ds->GetByPk(8)).has_value());
+}
+
+TEST(DatasetTest, AutoGeneratedPk) {
+  TempDir dir;
+  auto ds = *Dataset::Create(dir.path() + "/ds", {"reviews", "id", 2});
+  Value rec = Value::MakeObject({{"summary", Value::String("no pk here")}});
+  int64_t pk1 = *ds->Insert(rec);
+  int64_t pk2 = *ds->Insert(rec);
+  EXPECT_NE(pk1, pk2);
+  EXPECT_EQ((*ds->GetByPk(pk1))->GetField("id").AsInt64(), pk1);
+}
+
+TEST(DatasetTest, ScanPartitionsCoverAllRecords) {
+  TempDir dir;
+  auto ds = *Dataset::Create(dir.path() + "/ds", {"reviews", "id", 4});
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ds->Insert(ReviewRecord(i, "n" + std::to_string(i), "s")).ok());
+  }
+  std::set<int64_t> seen;
+  size_t nonempty = 0;
+  for (int p = 0; p < 4; ++p) {
+    auto records = *ds->ScanPartition(p);
+    if (!records.empty()) ++nonempty;
+    for (const Value& r : records) seen.insert(r.GetField("id").AsInt64());
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(nonempty, 4u);  // hash partitioning spreads the data
+}
+
+TEST(DatasetTest, KeywordIndexSearch) {
+  TempDir dir;
+  auto ds = *Dataset::Create(dir.path() + "/ds", {"reviews", "id", 2});
+  ASSERT_TRUE(ds->Insert(ReviewRecord(1, "a", "great product value")).ok());
+  ASSERT_TRUE(ds->Insert(ReviewRecord(2, "b", "nice product")).ok());
+  ASSERT_TRUE(ds->Insert(ReviewRecord(3, "c", "awful thing")).ok());
+  ASSERT_TRUE(ds->CreateIndex({"smix", "summary",
+                               similarity::IndexKind::kKeyword, 2, false})
+                  .ok());
+  // Probe both partitions for records sharing >= 1 token with the query.
+  std::vector<std::string> query = similarity::DedupOccurrences(
+      similarity::WordTokens("product quality"));
+  std::set<int64_t> found;
+  for (int p = 0; p < 2; ++p) {
+    auto pks = *ds->inverted_index(p, "smix")->SearchTOccurrence(query, 1);
+    found.insert(pks.begin(), pks.end());
+  }
+  EXPECT_EQ(found, (std::set<int64_t>{1, 2}));
+}
+
+TEST(DatasetTest, IndexMaintainedOnInsertAndDelete) {
+  TempDir dir;
+  auto ds = *Dataset::Create(dir.path() + "/ds", {"reviews", "id", 2});
+  ASSERT_TRUE(ds->CreateIndex({"nix", "reviewerName",
+                               similarity::IndexKind::kNGram, 2, false})
+                  .ok());
+  ASSERT_TRUE(ds->Insert(ReviewRecord(10, "maria", "x")).ok());
+  std::vector<std::string> query =
+      similarity::DedupOccurrences(similarity::GramTokens("maria", 2));
+  int p = ds->PartitionOfPk(10);
+  EXPECT_EQ((*ds->inverted_index(p, "nix")->SearchTOccurrence(query, 4)).size(),
+            1u);
+  ASSERT_TRUE(ds->Delete(10).ok());
+  EXPECT_TRUE((*ds->inverted_index(p, "nix")->SearchTOccurrence(query, 4))
+                  .empty());
+  EXPECT_FALSE((*ds->GetByPk(10)).has_value());
+}
+
+TEST(DatasetTest, BtreeIndexSearch) {
+  TempDir dir;
+  auto ds = *Dataset::Create(dir.path() + "/ds", {"reviews", "id", 2});
+  ASSERT_TRUE(ds->Insert(ReviewRecord(1, "maria", "x")).ok());
+  ASSERT_TRUE(ds->Insert(ReviewRecord(2, "maria", "y")).ok());
+  ASSERT_TRUE(ds->Insert(ReviewRecord(3, "james", "z")).ok());
+  ASSERT_TRUE(
+      ds->CreateIndex({"bt", "reviewerName", similarity::IndexKind::kBtree,
+                       0, false})
+          .ok());
+  std::set<int64_t> found;
+  for (int p = 0; p < 2; ++p) {
+    auto pks = *ds->BtreeSearch(p, "bt", Value::String("maria"));
+    found.insert(pks.begin(), pks.end());
+  }
+  EXPECT_EQ(found, (std::set<int64_t>{1, 2}));
+}
+
+TEST(DatasetTest, FindIndexOnField) {
+  TempDir dir;
+  auto ds = *Dataset::Create(dir.path() + "/ds", {"reviews", "id", 2});
+  ASSERT_TRUE(ds->CreateIndex({"smix", "summary",
+                               similarity::IndexKind::kKeyword, 2, false})
+                  .ok());
+  EXPECT_NE(ds->FindIndexOnField("summary", similarity::IndexKind::kKeyword),
+            nullptr);
+  EXPECT_EQ(ds->FindIndexOnField("summary", similarity::IndexKind::kNGram),
+            nullptr);
+  EXPECT_EQ(ds->FindIndexOnField("other", std::nullopt), nullptr);
+}
+
+TEST(DatasetTest, DuplicateIndexRejected) {
+  TempDir dir;
+  auto ds = *Dataset::Create(dir.path() + "/ds", {"reviews", "id", 2});
+  IndexSpec spec{"smix", "summary", similarity::IndexKind::kKeyword, 2, false};
+  ASSERT_TRUE(ds->CreateIndex(spec).ok());
+  EXPECT_FALSE(ds->CreateIndex(spec).ok());
+}
+
+TEST(DatasetTest, DiskSizesReported) {
+  TempDir dir;
+  auto ds = *Dataset::Create(dir.path() + "/ds", {"reviews", "id", 2});
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        ds->Insert(ReviewRecord(i, "name" + std::to_string(i),
+                                "summary text number " + std::to_string(i)))
+            .ok());
+  }
+  ASSERT_TRUE(ds->CreateIndex({"smix", "summary",
+                               similarity::IndexKind::kKeyword, 2, false})
+                  .ok());
+  ASSERT_TRUE(ds->FlushAll().ok());
+  EXPECT_GT(ds->PrimaryDiskSize(), 0u);
+  EXPECT_GT(ds->IndexDiskSize("smix"), 0u);
+}
+
+TEST(CatalogTest, CreateFindDrop) {
+  TempDir dir;
+  Catalog catalog(dir.path());
+  auto ds = catalog.CreateDataset({"reviews", "id", 2});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(catalog.Find("reviews"), *ds);
+  EXPECT_FALSE(catalog.CreateDataset({"reviews", "id", 2}).ok());
+  ASSERT_TRUE(catalog.DropDataset("reviews").ok());
+  EXPECT_EQ(catalog.Find("reviews"), nullptr);
+  EXPECT_FALSE(catalog.DropDataset("reviews").ok());
+}
+
+}  // namespace
+}  // namespace simdb::storage

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "adm/value.h"
+#include "common/random.h"
+
+namespace simdb::adm {
+namespace {
+
+TEST(ValueTest, DefaultIsMissing) {
+  Value v;
+  EXPECT_TRUE(v.is_missing());
+  EXPECT_EQ(v.type(), ValueType::kMissing);
+}
+
+TEST(ValueTest, Scalars) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Boolean(true).AsBoolean());
+  EXPECT_EQ(Value::Int64(-5).AsInt64(), -5);
+  EXPECT_EQ(Value::Double(2.5).AsDoubleExact(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, NumericCoercionInAsNumber) {
+  EXPECT_EQ(Value::Int64(3).AsNumber(), 3.0);
+  EXPECT_EQ(Value::Double(3.25).AsNumber(), 3.25);
+}
+
+TEST(ValueTest, CrossTypeOrder) {
+  // MISSING < NULL < bool < numbers < strings < arrays < multisets < objects.
+  std::vector<Value> ordered = {
+      Value::Missing(),
+      Value::Null(),
+      Value::Boolean(false),
+      Value::Int64(1),
+      Value::String("a"),
+      Value::MakeArray({Value::Int64(1)}),
+      Value::MakeMultiset({Value::Int64(1)}),
+      Value::MakeObject({{"a", Value::Int64(1)}}),
+  };
+  for (size_t i = 0; i + 1 < ordered.size(); ++i) {
+    EXPECT_LT(Value::Compare(ordered[i], ordered[i + 1]), 0)
+        << "at index " << i;
+  }
+}
+
+TEST(ValueTest, IntAndDoubleCompareNumerically) {
+  EXPECT_EQ(Value::Compare(Value::Int64(2), Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Compare(Value::Int64(2), Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Compare(Value::Double(3.1), Value::Int64(3)), 0);
+}
+
+TEST(ValueTest, EqualsAndHashAgreeOnMixedNumerics) {
+  Value a = Value::Int64(7), b = Value::Double(7.0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ValueTest, ArrayCompareLexicographic) {
+  Value a = Value::MakeArray({Value::Int64(1), Value::Int64(2)});
+  Value b = Value::MakeArray({Value::Int64(1), Value::Int64(3)});
+  Value c = Value::MakeArray({Value::Int64(1)});
+  EXPECT_LT(Value::Compare(a, b), 0);
+  EXPECT_LT(Value::Compare(c, a), 0);
+  EXPECT_EQ(Value::Compare(a, a), 0);
+}
+
+TEST(ValueTest, ObjectFieldsSortedAndDeduped) {
+  Value v = Value::MakeObject(
+      {{"b", Value::Int64(2)}, {"a", Value::Int64(1)}, {"b", Value::Int64(3)}});
+  const Value::Object& fields = v.AsObject();
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0].first, "a");
+  EXPECT_EQ(fields[1].first, "b");
+  EXPECT_EQ(fields[1].second.AsInt64(), 3);  // last occurrence wins
+}
+
+TEST(ValueTest, GetFieldReturnsMissingWhenAbsent) {
+  Value v = Value::MakeObject({{"x", Value::Int64(1)}});
+  EXPECT_EQ(v.GetField("x").AsInt64(), 1);
+  EXPECT_TRUE(v.GetField("y").is_missing());
+  EXPECT_TRUE(Value::Int64(5).GetField("x").is_missing());
+}
+
+TEST(ValueTest, ObjectOrderInsensitiveEquality) {
+  Value a = Value::MakeObject({{"x", Value::Int64(1)}, {"y", Value::Int64(2)}});
+  Value b = Value::MakeObject({{"y", Value::Int64(2)}, {"x", Value::Int64(1)}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(JsonTest, ParseScalars) {
+  EXPECT_TRUE((*Value::FromJson("null")).is_null());
+  EXPECT_TRUE((*Value::FromJson("true")).AsBoolean());
+  EXPECT_FALSE((*Value::FromJson("false")).AsBoolean());
+  EXPECT_EQ((*Value::FromJson("42")).AsInt64(), 42);
+  EXPECT_EQ((*Value::FromJson("-7")).AsInt64(), -7);
+  EXPECT_EQ((*Value::FromJson("2.5")).AsDoubleExact(), 2.5);
+  EXPECT_EQ((*Value::FromJson("\"abc\"")).AsString(), "abc");
+}
+
+TEST(JsonTest, IntegerStaysInt64) {
+  Value v = *Value::FromJson("123");
+  EXPECT_TRUE(v.is_int64());
+  Value d = *Value::FromJson("123.0");
+  EXPECT_TRUE(d.is_double());
+  Value e = *Value::FromJson("1e3");
+  EXPECT_TRUE(e.is_double());
+}
+
+TEST(JsonTest, ParseNested) {
+  Result<Value> r = Value::FromJson(
+      R"({"id": 1, "tags": ["a", "b"], "inner": {"x": 2.5}})");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Value& v = *r;
+  EXPECT_EQ(v.GetField("id").AsInt64(), 1);
+  EXPECT_EQ(v.GetField("tags").AsList().size(), 2u);
+  EXPECT_EQ(v.GetField("inner").GetField("x").AsDoubleExact(), 2.5);
+}
+
+TEST(JsonTest, MultisetSyntax) {
+  Result<Value> r = Value::FromJson(R"({{1, 2, 2}})");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->is_multiset());
+  EXPECT_EQ(r->AsList().size(), 3u);
+}
+
+TEST(JsonTest, StringEscapes) {
+  Value v = *Value::FromJson(R"("a\"b\\c\ndA")");
+  EXPECT_EQ(v.AsString(), "a\"b\\c\ndA");
+}
+
+TEST(JsonTest, Errors) {
+  EXPECT_FALSE(Value::FromJson("").ok());
+  EXPECT_FALSE(Value::FromJson("{").ok());
+  EXPECT_FALSE(Value::FromJson("[1,").ok());
+  EXPECT_FALSE(Value::FromJson("12abc").ok());
+  EXPECT_FALSE(Value::FromJson("\"unterminated").ok());
+  EXPECT_FALSE(Value::FromJson("{\"a\":1} trailing").ok());
+}
+
+TEST(JsonTest, RoundTrip) {
+  const char* docs[] = {
+      "null",
+      "true",
+      "-17",
+      "\"hello world\"",
+      R"(["a",1,2.5,null,{"k":false}])",
+      R"({"a":1,"b":[1,2,3],"c":{"d":"e"}})",
+      R"({{"x","x","y"}})",
+  };
+  for (const char* doc : docs) {
+    Value v = *Value::FromJson(doc);
+    Value v2 = *Value::FromJson(v.ToJson());
+    EXPECT_EQ(v, v2) << doc;
+  }
+}
+
+Value RandomValue(Random& rng, int depth) {
+  switch (rng.Uniform(depth > 2 ? 5 : 8)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Boolean(rng.OneIn(2));
+    case 2:
+      return Value::Int64(rng.UniformRange(-1000, 1000));
+    case 3:
+      return Value::Double(static_cast<double>(rng.UniformRange(-99, 99)) / 4);
+    case 4: {
+      std::string s;
+      for (uint64_t i = 0, n = rng.Uniform(10); i < n; ++i) {
+        s.push_back(static_cast<char>('a' + rng.Uniform(26)));
+      }
+      return Value::String(s);
+    }
+    case 5:
+    case 6: {
+      Value::Array items;
+      for (uint64_t i = 0, n = rng.Uniform(4); i < n; ++i) {
+        items.push_back(RandomValue(rng, depth + 1));
+      }
+      return rng.OneIn(3) ? Value::MakeMultiset(std::move(items))
+                          : Value::MakeArray(std::move(items));
+    }
+    default: {
+      Value::Object fields;
+      for (uint64_t i = 0, n = rng.Uniform(4); i < n; ++i) {
+        fields.emplace_back("f" + std::to_string(i), RandomValue(rng, depth + 1));
+      }
+      return Value::MakeObject(std::move(fields));
+    }
+  }
+}
+
+TEST(SerdeTest, RandomRoundTrip) {
+  Random rng(99);
+  for (int i = 0; i < 500; ++i) {
+    Value v = RandomValue(rng, 0);
+    std::string buf;
+    ByteWriter w(&buf);
+    v.Serialize(&w);
+    ByteReader r(buf);
+    Result<Value> back = Value::Deserialize(&r);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(v, *back);
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(SerdeTest, JsonRandomRoundTrip) {
+  Random rng(123);
+  for (int i = 0; i < 200; ++i) {
+    Value v = RandomValue(rng, 0);
+    Result<Value> back = Value::FromJson(v.ToJson());
+    ASSERT_TRUE(back.ok()) << v.ToJson() << ": " << back.status().ToString();
+    EXPECT_EQ(v, *back) << v.ToJson();
+  }
+}
+
+TEST(SerdeTest, TruncatedBufferFails) {
+  Value v = Value::MakeObject({{"a", Value::String("hello")}});
+  std::string buf;
+  ByteWriter w(&buf);
+  v.Serialize(&w);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    ByteReader r(std::string_view(buf).substr(0, cut));
+    EXPECT_FALSE(Value::Deserialize(&r).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(MemoryUsageTest, GrowsWithContent) {
+  Value small = Value::Int64(1);
+  Value big = Value::String(std::string(1000, 'x'));
+  EXPECT_GT(big.MemoryUsage(), small.MemoryUsage() + 900);
+}
+
+}  // namespace
+}  // namespace simdb::adm
