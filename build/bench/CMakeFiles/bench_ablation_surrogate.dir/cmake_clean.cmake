@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_surrogate.dir/bench_ablation_surrogate.cpp.o"
+  "CMakeFiles/bench_ablation_surrogate.dir/bench_ablation_surrogate.cpp.o.d"
+  "bench_ablation_surrogate"
+  "bench_ablation_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

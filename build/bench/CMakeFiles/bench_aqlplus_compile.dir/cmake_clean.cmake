@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aqlplus_compile.dir/bench_aqlplus_compile.cpp.o"
+  "CMakeFiles/bench_aqlplus_compile.dir/bench_aqlplus_compile.cpp.o.d"
+  "bench_aqlplus_compile"
+  "bench_aqlplus_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aqlplus_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

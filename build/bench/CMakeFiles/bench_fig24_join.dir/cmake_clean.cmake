@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_join.dir/bench_fig24_join.cpp.o"
+  "CMakeFiles/bench_fig24_join.dir/bench_fig24_join.cpp.o.d"
+  "bench_fig24_join"
+  "bench_fig24_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

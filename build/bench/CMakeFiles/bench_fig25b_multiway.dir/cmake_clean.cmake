@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25b_multiway.dir/bench_fig25b_multiway.cpp.o"
+  "CMakeFiles/bench_fig25b_multiway.dir/bench_fig25b_multiway.cpp.o.d"
+  "bench_fig25b_multiway"
+  "bench_fig25b_multiway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25b_multiway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig25b_multiway.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig27_scaling.dir/bench_fig27_scaling.cpp.o"
+  "CMakeFiles/bench_fig27_scaling.dir/bench_fig27_scaling.cpp.o.d"
+  "bench_fig27_scaling"
+  "bench_fig27_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig27_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

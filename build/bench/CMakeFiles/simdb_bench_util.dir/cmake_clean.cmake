@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdb_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/simdb_bench_util.dir/bench_util.cc.o.d"
+  "libsimdb_bench_util.a"
+  "libsimdb_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdb_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

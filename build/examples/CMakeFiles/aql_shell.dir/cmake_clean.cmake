@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_shell.dir/aql_shell.cpp.o"
+  "CMakeFiles/aql_shell.dir/aql_shell.cpp.o.d"
+  "aql_shell"
+  "aql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqlplus_custom_rewrite.dir/aqlplus_custom_rewrite.cpp.o"
+  "CMakeFiles/aqlplus_custom_rewrite.dir/aqlplus_custom_rewrite.cpp.o.d"
+  "aqlplus_custom_rewrite"
+  "aqlplus_custom_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqlplus_custom_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_product_search.dir/fuzzy_product_search.cpp.o"
+  "CMakeFiles/fuzzy_product_search.dir/fuzzy_product_search.cpp.o.d"
+  "fuzzy_product_search"
+  "fuzzy_product_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_product_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_media.dir/social_media.cpp.o"
+  "CMakeFiles/social_media.dir/social_media.cpp.o.d"
+  "social_media"
+  "social_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

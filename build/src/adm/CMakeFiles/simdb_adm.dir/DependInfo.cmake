@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adm/value.cc" "src/adm/CMakeFiles/simdb_adm.dir/value.cc.o" "gcc" "src/adm/CMakeFiles/simdb_adm.dir/value.cc.o.d"
+  "/root/repo/src/adm/value_json.cc" "src/adm/CMakeFiles/simdb_adm.dir/value_json.cc.o" "gcc" "src/adm/CMakeFiles/simdb_adm.dir/value_json.cc.o.d"
+  "/root/repo/src/adm/value_serde.cc" "src/adm/CMakeFiles/simdb_adm.dir/value_serde.cc.o" "gcc" "src/adm/CMakeFiles/simdb_adm.dir/value_serde.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/simdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

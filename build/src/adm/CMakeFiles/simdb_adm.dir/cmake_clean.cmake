@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdb_adm.dir/value.cc.o"
+  "CMakeFiles/simdb_adm.dir/value.cc.o.d"
+  "CMakeFiles/simdb_adm.dir/value_json.cc.o"
+  "CMakeFiles/simdb_adm.dir/value_json.cc.o.d"
+  "CMakeFiles/simdb_adm.dir/value_serde.cc.o"
+  "CMakeFiles/simdb_adm.dir/value_serde.cc.o.d"
+  "libsimdb_adm.a"
+  "libsimdb_adm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdb_adm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

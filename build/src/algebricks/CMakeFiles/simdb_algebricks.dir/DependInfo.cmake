@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebricks/jobgen.cc" "src/algebricks/CMakeFiles/simdb_algebricks.dir/jobgen.cc.o" "gcc" "src/algebricks/CMakeFiles/simdb_algebricks.dir/jobgen.cc.o.d"
+  "/root/repo/src/algebricks/lexpr.cc" "src/algebricks/CMakeFiles/simdb_algebricks.dir/lexpr.cc.o" "gcc" "src/algebricks/CMakeFiles/simdb_algebricks.dir/lexpr.cc.o.d"
+  "/root/repo/src/algebricks/lop.cc" "src/algebricks/CMakeFiles/simdb_algebricks.dir/lop.cc.o" "gcc" "src/algebricks/CMakeFiles/simdb_algebricks.dir/lop.cc.o.d"
+  "/root/repo/src/algebricks/rules.cc" "src/algebricks/CMakeFiles/simdb_algebricks.dir/rules.cc.o" "gcc" "src/algebricks/CMakeFiles/simdb_algebricks.dir/rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hyracks/CMakeFiles/simdb_hyracks.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/simdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/adm/CMakeFiles/simdb_adm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/simdb_similarity.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdb_algebricks.dir/jobgen.cc.o"
+  "CMakeFiles/simdb_algebricks.dir/jobgen.cc.o.d"
+  "CMakeFiles/simdb_algebricks.dir/lexpr.cc.o"
+  "CMakeFiles/simdb_algebricks.dir/lexpr.cc.o.d"
+  "CMakeFiles/simdb_algebricks.dir/lop.cc.o"
+  "CMakeFiles/simdb_algebricks.dir/lop.cc.o.d"
+  "CMakeFiles/simdb_algebricks.dir/rules.cc.o"
+  "CMakeFiles/simdb_algebricks.dir/rules.cc.o.d"
+  "libsimdb_algebricks.a"
+  "libsimdb_algebricks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdb_algebricks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimdb_algebricks.a"
+)

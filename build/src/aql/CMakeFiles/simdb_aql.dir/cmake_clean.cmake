@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdb_aql.dir/lexer.cc.o"
+  "CMakeFiles/simdb_aql.dir/lexer.cc.o.d"
+  "CMakeFiles/simdb_aql.dir/parser.cc.o"
+  "CMakeFiles/simdb_aql.dir/parser.cc.o.d"
+  "CMakeFiles/simdb_aql.dir/translator.cc.o"
+  "CMakeFiles/simdb_aql.dir/translator.cc.o.d"
+  "libsimdb_aql.a"
+  "libsimdb_aql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdb_aql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdb_cluster.dir/cost_model.cc.o"
+  "CMakeFiles/simdb_cluster.dir/cost_model.cc.o.d"
+  "libsimdb_cluster.a"
+  "libsimdb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

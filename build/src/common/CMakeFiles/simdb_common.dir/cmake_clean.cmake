@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdb_common.dir/logging.cc.o"
+  "CMakeFiles/simdb_common.dir/logging.cc.o.d"
+  "CMakeFiles/simdb_common.dir/random.cc.o"
+  "CMakeFiles/simdb_common.dir/random.cc.o.d"
+  "CMakeFiles/simdb_common.dir/status.cc.o"
+  "CMakeFiles/simdb_common.dir/status.cc.o.d"
+  "CMakeFiles/simdb_common.dir/thread_pool.cc.o"
+  "CMakeFiles/simdb_common.dir/thread_pool.cc.o.d"
+  "libsimdb_common.a"
+  "libsimdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdb_core.dir/query_processor.cc.o"
+  "CMakeFiles/simdb_core.dir/query_processor.cc.o.d"
+  "CMakeFiles/simdb_core.dir/rules_similarity.cc.o"
+  "CMakeFiles/simdb_core.dir/rules_similarity.cc.o.d"
+  "CMakeFiles/simdb_core.dir/sim_predicate.cc.o"
+  "CMakeFiles/simdb_core.dir/sim_predicate.cc.o.d"
+  "CMakeFiles/simdb_core.dir/three_stage.cc.o"
+  "CMakeFiles/simdb_core.dir/three_stage.cc.o.d"
+  "libsimdb_core.a"
+  "libsimdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdb_datagen.dir/textgen.cc.o"
+  "CMakeFiles/simdb_datagen.dir/textgen.cc.o.d"
+  "libsimdb_datagen.a"
+  "libsimdb_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdb_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

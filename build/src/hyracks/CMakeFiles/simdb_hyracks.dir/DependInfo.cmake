@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hyracks/exec.cc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/exec.cc.o" "gcc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/exec.cc.o.d"
+  "/root/repo/src/hyracks/expr.cc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/expr.cc.o" "gcc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/expr.cc.o.d"
+  "/root/repo/src/hyracks/functions.cc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/functions.cc.o" "gcc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/functions.cc.o.d"
+  "/root/repo/src/hyracks/ops_basic.cc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/ops_basic.cc.o" "gcc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/ops_basic.cc.o.d"
+  "/root/repo/src/hyracks/ops_exchange.cc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/ops_exchange.cc.o" "gcc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/ops_exchange.cc.o.d"
+  "/root/repo/src/hyracks/ops_group.cc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/ops_group.cc.o" "gcc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/ops_group.cc.o.d"
+  "/root/repo/src/hyracks/ops_index.cc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/ops_index.cc.o" "gcc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/ops_index.cc.o.d"
+  "/root/repo/src/hyracks/ops_join.cc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/ops_join.cc.o" "gcc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/ops_join.cc.o.d"
+  "/root/repo/src/hyracks/ops_scan.cc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/ops_scan.cc.o" "gcc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/ops_scan.cc.o.d"
+  "/root/repo/src/hyracks/tuple.cc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/tuple.cc.o" "gcc" "src/hyracks/CMakeFiles/simdb_hyracks.dir/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/simdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/simdb_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/adm/CMakeFiles/simdb_adm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

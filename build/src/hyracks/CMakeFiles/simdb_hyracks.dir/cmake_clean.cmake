@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdb_hyracks.dir/exec.cc.o"
+  "CMakeFiles/simdb_hyracks.dir/exec.cc.o.d"
+  "CMakeFiles/simdb_hyracks.dir/expr.cc.o"
+  "CMakeFiles/simdb_hyracks.dir/expr.cc.o.d"
+  "CMakeFiles/simdb_hyracks.dir/functions.cc.o"
+  "CMakeFiles/simdb_hyracks.dir/functions.cc.o.d"
+  "CMakeFiles/simdb_hyracks.dir/ops_basic.cc.o"
+  "CMakeFiles/simdb_hyracks.dir/ops_basic.cc.o.d"
+  "CMakeFiles/simdb_hyracks.dir/ops_exchange.cc.o"
+  "CMakeFiles/simdb_hyracks.dir/ops_exchange.cc.o.d"
+  "CMakeFiles/simdb_hyracks.dir/ops_group.cc.o"
+  "CMakeFiles/simdb_hyracks.dir/ops_group.cc.o.d"
+  "CMakeFiles/simdb_hyracks.dir/ops_index.cc.o"
+  "CMakeFiles/simdb_hyracks.dir/ops_index.cc.o.d"
+  "CMakeFiles/simdb_hyracks.dir/ops_join.cc.o"
+  "CMakeFiles/simdb_hyracks.dir/ops_join.cc.o.d"
+  "CMakeFiles/simdb_hyracks.dir/ops_scan.cc.o"
+  "CMakeFiles/simdb_hyracks.dir/ops_scan.cc.o.d"
+  "CMakeFiles/simdb_hyracks.dir/tuple.cc.o"
+  "CMakeFiles/simdb_hyracks.dir/tuple.cc.o.d"
+  "libsimdb_hyracks.a"
+  "libsimdb_hyracks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdb_hyracks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

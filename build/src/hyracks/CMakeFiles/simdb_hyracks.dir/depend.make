@@ -1,0 +1,2 @@
+# Empty dependencies file for simdb_hyracks.
+# This may be replaced when dependencies are built.

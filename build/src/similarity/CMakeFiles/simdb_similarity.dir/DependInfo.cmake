@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/similarity/edit_distance.cc" "src/similarity/CMakeFiles/simdb_similarity.dir/edit_distance.cc.o" "gcc" "src/similarity/CMakeFiles/simdb_similarity.dir/edit_distance.cc.o.d"
+  "/root/repo/src/similarity/index_compat.cc" "src/similarity/CMakeFiles/simdb_similarity.dir/index_compat.cc.o" "gcc" "src/similarity/CMakeFiles/simdb_similarity.dir/index_compat.cc.o.d"
+  "/root/repo/src/similarity/jaccard.cc" "src/similarity/CMakeFiles/simdb_similarity.dir/jaccard.cc.o" "gcc" "src/similarity/CMakeFiles/simdb_similarity.dir/jaccard.cc.o.d"
+  "/root/repo/src/similarity/similarity_function.cc" "src/similarity/CMakeFiles/simdb_similarity.dir/similarity_function.cc.o" "gcc" "src/similarity/CMakeFiles/simdb_similarity.dir/similarity_function.cc.o.d"
+  "/root/repo/src/similarity/tokenizer.cc" "src/similarity/CMakeFiles/simdb_similarity.dir/tokenizer.cc.o" "gcc" "src/similarity/CMakeFiles/simdb_similarity.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adm/CMakeFiles/simdb_adm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

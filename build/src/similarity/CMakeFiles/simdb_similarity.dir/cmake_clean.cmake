@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdb_similarity.dir/edit_distance.cc.o"
+  "CMakeFiles/simdb_similarity.dir/edit_distance.cc.o.d"
+  "CMakeFiles/simdb_similarity.dir/index_compat.cc.o"
+  "CMakeFiles/simdb_similarity.dir/index_compat.cc.o.d"
+  "CMakeFiles/simdb_similarity.dir/jaccard.cc.o"
+  "CMakeFiles/simdb_similarity.dir/jaccard.cc.o.d"
+  "CMakeFiles/simdb_similarity.dir/similarity_function.cc.o"
+  "CMakeFiles/simdb_similarity.dir/similarity_function.cc.o.d"
+  "CMakeFiles/simdb_similarity.dir/tokenizer.cc.o"
+  "CMakeFiles/simdb_similarity.dir/tokenizer.cc.o.d"
+  "libsimdb_similarity.a"
+  "libsimdb_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdb_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

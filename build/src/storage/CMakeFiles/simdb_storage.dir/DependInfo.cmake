@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/simdb_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/simdb_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/dataset.cc" "src/storage/CMakeFiles/simdb_storage.dir/dataset.cc.o" "gcc" "src/storage/CMakeFiles/simdb_storage.dir/dataset.cc.o.d"
+  "/root/repo/src/storage/file_util.cc" "src/storage/CMakeFiles/simdb_storage.dir/file_util.cc.o" "gcc" "src/storage/CMakeFiles/simdb_storage.dir/file_util.cc.o.d"
+  "/root/repo/src/storage/index_tokens.cc" "src/storage/CMakeFiles/simdb_storage.dir/index_tokens.cc.o" "gcc" "src/storage/CMakeFiles/simdb_storage.dir/index_tokens.cc.o.d"
+  "/root/repo/src/storage/inverted_index.cc" "src/storage/CMakeFiles/simdb_storage.dir/inverted_index.cc.o" "gcc" "src/storage/CMakeFiles/simdb_storage.dir/inverted_index.cc.o.d"
+  "/root/repo/src/storage/key.cc" "src/storage/CMakeFiles/simdb_storage.dir/key.cc.o" "gcc" "src/storage/CMakeFiles/simdb_storage.dir/key.cc.o.d"
+  "/root/repo/src/storage/lsm_index.cc" "src/storage/CMakeFiles/simdb_storage.dir/lsm_index.cc.o" "gcc" "src/storage/CMakeFiles/simdb_storage.dir/lsm_index.cc.o.d"
+  "/root/repo/src/storage/sorted_run.cc" "src/storage/CMakeFiles/simdb_storage.dir/sorted_run.cc.o" "gcc" "src/storage/CMakeFiles/simdb_storage.dir/sorted_run.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adm/CMakeFiles/simdb_adm.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/simdb_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

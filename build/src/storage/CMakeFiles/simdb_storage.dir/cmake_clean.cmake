@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdb_storage.dir/catalog.cc.o"
+  "CMakeFiles/simdb_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/simdb_storage.dir/dataset.cc.o"
+  "CMakeFiles/simdb_storage.dir/dataset.cc.o.d"
+  "CMakeFiles/simdb_storage.dir/file_util.cc.o"
+  "CMakeFiles/simdb_storage.dir/file_util.cc.o.d"
+  "CMakeFiles/simdb_storage.dir/index_tokens.cc.o"
+  "CMakeFiles/simdb_storage.dir/index_tokens.cc.o.d"
+  "CMakeFiles/simdb_storage.dir/inverted_index.cc.o"
+  "CMakeFiles/simdb_storage.dir/inverted_index.cc.o.d"
+  "CMakeFiles/simdb_storage.dir/key.cc.o"
+  "CMakeFiles/simdb_storage.dir/key.cc.o.d"
+  "CMakeFiles/simdb_storage.dir/lsm_index.cc.o"
+  "CMakeFiles/simdb_storage.dir/lsm_index.cc.o.d"
+  "CMakeFiles/simdb_storage.dir/sorted_run.cc.o"
+  "CMakeFiles/simdb_storage.dir/sorted_run.cc.o.d"
+  "libsimdb_storage.a"
+  "libsimdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebricks_test.dir/algebricks_test.cc.o"
+  "CMakeFiles/algebricks_test.dir/algebricks_test.cc.o.d"
+  "algebricks_test"
+  "algebricks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebricks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

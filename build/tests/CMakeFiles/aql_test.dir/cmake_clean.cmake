@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_test.dir/aql_test.cc.o"
+  "CMakeFiles/aql_test.dir/aql_test.cc.o.d"
+  "aql_test"
+  "aql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_extended_test.dir/core_extended_test.cc.o"
+  "CMakeFiles/core_extended_test.dir/core_extended_test.cc.o.d"
+  "core_extended_test"
+  "core_extended_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/plan_equivalence_test.cc" "tests/CMakeFiles/plan_equivalence_test.dir/plan_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/plan_equivalence_test.dir/plan_equivalence_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/simdb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/simdb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/simdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/aql/CMakeFiles/simdb_aql.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebricks/CMakeFiles/simdb_algebricks.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyracks/CMakeFiles/simdb_hyracks.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/simdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/simdb_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/adm/CMakeFiles/simdb_adm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;simdb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(value_test "/root/repo/build/tests/value_test")
+set_tests_properties(value_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;13;simdb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(similarity_test "/root/repo/build/tests/similarity_test")
+set_tests_properties(similarity_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;14;simdb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build/tests/storage_test")
+set_tests_properties(storage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;15;simdb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hyracks_test "/root/repo/build/tests/hyracks_test")
+set_tests_properties(hyracks_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;16;simdb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(functions_test "/root/repo/build/tests/functions_test")
+set_tests_properties(functions_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;17;simdb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(exchange_property_test "/root/repo/build/tests/exchange_property_test")
+set_tests_properties(exchange_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;simdb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(algebricks_test "/root/repo/build/tests/algebricks_test")
+set_tests_properties(algebricks_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;simdb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(aql_test "/root/repo/build/tests/aql_test")
+set_tests_properties(aql_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;simdb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;simdb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_extended_test "/root/repo/build/tests/core_extended_test")
+set_tests_properties(core_extended_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;simdb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(datagen_test "/root/repo/build/tests/datagen_test")
+set_tests_properties(datagen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;23;simdb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(plan_equivalence_test "/root/repo/build/tests/plan_equivalence_test")
+set_tests_properties(plan_equivalence_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;24;simdb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_scale_test "/root/repo/build/tests/integration_scale_test")
+set_tests_properties(integration_scale_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;25;simdb_add_test;/root/repo/tests/CMakeLists.txt;0;")
