@@ -8,22 +8,47 @@ namespace simdb {
 
 /// Deterministic, fast PRNG (splitmix64). Used everywhere randomness is
 /// needed so that tests and benchmarks are reproducible across runs.
+///
+/// Every consumer of randomness takes one uint64_t seed (no global state, no
+/// time-based seeding), so any randomized run — datagen, workload sampling,
+/// the differential fuzzer — reproduces exactly from a single logged number.
+/// Independent sub-streams are derived with Fork(), which depends only on the
+/// initial seed (not on how many values were consumed), keeping downstream
+/// streams stable when an upstream consumer draws more or fewer values.
 class Random {
  public:
-  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : initial_seed_(seed), state_(seed) {}
 
-  uint64_t NextU64() {
-    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  /// The seed this generator was constructed with (for failure logging).
+  uint64_t initial_seed() const { return initial_seed_; }
+
+  /// Finalizer of splitmix64: a bijective 64-bit mixer, usable to derive
+  /// well-distributed seeds from structured values (seed ^ stream ids).
+  static uint64_t Mix(uint64_t z) {
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
   }
 
-  /// Uniform integer in [0, n). n must be > 0.
-  uint64_t Uniform(uint64_t n) { return NextU64() % n; }
+  /// A deterministic, independent sub-generator for stream `stream`. Depends
+  /// only on initial_seed(), so forks are position-independent.
+  Random Fork(uint64_t stream) const {
+    return Random(Mix(initial_seed_ + (stream + 1) * 0x9e3779b97f4a7c15ULL));
+  }
 
-  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    return Mix(z);
+  }
+
+  /// Uniform integer in [0, n); n == 0 yields 0 (guarded so that sanitizer
+  /// runs never hit a division by zero on degenerate inputs).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : NextU64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive (hi < lo yields lo).
   int64_t UniformRange(int64_t lo, int64_t hi) {
+    if (hi < lo) return lo;
     return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
   }
 
@@ -35,6 +60,7 @@ class Random {
   bool OneIn(uint64_t n) { return Uniform(n) == 0; }
 
  private:
+  uint64_t initial_seed_;
   uint64_t state_;
 };
 

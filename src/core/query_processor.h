@@ -72,6 +72,13 @@ class QueryProcessor {
   storage::Catalog* catalog() { return &catalog_; }
   const EngineOptions& options() const { return options_; }
 
+  /// Switches the T-occurrence algorithm used by subsequent queries. The
+  /// algorithms must be answer-equivalent; the differential fuzz harness
+  /// toggles this per execution variant without rebuilding the engine.
+  void set_t_occurrence_algorithm(storage::TOccurrenceAlgorithm algorithm) {
+    options_.t_occurrence_algorithm = algorithm;
+  }
+
   /// Programmatic data path used by generators and benches (bypasses AQL).
   Result<storage::Dataset*> CreateDataset(const std::string& name,
                                           const std::string& pk_field);

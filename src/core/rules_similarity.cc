@@ -257,6 +257,12 @@ class IndexSelectRule : public RewriteRule {
           ds->FindIndexOnField(*field, CompatibleIndexKind(pred->fn));
       if (index == nullptr) continue;
 
+      // Jaccard corner case: delta <= 0 is satisfied by every record
+      // (including token-disjoint ones), so T = ceil(delta * len) = 0 and the
+      // index cannot produce candidates. Keep the scan plan.
+      if (pred->fn == SimPredicate::Fn::kJaccard && pred->threshold <= 0) {
+        continue;
+      }
       // Compile-time corner-case analysis (edit distance / contains): when
       // T <= 0 the index cannot prune and the scan plan must remain.
       if (pred->fn != SimPredicate::Fn::kJaccard) {
@@ -324,6 +330,12 @@ class IndexJoinRule : public RewriteRule {
       }
       if (!field.has_value()) continue;
       if (!outer_key->UsesOnly(outer_vars)) continue;
+      // Jaccard delta <= 0 matches token-disjoint pairs, which an inverted
+      // index can never surface (T = 0) and the plan has no corner branch for
+      // Jaccard keys; only the NL join is complete there.
+      if (pred->fn == SimPredicate::Fn::kJaccard && pred->threshold <= 0) {
+        continue;
+      }
       const storage::IndexSpec* index =
           ds->FindIndexOnField(*field, CompatibleIndexKind(pred->fn));
       if (index == nullptr) continue;

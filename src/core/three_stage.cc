@@ -168,6 +168,10 @@ class ThreeStageJoinRule : public RewriteRule {
       if (!pred.has_value() || pred->fn != SimPredicate::Fn::kJaccard) {
         continue;
       }
+      // The rid-pair stage only finds pairs sharing a prefix token, which is
+      // incomplete for delta <= 0 (token-disjoint pairs qualify too). Leave
+      // such joins to the NL plan.
+      if (pred->threshold <= 0) continue;
       // Orient the operands: one must cover the left side, one the right.
       LExprPtr left_key = pred->arg0, right_key = pred->arg1;
       if (!(left_key->UsesOnly(left_vars) && right_key->UsesOnly(right_vars))) {

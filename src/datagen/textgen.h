@@ -45,6 +45,10 @@ class TextDatasetGenerator {
   explicit TextDatasetGenerator(TextProfile profile, uint64_t seed = 42);
 
   const TextProfile& profile() const { return profile_; }
+  /// The seed the generator was constructed with; record streams are fully
+  /// determined by (profile, seed), and prefixes are stable: the first k
+  /// records of two generators with equal seeds are identical.
+  uint64_t seed() const { return rng_.initial_seed(); }
 
   /// Produces the record with primary key `id` ("id" field).
   adm::Value NextRecord(int64_t id);
@@ -76,6 +80,9 @@ class TextDatasetGenerator {
 class WorkloadSampler {
  public:
   WorkloadSampler(std::vector<std::string> values, uint64_t seed = 7);
+
+  /// The seed the sampler was constructed with (for failure logging).
+  uint64_t seed() const { return rng_.initial_seed(); }
 
   /// A random value with at least `min_words` word tokens.
   Result<std::string> SampleWithMinWords(int min_words);

@@ -10,28 +10,43 @@ namespace simdb::hyracks {
 
 Status RunPerPartition(ExecContext& ctx, int num_partitions, OpStats* stats,
                        const std::function<Status(int)>& fn) {
+  if (num_partitions <= 0) return Status::OK();
   if (stats != nullptr) {
     stats->partition_seconds.assign(static_cast<size_t>(num_partitions), 0.0);
   }
+  // Every partition runs to completion and records its outcome in its own
+  // slot — no shared mutable error state — so the error returned below does
+  // not depend on thread scheduling: the lowest failing partition index wins,
+  // with or without a stats sink, under any pool size.
   std::vector<Status> statuses(static_cast<size_t>(num_partitions));
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(static_cast<size_t>(num_partitions));
-  for (int p = 0; p < num_partitions; ++p) {
-    tasks.push_back([&, p] {
+  if (num_partitions == 1 || ctx.pool == nullptr) {
+    for (int p = 0; p < num_partitions; ++p) {
       Stopwatch sw;
       statuses[static_cast<size_t>(p)] = fn(p);
       if (stats != nullptr) {
         stats->partition_seconds[static_cast<size_t>(p)] = sw.ElapsedSeconds();
       }
-    });
-  }
-  if (ctx.pool != nullptr) {
-    ctx.pool->RunAll(std::move(tasks));
+    }
   } else {
-    for (auto& t : tasks) t();
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(static_cast<size_t>(num_partitions));
+    for (int p = 0; p < num_partitions; ++p) {
+      tasks.push_back([&, p] {
+        Stopwatch sw;
+        statuses[static_cast<size_t>(p)] = fn(p);
+        if (stats != nullptr) {
+          stats->partition_seconds[static_cast<size_t>(p)] = sw.ElapsedSeconds();
+        }
+      });
+    }
+    ctx.pool->RunAll(std::move(tasks));
   }
-  for (const Status& s : statuses) {
-    if (!s.ok()) return s;
+  for (int p = 0; p < num_partitions; ++p) {
+    const Status& s = statuses[static_cast<size_t>(p)];
+    if (!s.ok()) {
+      return Status(s.code(),
+                    "partition " + std::to_string(p) + ": " + s.message());
+    }
   }
   return Status::OK();
 }
@@ -81,8 +96,20 @@ Result<PartitionedRows> Executor::Run(const Job& job, ExecContext& ctx) {
     }
     OpStats op_stats;
     op_stats.name = nodes[i].op->name();
-    SIMDB_ASSIGN_OR_RETURN(outputs[i],
-                           nodes[i].op->Execute(ctx, inputs, &op_stats));
+    Result<PartitionedRows> executed = nodes[i].op->Execute(ctx, inputs, &op_stats);
+    if (!executed.ok()) {
+      // Keep the partial stats trail and identify the failing node: error
+      // reports stay deterministic and attributable instead of dropping the
+      // per-partition context on the floor.
+      if (ctx.stats != nullptr) {
+        ctx.stats->ops.push_back(std::move(op_stats));
+        ctx.stats->wall_seconds += sw.ElapsedSeconds();
+      }
+      const Status& s = executed.status();
+      return Status(s.code(), "node " + std::to_string(i) + " (" +
+                                  nodes[i].op->name() + "): " + s.message());
+    }
+    outputs[i] = std::move(executed).value();
     // Normalize: every operator must emit exactly total_partitions parts.
     if (static_cast<int>(outputs[i].size()) != ctx.topology.total_partitions()) {
       return Status::Internal("operator " + nodes[i].op->name() +

@@ -8,7 +8,8 @@ namespace simdb::similarity {
 
 /// Exact multiset Jaccard |r ∩ s| / |r ∪ s| over two token multisets given as
 /// *sorted* vectors. Duplicate tokens intersect up to min(count_r, count_s)
-/// and union up to max(count_r, count_s). Returns 1.0 when both are empty.
+/// and union up to max(count_r, count_s). Both-empty inputs yield 0 (0/0 is
+/// defined as no match so empty fields never join; all plan variants agree).
 double JaccardSorted(const std::vector<std::string>& a,
                      const std::vector<std::string>& b);
 

@@ -1,0 +1,249 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/query_processor.h"
+#include "storage/file_util.h"
+
+namespace simdb::testing {
+
+namespace {
+
+using core::EngineOptions;
+using core::QueryProcessor;
+using core::QueryResult;
+
+/// Applies a variant's optimizer flags and runtime algorithm to an engine.
+void ApplyVariant(QueryProcessor& engine, const ExecVariant& v) {
+  algebricks::OptContext& opt = engine.opt_context();
+  opt.enable_index_select = v.enable_index_select;
+  opt.enable_index_join = v.enable_index_join;
+  opt.enable_three_stage_join = v.enable_three_stage_join;
+  opt.enable_surrogate_join = v.enable_surrogate_join;
+  engine.set_t_occurrence_algorithm(v.t_occurrence);
+}
+
+/// Executes one query and returns its result set as a sorted vector of JSON
+/// rows. Sorting normalizes partitioning/exchange order, which legitimately
+/// differs across topologies and join strategies; the multiset of rows must
+/// not.
+Result<std::vector<std::string>> RunNormalized(QueryProcessor& engine,
+                                               const std::string& aql) {
+  QueryResult result;
+  SIMDB_RETURN_IF_ERROR(engine.Execute(aql + ";", &result));
+  std::vector<std::string> rows;
+  rows.reserve(result.rows.size());
+  for (const adm::Value& row : result.rows) rows.push_back(row.ToJson());
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Builds a fresh engine over `records` (prefix of the case's stream).
+Result<std::unique_ptr<QueryProcessor>> BuildEngine(
+    const FuzzCase& c, const hyracks::ClusterTopology& topology,
+    const std::string& dir, int num_records) {
+  storage::RemoveAll(dir);
+  EngineOptions options;
+  options.data_dir = dir;
+  options.topology = topology;
+  options.num_threads = 2;
+  auto engine = std::make_unique<QueryProcessor>(options);
+  SIMDB_RETURN_IF_ERROR(engine->Execute(c.ddl));
+  for (adm::Value& record : MakeRecords(c, num_records)) {
+    SIMDB_RETURN_IF_ERROR(engine->Insert("D", std::move(record)));
+  }
+  return engine;
+}
+
+std::string VariantAt(const ExecVariant& v,
+                      const hyracks::ClusterTopology& topo) {
+  return v.label + "@" + TopologyLabel(topo);
+}
+
+/// First row present in `a` but not `b` (both sorted), empty if none.
+std::string FirstOnlyIn(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  std::vector<std::string> diff;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(diff));
+  return diff.empty() ? "" : diff.front();
+}
+
+struct Mismatch {
+  const FuzzQuery* query = nullptr;
+  ExecVariant baseline_variant, variant;
+  hyracks::ClusterTopology baseline_topology, topology;
+  std::vector<std::string> baseline_rows, rows;
+};
+
+/// Re-runs the two disagreeing configurations on ever-smaller prefixes of
+/// the record stream; returns the smallest count that still reproduces the
+/// mismatch (prefix-halving, then a linear refinement step back up).
+int MinimizeRecords(const FuzzCase& c, const Mismatch& m,
+                    const std::string& scratch, int full_count) {
+  auto mismatches_at = [&](int count) -> bool {
+    auto base = BuildEngine(c, m.baseline_topology, scratch + "/min_a", count);
+    auto other = BuildEngine(c, m.topology, scratch + "/min_b", count);
+    if (!base.ok() || !other.ok()) return false;
+    ApplyVariant(**base, m.baseline_variant);
+    ApplyVariant(**other, m.variant);
+    auto rows_a = RunNormalized(**base, m.query->aql);
+    auto rows_b = RunNormalized(**other, m.query->aql);
+    if (!rows_a.ok() || !rows_b.ok()) return true;  // an error also repros
+    return *rows_a != *rows_b;
+  };
+  int best = full_count;
+  int probe = full_count / 2;
+  while (probe >= 1) {
+    if (mismatches_at(probe)) {
+      best = probe;
+      probe /= 2;
+    } else {
+      // The witness records sit in the upper half; step back up by quarters.
+      int step = std::max(1, (best - probe) / 2);
+      int refined = probe + step;
+      if (refined >= best) break;
+      if (mismatches_at(refined)) best = refined;
+      break;
+    }
+  }
+  storage::RemoveAll(scratch + "/min_a");
+  storage::RemoveAll(scratch + "/min_b");
+  return best;
+}
+
+std::string FormatMismatch(const FuzzCase& c, const Mismatch& m,
+                           int minimized_records) {
+  std::string out;
+  out += "SIMDB_FUZZ_FAILURE " + DescribeFuzzCase(c) + "\n";
+  out += "  query[" + m.query->label + "]: " + m.query->aql + "\n";
+  out += "  " + VariantAt(m.baseline_variant, m.baseline_topology) + ": " +
+         std::to_string(m.baseline_rows.size()) + " rows\n";
+  out += "  " + VariantAt(m.variant, m.topology) + ": " +
+         std::to_string(m.rows.size()) + " rows\n";
+  std::string missing = FirstOnlyIn(m.baseline_rows, m.rows);
+  std::string extra = FirstOnlyIn(m.rows, m.baseline_rows);
+  if (!missing.empty()) out += "  first missing row: " + missing + "\n";
+  if (!extra.empty()) out += "  first extra row:   " + extra + "\n";
+  if (minimized_records > 0 && minimized_records < c.num_records) {
+    out += "  minimized: mismatch reproduces with the first " +
+           std::to_string(minimized_records) + " of " +
+           std::to_string(c.num_records) + " records\n";
+  }
+  out += "  repro: fuzz_equivalence_test --replay " + std::to_string(c.seed);
+  return out;
+}
+
+}  // namespace
+
+std::vector<ExecVariant> PlanVariantMatrix() {
+  std::vector<ExecVariant> variants;
+  ExecVariant scan;
+  scan.label = "scan";
+  scan.enable_index_select = false;
+  scan.enable_index_join = false;
+  scan.enable_three_stage_join = false;
+  scan.enable_surrogate_join = false;
+  variants.push_back(scan);
+
+  ExecVariant indexed;
+  indexed.label = "indexed";
+  variants.push_back(indexed);
+
+  ExecVariant nosurr = indexed;
+  nosurr.label = "indexed-nosurr";
+  nosurr.enable_surrogate_join = false;
+  variants.push_back(nosurr);
+
+  ExecVariant threestage = indexed;
+  threestage.label = "threestage";
+  threestage.enable_index_join = false;
+  variants.push_back(threestage);
+
+  ExecVariant heapmerge = indexed;
+  heapmerge.label = "indexed-heapmerge";
+  heapmerge.t_occurrence = storage::TOccurrenceAlgorithm::kHeapMerge;
+  variants.push_back(heapmerge);
+  return variants;
+}
+
+std::vector<hyracks::ClusterTopology> TopologyMatrix() {
+  return {{1, 1}, {2, 2}, {4, 2}};
+}
+
+std::string TopologyLabel(const hyracks::ClusterTopology& t) {
+  return std::to_string(t.num_nodes) + "x" +
+         std::to_string(t.partitions_per_node);
+}
+
+DifferentialReport RunDifferential(const FuzzCase& c,
+                                   const DifferentialOptions& options) {
+  DifferentialReport report;
+  auto fail = [&](std::string message) {
+    report.ok = false;
+    report.failure = std::move(message);
+    return report;
+  };
+  if (options.variants.empty() || options.topologies.empty()) {
+    return fail("empty variant or topology matrix");
+  }
+
+  // Baseline: first variant on the first topology.
+  struct Baseline {
+    std::vector<std::string> rows;
+  };
+  std::vector<Baseline> baselines(c.queries.size());
+
+  bool first_combination = true;
+  for (const hyracks::ClusterTopology& topo : options.topologies) {
+    std::string dir = options.scratch_dir + "/topo_" + TopologyLabel(topo);
+    Result<std::unique_ptr<QueryProcessor>> engine =
+        BuildEngine(c, topo, dir, c.num_records);
+    if (!engine.ok()) {
+      return fail("SIMDB_FUZZ_FAILURE " + DescribeFuzzCase(c) +
+                  "\n  engine build failed on " + TopologyLabel(topo) + ": " +
+                  engine.status().ToString());
+    }
+    for (const ExecVariant& variant : options.variants) {
+      ApplyVariant(**engine, variant);
+      for (size_t qi = 0; qi < c.queries.size(); ++qi) {
+        const FuzzQuery& query = c.queries[qi];
+        Result<std::vector<std::string>> rows =
+            RunNormalized(**engine, query.aql);
+        if (!rows.ok()) {
+          return fail("SIMDB_FUZZ_FAILURE " + DescribeFuzzCase(c) +
+                      "\n  query[" + query.label + "]: " + query.aql +
+                      "\n  " + VariantAt(variant, topo) +
+                      " failed: " + rows.status().ToString() +
+                      "\n  repro: fuzz_equivalence_test --replay " +
+                      std::to_string(c.seed));
+        }
+        ++report.comparisons;
+        if (first_combination && variant.label == options.variants[0].label) {
+          baselines[qi].rows = std::move(*rows);
+          continue;
+        }
+        if (*rows != baselines[qi].rows) {
+          Mismatch m;
+          m.query = &query;
+          m.baseline_variant = options.variants[0];
+          m.baseline_topology = options.topologies[0];
+          m.variant = variant;
+          m.topology = topo;
+          m.baseline_rows = baselines[qi].rows;
+          m.rows = std::move(*rows);
+          int minimized =
+              options.minimize
+                  ? MinimizeRecords(c, m, options.scratch_dir, c.num_records)
+                  : 0;
+          return fail(FormatMismatch(c, m, minimized));
+        }
+      }
+    }
+    first_combination = false;
+  }
+  return report;
+}
+
+}  // namespace simdb::testing

@@ -1,0 +1,70 @@
+#ifndef SIMDB_TESTING_DIFFERENTIAL_H_
+#define SIMDB_TESTING_DIFFERENTIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "hyracks/exec.h"
+#include "storage/inverted_index.h"
+#include "testing/fuzz.h"
+
+namespace simdb::testing {
+
+/// One plan-variant configuration: which optimizer rewrites are allowed and
+/// which T-occurrence algorithm the runtime uses. Every variant must return
+/// the same answer for every query — that is the paper's semantics-
+/// preservation claim this harness checks.
+struct ExecVariant {
+  std::string label;
+  bool enable_index_select = true;
+  bool enable_index_join = true;
+  bool enable_three_stage_join = true;
+  bool enable_surrogate_join = true;
+  storage::TOccurrenceAlgorithm t_occurrence =
+      storage::TOccurrenceAlgorithm::kScanCount;
+};
+
+/// The default plan-variant matrix:
+///   scan              - every similarity rewrite disabled (ground truth:
+///                       full scans and NL joins)
+///   indexed           - all rewrites on (index select / index-nested-loop
+///                       join with surrogates / three-stage fallback)
+///   indexed-nosurr    - index join without the surrogate optimization
+///   threestage        - index joins off; Jaccard joins go three-stage
+///   indexed-heapmerge - all rewrites on, heap-merge T-occurrence
+std::vector<ExecVariant> PlanVariantMatrix();
+
+/// Cluster shapes the matrix runs under: 1x1, 2x2, 4x2
+/// (nodes x partitions-per-node).
+std::vector<hyracks::ClusterTopology> TopologyMatrix();
+
+std::string TopologyLabel(const hyracks::ClusterTopology& t);
+
+struct DifferentialOptions {
+  /// Scratch directory for engine data (one subdirectory per topology);
+  /// created and reused, removed by the caller.
+  std::string scratch_dir = "/tmp/simdb_fuzz";
+  std::vector<ExecVariant> variants = PlanVariantMatrix();
+  std::vector<hyracks::ClusterTopology> topologies = TopologyMatrix();
+  /// Shrink the dataset to a minimal reproducing prefix on mismatch.
+  bool minimize = true;
+};
+
+struct DifferentialReport {
+  bool ok = true;
+  /// Number of (query, variant, topology) executions compared.
+  int comparisons = 0;
+  /// Diagnostic on failure: seed, query, disagreeing variants, row diff,
+  /// minimized record count, and a one-command repro line.
+  std::string failure;
+};
+
+/// Runs every query of `c` under every (variant x topology) combination and
+/// compares order-normalized result sets against the first combination.
+/// Reports the first mismatch (with minimization) or ok.
+DifferentialReport RunDifferential(const FuzzCase& c,
+                                   const DifferentialOptions& options = {});
+
+}  // namespace simdb::testing
+
+#endif  // SIMDB_TESTING_DIFFERENTIAL_H_

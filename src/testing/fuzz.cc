@@ -1,0 +1,197 @@
+#include "testing/fuzz.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace simdb::testing {
+
+namespace {
+
+// Fixed Fork() stream ids: adding a stream must not renumber existing ones,
+// or every recorded failing seed changes meaning.
+constexpr uint64_t kStreamProfile = 1;
+constexpr uint64_t kStreamData = 2;
+constexpr uint64_t kStreamQuery = 3;
+constexpr uint64_t kStreamSampler = 4;
+
+std::string FmtDouble(double v) {
+  // Stable short rendering for thresholds (0, 0.1, ..., 1).
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+/// Jaccard threshold with edge cases: 0 (matches everything, including
+/// token-disjoint pairs — the T = 0 corner), 1 (exact set match), otherwise a
+/// mid-range value in 0.1 steps.
+double PickJaccardDelta(Random& rng) {
+  uint64_t c = rng.Uniform(8);
+  if (c == 0) return 0.0;
+  if (c == 1) return 1.0;
+  return 0.1 * static_cast<double>(1 + rng.Uniform(8));  // 0.1 .. 0.8
+}
+
+/// Edit-distance threshold with edge cases: 0 (exact match), a large k that
+/// drives T = |G(q)| - k*n below zero for short names (index corner branch),
+/// otherwise small k.
+int PickEditK(Random& rng) {
+  uint64_t c = rng.Uniform(8);
+  if (c == 0) return 0;
+  if (c == 1) return 9;
+  return 1 + static_cast<int>(rng.Uniform(3));  // 1 .. 3
+}
+
+std::string SampleText(datagen::WorkloadSampler& sampler,
+                       const std::string& fallback) {
+  Result<std::string> v = sampler.SampleWithMinWords(1);
+  return v.ok() ? *v : fallback;
+}
+
+std::string SampleName(datagen::WorkloadSampler& sampler,
+                       const std::string& fallback) {
+  Result<std::string> v = sampler.SampleWithMinChars(3);
+  return v.ok() ? *v : fallback;
+}
+
+}  // namespace
+
+FuzzCase MakeFuzzCase(uint64_t seed) {
+  Random master(seed);
+  Random prof_rng = master.Fork(kStreamProfile);
+  Random query_rng = master.Fork(kStreamQuery);
+
+  FuzzCase c;
+  c.seed = seed;
+  c.data_seed = master.Fork(kStreamData).initial_seed();
+
+  // Small vocabularies and high duplicate rates make the similarity space
+  // dense enough that every plan variant has non-trivial answers to disagree
+  // about.
+  switch (prof_rng.Uniform(3)) {
+    case 0:
+      c.profile = datagen::AmazonProfile();
+      break;
+    case 1:
+      c.profile = datagen::TwitterProfile();
+      break;
+    default:
+      c.profile = datagen::RedditProfile();
+      break;
+  }
+  c.profile.vocab_size = 30 + static_cast<int>(prof_rng.Uniform(50));
+  c.profile.avg_words = 3 + static_cast<int>(prof_rng.Uniform(4));
+  c.profile.max_words = std::min(c.profile.max_words, 20);
+  c.profile.name_pool_size = 30 + static_cast<int>(prof_rng.Uniform(40));
+  c.profile.near_duplicate_rate = 0.3 + 0.2 * prof_rng.NextDouble();
+  c.profile.name_typo_rate = 0.5;
+  c.num_records = 60 + static_cast<int>(prof_rng.Uniform(60));
+
+  const std::string& text_field = c.profile.text_field;
+  const std::string& name_field = c.profile.name_field;
+  c.ddl = "create dataset D primary key id;"
+          "create index kw on D(" + text_field + ") type keyword;"
+          "create index ng on D(" + name_field + ") type ngram(2);";
+
+  // Pre-generate the record stream once so query constants can be sampled
+  // from real field values (the paper's workload protocol).
+  datagen::TextDatasetGenerator gen(c.profile, c.data_seed);
+  for (int64_t i = 0; i < c.num_records; ++i) gen.NextRecord(i);
+  Random sampler_seed = master.Fork(kStreamSampler);
+  datagen::WorkloadSampler texts(gen.texts(), sampler_seed.NextU64());
+  datagen::WorkloadSampler names(gen.names(), sampler_seed.NextU64());
+
+  auto jaccard_pred = [&](const std::string& a, const std::string& b,
+                          double delta) {
+    return "similarity-jaccard(word-tokens(" + a + "), word-tokens(" + b +
+           ")) >= " + FmtDouble(delta);
+  };
+  auto ed_pred = [&](const std::string& a, const std::string& b, int k) {
+    return "edit-distance(" + a + ", " + b + ") <= " + std::to_string(k);
+  };
+
+  // 1. A selection (Jaccard or edit distance), returning whole records so
+  //    the comparison is bit-exact on record content.
+  if (query_rng.OneIn(2)) {
+    double delta = PickJaccardDelta(query_rng);
+    std::string v = SampleText(texts, "ba ri");
+    c.queries.push_back(
+        {"jaccard-select",
+         "for $t in dataset D where " +
+             jaccard_pred("$t." + text_field, "'" + v + "'", delta) +
+             " return $t",
+         /*is_join=*/false});
+  } else {
+    int k = PickEditK(query_rng);
+    std::string v = SampleName(names, "maria");
+    c.queries.push_back(
+        {"ed-select",
+         "for $t in dataset D where " +
+             ed_pred("$t." + name_field, "'" + v + "'", k) + " return $t",
+         /*is_join=*/false});
+  }
+
+  // 2. A self join (Jaccard or edit distance) over id-ordered pairs.
+  if (query_rng.OneIn(2)) {
+    double delta = PickJaccardDelta(query_rng);
+    c.queries.push_back(
+        {"jaccard-join",
+         "for $o in dataset D for $i in dataset D where " +
+             jaccard_pred("$o." + text_field, "$i." + text_field, delta) +
+             " and $o.id < $i.id return {'o': $o.id, 'i': $i.id}",
+         /*is_join=*/true});
+  } else {
+    int k = PickEditK(query_rng);
+    c.queries.push_back(
+        {"ed-join",
+         "for $o in dataset D for $i in dataset D where " +
+             ed_pred("$o." + name_field, "$i." + name_field, k) +
+             " and $o.id < $i.id return {'o': $o.id, 'i': $i.id}",
+         /*is_join=*/true});
+  }
+
+  // 3. Every third seed: a multi-way join (two similarity predicates in one
+  //    join, as in paper Figure 25(b)), outer limited so the NL baseline
+  //    stays cheap. The predicate order is randomized so either similarity
+  //    condition can be the indexed one.
+  if (seed % 3 == 0) {
+    double delta = 0.1 * static_cast<double>(2 + query_rng.Uniform(6));
+    int k = 1 + static_cast<int>(query_rng.Uniform(3));
+    int64_t limit = 20 + static_cast<int64_t>(query_rng.Uniform(20));
+    std::string jac =
+        jaccard_pred("$o." + text_field, "$i." + text_field, delta);
+    std::string ed = ed_pred("$o." + name_field, "$i." + name_field, k);
+    std::string first = jac, second = ed;
+    if (query_rng.OneIn(2)) std::swap(first, second);
+    c.queries.push_back(
+        {"multiway-join",
+         "for $o in dataset D for $i in dataset D where $o.id < " +
+             std::to_string(limit) + " and " + first + " and " + second +
+             " and $o.id != $i.id return {'o': $o.id, 'i': $i.id}",
+         /*is_join=*/true});
+  }
+  return c;
+}
+
+std::vector<adm::Value> MakeRecords(const FuzzCase& c, int count) {
+  datagen::TextDatasetGenerator gen(c.profile, c.data_seed);
+  std::vector<adm::Value> records;
+  records.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) records.push_back(gen.NextRecord(i));
+  return records;
+}
+
+std::string DescribeFuzzCase(const FuzzCase& c) {
+  std::string out = "seed=" + std::to_string(c.seed) + " profile=" +
+                    c.profile.label + " vocab=" +
+                    std::to_string(c.profile.vocab_size) + " records=" +
+                    std::to_string(c.num_records) + " queries=[";
+  for (size_t i = 0; i < c.queries.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += c.queries[i].label;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace simdb::testing

@@ -442,7 +442,47 @@ TEST_F(HyracksTest, ExecutorRunsDagAndShares) {
 TEST_F(HyracksTest, ExecutorReportsOperatorErrors) {
   Job job;
   job.Add(std::make_unique<DataScanOp>("nonexistent"), {}, RowSchema({"t"}));
-  EXPECT_FALSE(Executor::Run(job, ctx_).ok());
+  auto result = Executor::Run(job, ctx_);
+  EXPECT_FALSE(result.ok());
+  // Errors name the failing node so multi-operator jobs stay diagnosable.
+  EXPECT_NE(result.status().message().find("node 0"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(HyracksTest, RunPerPartitionReturnsLowestFailingPartition) {
+  // Multiple partitions fail concurrently; the reported error must always be
+  // the lowest partition index, independent of thread scheduling and of
+  // whether a stats sink is attached.
+  OpStats op_stats;
+  for (int trial = 0; trial < 20; ++trial) {
+    for (OpStats* stats : {static_cast<OpStats*>(nullptr), &op_stats}) {
+      Status s = RunPerPartition(ctx_, 4, stats, [&](int p) -> Status {
+        if (p >= 1) {
+          return Status::Internal("boom " + std::to_string(p));
+        }
+        return Status::OK();
+      });
+      ASSERT_FALSE(s.ok());
+      EXPECT_EQ(s.message(), "partition 1: boom 1");
+    }
+  }
+}
+
+TEST_F(HyracksTest, RunPerPartitionRecordsTimingsDespiteErrors) {
+  OpStats stats;
+  Status s = RunPerPartition(ctx_, 4, &stats, [&](int p) -> Status {
+    return p == 2 ? Status::Internal("bad partition") : Status::OK();
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "partition 2: bad partition");
+  // Every partition ran to completion and recorded its slot.
+  ASSERT_EQ(stats.partition_seconds.size(), 4u);
+}
+
+TEST_F(HyracksTest, RunPerPartitionZeroPartitionsIsOk) {
+  EXPECT_TRUE(RunPerPartition(ctx_, 0, nullptr, [](int) {
+                return Status::Internal("never called");
+              }).ok());
 }
 
 }  // namespace

@@ -1,0 +1,161 @@
+// Edge-case coverage for the similarity kernels: empty inputs, identical
+// inputs, thresholds exactly at the boundary, single-token records, and
+// tokenizer behaviour on punctuation-only text. These pin the kernel
+// semantics the differential fuzzer's plan-variant comparisons rely on.
+#include <gtest/gtest.h>
+
+#include "similarity/edit_distance.h"
+#include "similarity/jaccard.h"
+#include "similarity/tokenizer.h"
+
+namespace simdb::similarity {
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+// ---------------------------------------------------------------------------
+// edit distance
+// ---------------------------------------------------------------------------
+
+TEST(EditDistanceEdge, EmptyStrings) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("", "abc"), 3);
+  EXPECT_EQ(EditDistance("abc", ""), 3);
+}
+
+TEST(EditDistanceEdge, IdenticalInputs) {
+  EXPECT_EQ(EditDistance("maria", "maria"), 0);
+  EXPECT_EQ(EditDistanceCheck("maria", "maria", 0), 0);
+  Tokens list = {"ba", "ri", "to"};
+  EXPECT_EQ(EditDistance(list, list), 0);
+  EXPECT_EQ(EditDistanceCheck(list, list, 0), 0);
+}
+
+TEST(EditDistanceEdge, ThresholdExactlyAtBoundary) {
+  // distance("marla", "maria") == 1: k == 1 accepts, k == 0 rejects.
+  EXPECT_EQ(EditDistance("marla", "maria"), 1);
+  EXPECT_EQ(EditDistanceCheck("marla", "maria", 1), 1);
+  EXPECT_EQ(EditDistanceCheck("marla", "maria", 0), -1);
+  // distance == k exactly for a 2-edit pair.
+  EXPECT_EQ(EditDistance("mark", "maria"), 2);
+  EXPECT_EQ(EditDistanceCheck("mark", "maria", 2), 2);
+  EXPECT_EQ(EditDistanceCheck("mark", "maria", 1), -1);
+}
+
+TEST(EditDistanceEdge, CheckOnEmptyInputs) {
+  EXPECT_EQ(EditDistanceCheck("", "", 0), 0);
+  EXPECT_EQ(EditDistanceCheck("", "ab", 2), 2);
+  EXPECT_EQ(EditDistanceCheck("", "ab", 1), -1);
+  EXPECT_EQ(EditDistanceCheck("ab", "", 2), 2);
+  // Negative k never matches, including on identical inputs.
+  EXPECT_EQ(EditDistanceCheck("", "", -1), -1);
+  EXPECT_EQ(EditDistanceCheck("same", "same", -1), -1);
+}
+
+TEST(EditDistanceEdge, TOccurrenceCornerIsNonPositive) {
+  // T = (len - n + 1) - k * n with q-grams; short strings with large k fall
+  // to T <= 0 where the inverted index cannot prune (paper Section 5.1.1).
+  EXPECT_LE(EditDistanceTOccurrence(/*query_len=*/5, /*gram_len=*/2,
+                                    /*k=*/9),
+            0);
+  EXPECT_GT(EditDistanceTOccurrence(/*query_len=*/30, /*gram_len=*/2,
+                                    /*k=*/1),
+            0);
+  // k == 0 (exact match): every gram must occur.
+  EXPECT_EQ(EditDistanceTOccurrence(/*query_len=*/6, /*gram_len=*/2, /*k=*/0),
+            5);
+}
+
+// ---------------------------------------------------------------------------
+// Jaccard
+// ---------------------------------------------------------------------------
+
+TEST(JaccardEdge, EmptySets) {
+  // 0/0 is defined as 0: empty fields never match, under every plan variant.
+  EXPECT_EQ(JaccardSorted({}, {}), 0.0);
+  EXPECT_EQ(JaccardSorted({}, {"ba"}), 0.0);
+  EXPECT_EQ(JaccardSorted({"ba"}, {}), 0.0);
+  EXPECT_EQ(JaccardCheckSorted({}, {}, 0.5), -1.0);
+  // delta == 0 is satisfied even by the defined-zero empty case.
+  EXPECT_EQ(JaccardCheckSorted({}, {}, 0.0), 0.0);
+}
+
+TEST(JaccardEdge, IdenticalInputs) {
+  Tokens t = {"ba", "ri", "to"};
+  EXPECT_EQ(JaccardSorted(t, t), 1.0);
+  EXPECT_EQ(JaccardCheckSorted(t, t, 1.0), 1.0);
+}
+
+TEST(JaccardEdge, ThresholdExactlyAtBoundary) {
+  // |intersection| = 1, |union| = 2 -> jaccard = 0.5 exactly.
+  Tokens a = {"ba", "ri"};
+  Tokens b = {"ri", "to"};
+  ASSERT_EQ(JaccardSorted(a, b), 1.0 / 3.0);
+  Tokens c = {"ri"};
+  ASSERT_EQ(JaccardSorted(c, a), 0.5);
+  EXPECT_EQ(JaccardCheckSorted(c, a, 0.5), 0.5);   // >= at boundary: accept
+  EXPECT_EQ(JaccardCheckSorted(c, a, 0.51), -1.0);  // just above: reject
+}
+
+TEST(JaccardEdge, SingleTokenRecords) {
+  Tokens a = {"ba"};
+  Tokens b = {"ba"};
+  Tokens c = {"ri"};
+  EXPECT_EQ(JaccardSorted(a, b), 1.0);
+  EXPECT_EQ(JaccardSorted(a, c), 0.0);
+  EXPECT_EQ(JaccardCheckSorted(a, b, 1.0), 1.0);
+  EXPECT_EQ(JaccardCheckSorted(a, c, 0.1), -1.0);
+  // Prefix length of a single-token set is always 1 for delta in (0, 1].
+  EXPECT_EQ(PrefixLenJaccard(1, 0.5), 1);
+  EXPECT_EQ(PrefixLenJaccard(1, 1.0), 1);
+}
+
+TEST(JaccardEdge, ThresholdZeroAndOne) {
+  // delta == 0: T-occurrence lower bound clamps to 1 — the index can only
+  // surface records sharing a token, which is why the optimizer must keep
+  // scan plans for delta <= 0 (token-disjoint records match too).
+  EXPECT_EQ(JaccardTOccurrence(0, 0.0), 1);
+  EXPECT_EQ(JaccardTOccurrence(7, 0.0), 1);
+  // delta == 1: all tokens must occur.
+  EXPECT_EQ(JaccardTOccurrence(7, 1.0), 7);
+  // Length filter degenerates gracefully at the extremes.
+  EXPECT_EQ(JaccardMinLength(4, 1.0), 4);
+  EXPECT_EQ(JaccardMaxLength(4, 1.0), 4);
+  EXPECT_EQ(JaccardMinLength(4, 0.0), 0);
+  EXPECT_GT(JaccardMaxLength(4, 0.0), 1 << 20);  // effectively unbounded
+}
+
+// ---------------------------------------------------------------------------
+// tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerEdge, PunctuationOnlyText) {
+  EXPECT_TRUE(WordTokens("...!?!  --- ,,,").empty());
+  EXPECT_TRUE(WordTokens("").empty());
+  // Punctuation-only fields therefore produce empty token sets, which can
+  // never satisfy a Jaccard predicate with delta > 0.
+  EXPECT_EQ(JaccardSorted(WordTokens("?!"), WordTokens("?!")), 0.0);
+}
+
+TEST(TokenizerEdge, PunctuationBoundariesAndCase) {
+  EXPECT_EQ(WordTokens("Ba,ri! to"), (Tokens{"ba", "ri", "to"}));
+  EXPECT_EQ(WordTokens("a--b"), (Tokens{"a", "b"}));
+}
+
+TEST(TokenizerEdge, GramTokensOnShortAndEmptyInput) {
+  EXPECT_TRUE(GramTokens("", 2).empty());
+  EXPECT_TRUE(GramTokens("a", 2).empty());
+  // With pre/post padding even the empty string produces grams.
+  EXPECT_EQ(GramTokens("a", 2, /*pre_post_pad=*/true),
+            (Tokens{"#a", "a$"}));
+  EXPECT_EQ(GramTokens("", 2, /*pre_post_pad=*/true), (Tokens{"#$"}));
+}
+
+TEST(TokenizerEdge, DedupOccurrencesOnRepeatsAndEmpty) {
+  EXPECT_TRUE(DedupOccurrences({}).empty());
+  EXPECT_EQ(DedupOccurrences({"ba", "ba", "ba"}),
+            (Tokens{"ba", "ba#1", "ba#2"}));
+}
+
+}  // namespace
+}  // namespace simdb::similarity
