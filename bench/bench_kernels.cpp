@@ -13,6 +13,7 @@
 #include "storage/file_util.h"
 #include "storage/inverted_index.h"
 #include "storage/lsm_index.h"
+#include "storage/token_dictionary.h"
 
 namespace {
 
@@ -93,6 +94,40 @@ void BM_JaccardCheckEarlyTermination(benchmark::State& state) {
 }
 BENCHMARK(BM_JaccardCheckEarlyTermination)->Arg(8)->Arg(64);
 
+/// Same token distribution as the string kernels above, dictionary-encoded
+/// to dense ids — the representation the verify operators run on once the
+/// inverted index hands out integer postings.
+std::vector<uint32_t> EncodeIds(storage::TokenDictionary& dict,
+                                const std::vector<std::string>& tokens) {
+  std::vector<uint32_t> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& t : tokens) ids.push_back(dict.GetOrAssign(t));
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void BM_JaccardExactIds(benchmark::State& state) {
+  Random rng(2);
+  storage::TokenDictionary dict;
+  auto a = EncodeIds(dict, RandomTokens(rng, static_cast<size_t>(state.range(0))));
+  auto b = EncodeIds(dict, RandomTokens(rng, static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::JaccardSortedIds(a, b));
+  }
+}
+BENCHMARK(BM_JaccardExactIds)->Arg(8)->Arg(64);
+
+void BM_JaccardCheckIds(benchmark::State& state) {
+  Random rng(2);
+  storage::TokenDictionary dict;
+  auto a = EncodeIds(dict, RandomTokens(rng, static_cast<size_t>(state.range(0))));
+  auto b = EncodeIds(dict, RandomTokens(rng, static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::JaccardCheckSortedIds(a, b, 0.9));
+  }
+}
+BENCHMARK(BM_JaccardCheckIds)->Arg(8)->Arg(64);
+
 /// Shared inverted index used by the T-occurrence benchmarks.
 class InvertedIndexFixture : public benchmark::Fixture {
  public:
@@ -139,6 +174,18 @@ BENCHMARK_DEFINE_F(InvertedIndexFixture, TOccurrenceHeapMerge)
   }
 }
 BENCHMARK_REGISTER_F(InvertedIndexFixture, TOccurrenceHeapMerge);
+
+// Cold path: every probe decodes its posting lists from the LSM instead of
+// hitting the decoded-list cache, isolating the cache's contribution.
+BENCHMARK_DEFINE_F(InvertedIndexFixture, TOccurrenceScanCountNoCache)
+(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index_->SearchTOccurrence(
+        query_, 4, storage::TOccurrenceAlgorithm::kScanCount,
+        /*stats=*/nullptr, /*use_cache=*/false));
+  }
+}
+BENCHMARK_REGISTER_F(InvertedIndexFixture, TOccurrenceScanCountNoCache);
 
 void BM_LsmPut(benchmark::State& state) {
   std::string dir = (std::filesystem::temp_directory_path() /

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Runs the kernel micro-benchmarks (bench_kernels) and the Figure-22
+# similarity-selection benchmark (bench_fig22_selection) and merges their
+# results into BENCH_kernels.json at the repo root.
+#
+# Usage: bench/run_benches.sh [build_dir]     (default: <repo>/build)
+#
+# Environment:
+#   SIMDB_BENCH_SCALE  record-count multiplier for the dataset benches
+#   SIMDB_BENCH_QUICK  =1: reduced iterations + small dataset (CI smoke run;
+#                      numbers are NOT meaningful, only the output shape is)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+OUT="$ROOT/BENCH_kernels.json"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+KERNELS_BIN="$BUILD/bench/bench_kernels"
+FIG22_BIN="$BUILD/bench/bench_fig22_selection"
+for bin in "$KERNELS_BIN" "$FIG22_BIN"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "missing benchmark binary: $bin (build the tree first)" >&2
+    exit 1
+  fi
+done
+
+KERNEL_FLAGS=()
+QUICK="${SIMDB_BENCH_QUICK:-0}"
+if [[ "$QUICK" == "1" ]]; then
+  KERNEL_FLAGS+=(--benchmark_min_time=0.01)
+  export SIMDB_BENCH_SCALE="${SIMDB_BENCH_SCALE:-0.05}"
+fi
+
+echo "== bench_kernels =="
+"$KERNELS_BIN" "${KERNEL_FLAGS[@]+"${KERNEL_FLAGS[@]}"}" \
+  --benchmark_out="$TMP/kernels.json" --benchmark_out_format=json
+
+echo "== bench_fig22_selection =="
+"$FIG22_BIN" | tee "$TMP/fig22.txt"
+
+python3 - "$TMP/kernels.json" "$TMP/fig22.txt" "$OUT" "$QUICK" <<'PY'
+import json, sys
+
+kernels_path, fig22_path, out_path, quick = sys.argv[1:5]
+with open(kernels_path) as f:
+    kernels = json.load(f)
+with open(fig22_path) as f:
+    fig22_lines = [line.rstrip("\n") for line in f]
+
+merged = {
+    "generated_by": "bench/run_benches.sh",
+    "quick_mode": quick == "1",
+    "bench_kernels": kernels,
+    "bench_fig22_selection": {"raw": fig22_lines},
+}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+
+names = [b.get("name", "") for b in kernels.get("benchmarks", [])]
+print(f"wrote {out_path}: {len(names)} kernel benchmarks, "
+      f"{len(fig22_lines)} fig22 output lines")
+PY

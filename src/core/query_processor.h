@@ -27,6 +27,8 @@ struct EngineOptions {
   size_t num_threads = 0;
   storage::TOccurrenceAlgorithm t_occurrence_algorithm =
       storage::TOccurrenceAlgorithm::kScanCount;
+  /// Serve inverted-index probes from the decoded posting-list cache.
+  bool posting_cache_enabled = true;
 };
 
 /// Compilation timings, including the AQL+ overhead the paper reports in
@@ -77,6 +79,13 @@ class QueryProcessor {
   /// toggles this per execution variant without rebuilding the engine.
   void set_t_occurrence_algorithm(storage::TOccurrenceAlgorithm algorithm) {
     options_.t_occurrence_algorithm = algorithm;
+  }
+
+  /// Toggles the inverted-index posting-list cache for subsequent queries.
+  /// Cached and uncached execution must be answer-identical; the differential
+  /// fuzz harness toggles this per execution variant.
+  void set_posting_cache_enabled(bool enabled) {
+    options_.posting_cache_enabled = enabled;
   }
 
   /// Programmatic data path used by generators and benches (bypasses AQL).

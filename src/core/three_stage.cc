@@ -129,6 +129,8 @@ let $ridpairs := (
   for $lp in $leftPrefix
   for $rp in $rightPrefix
   where $lp.pt = $rp.pt
+  /* ranks are integer positions in $rankedTokens, so this verify runs on
+     the int64 Jaccard kernel, not the generic Value comparator */
   let $sim := similarity-jaccard($lp.ranks, $rp.ranks)
   where $sim >= @DELTA@
   group by $glid := $lp.id, $grid := $rp.id with $sim

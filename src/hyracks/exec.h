@@ -56,6 +56,10 @@ struct ExecContext {
   ExecStats* stats = nullptr;
   storage::TOccurrenceAlgorithm t_occurrence_algorithm =
       storage::TOccurrenceAlgorithm::kScanCount;
+  /// Serve inverted-index probes from the decoded posting-list cache. The
+  /// cached and uncached paths must be answer-identical (checked by the
+  /// differential fuzz harness).
+  bool posting_cache_enabled = true;
 };
 
 /// A physical operator. Execution is stage-materialized: an operator

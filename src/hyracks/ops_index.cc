@@ -1,5 +1,6 @@
 #include "hyracks/ops_index.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "similarity/edit_distance.h"
@@ -10,6 +11,18 @@
 namespace simdb::hyracks {
 
 using adm::Value;
+
+namespace {
+
+/// Reserve that never shrinks the doubling schedule (safe inside per-row
+/// loops where an exact reserve would reallocate quadratically).
+void ReserveAdditional(Rows& rows, size_t additional) {
+  if (rows.size() + additional > rows.capacity()) {
+    rows.reserve(std::max(rows.size() + additional, rows.capacity() * 2));
+  }
+}
+
+}  // namespace
 
 Result<PartitionedRows> InvertedIndexSearchOp::Execute(
     ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
@@ -40,8 +53,10 @@ Result<PartitionedRows> InvertedIndexSearchOp::Execute(
           std::string memo_key = key.ToJson();
           auto cached = memo.find(memo_key);
           if (cached != memo.end()) {
+            ReserveAdditional(rows, cached->second.size());
             for (int64_t pk : cached->second) {
               Tuple extended = row;
+              extended.reserve(row.size() + 1);
               extended.push_back(Value::Int64(pk));
               rows.push_back(std::move(extended));
             }
@@ -79,9 +94,13 @@ Result<PartitionedRows> InvertedIndexSearchOp::Execute(
           }
           SIMDB_ASSIGN_OR_RETURN(
               std::vector<int64_t> pks,
-              index->SearchTOccurrence(tokens, t, ctx.t_occurrence_algorithm));
+              index->SearchTOccurrence(tokens, t, ctx.t_occurrence_algorithm,
+                                       /*stats=*/nullptr,
+                                       ctx.posting_cache_enabled));
+          ReserveAdditional(rows, pks.size());
           for (int64_t pk : pks) {
             Tuple extended = row;
+            extended.reserve(row.size() + 1);
             extended.push_back(Value::Int64(pk));
             rows.push_back(std::move(extended));
           }

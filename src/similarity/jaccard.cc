@@ -92,6 +92,108 @@ int JaccardMaxLength(int len, double delta) {
 
 namespace {
 
+/// Shared merge for integer element types. The comparisons are branch-light
+/// (no three-way string compare), which is where the id kernels win.
+template <typename T>
+double JaccardSortedNum(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    T x = a[i], y = b[j];
+    if (x == y) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (x < y) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+template <typename T>
+double JaccardCheckSortedNum(const std::vector<T>& a, const std::vector<T>& b,
+                             double delta) {
+  if (a.empty() && b.empty()) return 0.0 >= delta ? 0.0 : -1.0;
+  size_t la = a.size(), lb = b.size();
+  double min_len = static_cast<double>(std::min(la, lb));
+  double max_len = static_cast<double>(std::max(la, lb));
+  if (max_len > 0 && min_len / max_len < delta) return -1.0;
+
+  // The divisionless form of best_jacc < delta screens most steps; a
+  // positive screen is confirmed with the exact division so the early exit
+  // can never disagree with the final `jacc >= delta` test at a rounding
+  // boundary (the differential harness requires bit-identical decisions).
+  double dsum = delta * static_cast<double>(la + lb);
+  size_t i = 0, j = 0, inter = 0;
+  while (i < la && j < lb) {
+    size_t best_inter = inter + std::min(la - i, lb - j);
+    if ((1.0 + delta) * static_cast<double>(best_inter) < dsum) {
+      double best_jacc = static_cast<double>(best_inter) /
+                         static_cast<double>(la + lb - best_inter);
+      if (best_jacc < delta) return -1.0;
+    }
+    T x = a[i], y = b[j];
+    if (x == y) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (x < y) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  double jacc = static_cast<double>(inter) /
+                static_cast<double>(la + lb - inter);
+  return jacc >= delta ? jacc : -1.0;
+}
+
+}  // namespace
+
+double JaccardSortedIds(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b) {
+  return JaccardSortedNum(a, b);
+}
+
+double JaccardCheckSortedIds(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b, double delta) {
+  return JaccardCheckSortedNum(a, b, delta);
+}
+
+size_t IntersectSortedIds(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    uint32_t x = a[i], y = b[j];
+    if (x == y) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (x < y) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return inter;
+}
+
+double JaccardSortedInt64(const std::vector<int64_t>& a,
+                          const std::vector<int64_t>& b) {
+  return JaccardSortedNum(a, b);
+}
+
+double JaccardCheckSortedInt64(const std::vector<int64_t>& a,
+                               const std::vector<int64_t>& b, double delta) {
+  return JaccardCheckSortedNum(a, b, delta);
+}
+
+namespace {
+
 size_t SortedIntersection(const std::vector<std::string>& a,
                           const std::vector<std::string>& b) {
   size_t i = 0, j = 0, inter = 0;

@@ -1,6 +1,8 @@
 #ifndef SIMDB_SIMILARITY_JACCARD_H_
 #define SIMDB_SIMILARITY_JACCARD_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -40,6 +42,25 @@ int JaccardTOccurrence(int query_len, double delta);
 /// |s| is within [ceil(delta*|r|), floor(|r|/delta)].
 int JaccardMinLength(int len, double delta);
 int JaccardMaxLength(int len, double delta);
+
+/// Integer-id kernels: the same merges over dictionary-encoded token ids
+/// (storage::TokenDictionary) or three-stage rank lists. Semantics are
+/// bit-identical to the string kernels — only the element comparisons shrink
+/// from std::string::compare to integer compares.
+double JaccardSortedIds(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b);
+double JaccardCheckSortedIds(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b, double delta);
+/// Multiset intersection size of two sorted id lists.
+size_t IntersectSortedIds(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b);
+
+/// int64 variants backing the rank-list verify path of the three-stage join
+/// (stage 2 verifies similarity-jaccard over integer rank lists).
+double JaccardSortedInt64(const std::vector<int64_t>& a,
+                          const std::vector<int64_t>& b);
+double JaccardCheckSortedInt64(const std::vector<int64_t>& a,
+                               const std::vector<int64_t>& b, double delta);
 
 /// Dice coefficient 2|r ∩ s| / (|r| + |s|) over sorted token multisets (the
 /// paper lists dice and cosine as the other common set-similarity measures).

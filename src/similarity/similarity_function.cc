@@ -63,6 +63,20 @@ bool AllStrings(const Value& v) {
   return true;
 }
 
+bool AllInt64(const Value& v) {
+  for (const Value& item : v.AsList()) {
+    if (!item.is_int64()) return false;
+  }
+  return true;
+}
+
+std::vector<int64_t> ToInt64s(const Value& v) {
+  std::vector<int64_t> out;
+  out.reserve(v.AsList().size());
+  for (const Value& item : v.AsList()) out.push_back(item.AsInt64());
+  return out;
+}
+
 /// Multiset Jaccard over lists of arbitrary comparable values (used when the
 /// three-stage join verifies on integer rank lists).
 double JaccardValues(Value::Array a, Value::Array b) {
@@ -98,6 +112,14 @@ Result<Value> EvalJaccard(const Value& a, const Value& b) {
     SIMDB_ASSIGN_OR_RETURN(std::vector<std::string> tb, ValueToTokens(b));
     return Value::Double(Jaccard(std::move(ta), std::move(tb)));
   }
+  if (AllInt64(a) && AllInt64(b)) {
+    // Integer rank lists (the three-stage join's stage-2 verify): sort and
+    // merge native int64s instead of boxed Values.
+    std::vector<int64_t> ia = ToInt64s(a), ib = ToInt64s(b);
+    std::sort(ia.begin(), ia.end());
+    std::sort(ib.begin(), ib.end());
+    return Value::Double(JaccardSortedInt64(ia, ib));
+  }
   return Value::Double(JaccardValues(a.AsList(), b.AsList()));
 }
 
@@ -111,6 +133,12 @@ Result<bool> CheckJaccard(const Value& a, const Value& b, double delta) {
     std::sort(ta.begin(), ta.end());
     std::sort(tb.begin(), tb.end());
     return JaccardCheckSorted(ta, tb, delta) >= 0;
+  }
+  if (AllInt64(a) && AllInt64(b)) {
+    std::vector<int64_t> ia = ToInt64s(a), ib = ToInt64s(b);
+    std::sort(ia.begin(), ia.end());
+    std::sort(ib.begin(), ib.end());
+    return JaccardCheckSortedInt64(ia, ib, delta) >= 0;
   }
   return JaccardValues(a.AsList(), b.AsList()) >= delta;
 }

@@ -168,6 +168,11 @@ Status Dataset::CreateIndex(IndexSpec spec) {
         SIMDB_ASSIGN_OR_RETURN(
             std::vector<std::string> tokens,
             ExtractIndexTokens(spec, rec.GetField(spec.field)));
+        // Growth-preserving reserve: never shrink the doubling schedule.
+        if (postings.size() + tokens.size() > postings.capacity()) {
+          postings.reserve(std::max(postings.size() + tokens.size(),
+                                    postings.capacity() * 2));
+        }
         for (std::string& t : tokens) postings.emplace_back(std::move(t), pk);
       }
       SIMDB_RETURN_IF_ERROR(

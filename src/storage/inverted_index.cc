@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <queue>
-#include <unordered_map>
+#include <string_view>
 #include <unordered_set>
 
 namespace simdb::storage {
@@ -12,7 +12,9 @@ using adm::Value;
 Result<std::unique_ptr<InvertedIndex>> InvertedIndex::Open(std::string dir,
                                                            LsmOptions options) {
   SIMDB_ASSIGN_OR_RETURN(auto lsm, LsmIndex::Open(std::move(dir), options));
-  return std::unique_ptr<InvertedIndex>(new InvertedIndex(std::move(lsm)));
+  auto index = std::unique_ptr<InvertedIndex>(new InvertedIndex(std::move(lsm)));
+  SIMDB_RETURN_IF_ERROR(index->RebuildDictionary());
+  return index;
 }
 
 namespace {
@@ -21,21 +23,69 @@ CompositeKey PostingKey(const std::string& token, int64_t pk) {
   return {Value::String(token), Value::Int64(pk)};
 }
 
+/// Exclusive upper bound covering every [token, pk] posting: the smallest
+/// composite key greater than all of them is the next possible string after
+/// `token` ('\0' is the minimum character).
+CompositeKey PostingUpperBound(const std::string& token) {
+  return {Value::String(token + '\0')};
+}
+
 }  // namespace
+
+Status InvertedIndex::RebuildDictionary() {
+  std::vector<std::pair<std::string, uint64_t>> counts;
+  SIMDB_ASSIGN_OR_RETURN(auto it, lsm_->NewIterator());
+  while (it->Valid()) {
+    const CompositeKey& key = it->key();
+    if (key.size() == 2 && key[0].is_string()) {
+      const std::string& token = key[0].AsString();
+      if (counts.empty() || counts.back().first != token) {
+        counts.emplace_back(token, 1);
+      } else {
+        ++counts.back().second;
+      }
+    }
+    SIMDB_RETURN_IF_ERROR(it->Next());
+  }
+  dict_.BuildFrequencyOrdered(std::move(counts));
+  return Status::OK();
+}
+
+void InvertedIndex::InvalidateCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_.clear();
+  cache_order_.clear();
+  cache_postings_ = 0;
+}
+
+size_t InvertedIndex::cached_postings() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_postings_;
+}
+
+size_t InvertedIndex::cached_lists() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.size();
+}
 
 Status InvertedIndex::Insert(const std::vector<std::string>& tokens,
                              int64_t pk) {
   for (const std::string& t : tokens) {
+    dict_.GetOrAssign(t);
     SIMDB_RETURN_IF_ERROR(lsm_->Put(PostingKey(t, pk), ""));
   }
+  if (!tokens.empty()) InvalidateCache();
   return Status::OK();
 }
 
 Status InvertedIndex::Remove(const std::vector<std::string>& tokens,
                              int64_t pk) {
+  // The dictionary keeps the removed tokens (a harmless superset); only the
+  // decoded lists must go.
   for (const std::string& t : tokens) {
     SIMDB_RETURN_IF_ERROR(lsm_->Delete(PostingKey(t, pk)));
   }
+  if (!tokens.empty()) InvalidateCache();
   return Status::OK();
 }
 
@@ -49,28 +99,88 @@ Status InvertedIndex::BulkLoad(
   for (const auto& [token, pk] : postings) {
     entries.emplace_back(PostingKey(token, pk), "");
   }
-  return lsm_->BulkLoadSorted(entries);
+  SIMDB_RETURN_IF_ERROR(lsm_->BulkLoadSorted(entries));
+  InvalidateCache();
+  // Re-establish frequency-ordered ids over the full index contents (the
+  // load may have landed on top of existing runs).
+  return RebuildDictionary();
 }
 
-Result<std::vector<int64_t>> InvertedIndex::PostingList(
-    const std::string& token) const {
+Result<std::vector<int64_t>> InvertedIndex::DecodePostings(uint32_t id) const {
+  const std::string& token = dict_.TokenOf(id);
   std::vector<int64_t> pks;
   CompositeKey lower = {Value::String(token)};
-  SIMDB_ASSIGN_OR_RETURN(auto it, lsm_->NewIterator(&lower));
+  CompositeKey upper = PostingUpperBound(token);
+  SIMDB_ASSIGN_OR_RETURN(auto it, lsm_->NewIterator(&lower, &upper));
   while (it->Valid()) {
     const CompositeKey& key = it->key();
-    if (key.size() != 2 || !key[0].is_string() || key[0].AsString() != token) {
-      break;
-    }
-    pks.push_back(key[1].AsInt64());
+    if (key.size() == 2) pks.push_back(key[1].AsInt64());
     SIMDB_RETURN_IF_ERROR(it->Next());
   }
   return pks;
 }
 
+Result<std::shared_ptr<const std::vector<int64_t>>>
+InvertedIndex::FetchPostings(const std::string& token, bool use_cache,
+                             InvertedSearchStats* stats) const {
+  static const std::shared_ptr<const std::vector<int64_t>> kEmpty =
+      std::make_shared<const std::vector<int64_t>>();
+  std::optional<uint32_t> id = dict_.Lookup(token);
+  // Unknown to the dictionary == never stored: no LSM probe needed.
+  if (!id.has_value()) return kEmpty;
+  if (use_cache) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(*id);
+    if (it != cache_.end()) {
+      if (stats != nullptr) ++stats->cache_hits;
+      return it->second;
+    }
+  }
+  if (stats != nullptr) ++stats->cache_misses;
+  SIMDB_ASSIGN_OR_RETURN(std::vector<int64_t> decoded, DecodePostings(*id));
+  auto list =
+      std::make_shared<const std::vector<int64_t>>(std::move(decoded));
+  if (use_cache && list->size() <= cache_budget_postings_) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto [it, inserted] = cache_.emplace(*id, list);
+    (void)it;
+    if (inserted) {
+      cache_order_.push_back(*id);
+      cache_postings_ += list->size();
+      EvictOverBudgetLocked();
+    }
+  }
+  return list;
+}
+
+void InvertedIndex::EvictOverBudgetLocked() const {
+  while (cache_postings_ > cache_budget_postings_ && !cache_order_.empty()) {
+    uint32_t victim = cache_order_.front();
+    cache_order_.pop_front();
+    auto vit = cache_.find(victim);
+    if (vit != cache_.end()) {
+      cache_postings_ -= vit->second->size();
+      cache_.erase(vit);
+    }
+  }
+}
+
+void InvertedIndex::set_cache_budget_postings(size_t budget) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_budget_postings_ = budget;
+  EvictOverBudgetLocked();
+}
+
+Result<std::vector<int64_t>> InvertedIndex::PostingList(
+    const std::string& token) const {
+  SIMDB_ASSIGN_OR_RETURN(auto list, FetchPostings(token));
+  return *list;
+}
+
 Result<std::vector<int64_t>> InvertedIndex::SearchTOccurrence(
     const std::vector<std::string>& query_tokens, int t,
-    TOccurrenceAlgorithm algorithm, InvertedSearchStats* stats) const {
+    TOccurrenceAlgorithm algorithm, InvertedSearchStats* stats,
+    bool use_cache) const {
   if (t < 1) {
     return Status::InvalidArgument(
         "SearchTOccurrence requires t >= 1 (corner case must be handled by "
@@ -78,44 +188,54 @@ Result<std::vector<int64_t>> InvertedIndex::SearchTOccurrence(
   }
   // Ignore duplicate query tokens: occurrence-deduped inputs are unique by
   // construction, but user-supplied token lists may not be.
-  std::vector<std::string> distinct;
+  std::vector<const std::string*> distinct;
   {
-    std::unordered_set<std::string> seen;
+    std::unordered_set<std::string_view> seen;
+    seen.reserve(query_tokens.size());
     distinct.reserve(query_tokens.size());
     for (const std::string& q : query_tokens) {
-      if (seen.insert(q).second) distinct.push_back(q);
+      if (seen.insert(q).second) distinct.push_back(&q);
     }
   }
   InvertedSearchStats local;
   std::vector<int64_t> result;
 
+  // Gather the decoded lists once (shared, usually from the cache).
+  std::vector<std::shared_ptr<const std::vector<int64_t>>> lists;
+  lists.reserve(distinct.size());
+  size_t total_postings = 0;
+  for (const std::string* q : distinct) {
+    SIMDB_ASSIGN_OR_RETURN(auto list, FetchPostings(*q, use_cache, &local));
+    ++local.lists_probed;
+    local.postings_read += list->size();
+    total_postings += list->size();
+    if (!list->empty()) lists.push_back(std::move(list));
+  }
+
   if (algorithm == TOccurrenceAlgorithm::kScanCount) {
-    std::unordered_map<int64_t, int> counts;
-    for (const std::string& q : distinct) {
-      SIMDB_ASSIGN_OR_RETURN(std::vector<int64_t> list, PostingList(q));
-      ++local.lists_probed;
-      local.postings_read += list.size();
-      for (int64_t pk : list) ++counts[pk];
+    // ScanCount over integer pks: gather every posting into one flat array,
+    // sort, and count equal runs. Cache-friendly and allocation-light
+    // compared to hashing each posting.
+    std::vector<int64_t> gathered;
+    gathered.reserve(total_postings);
+    for (const auto& list : lists) {
+      gathered.insert(gathered.end(), list->begin(), list->end());
     }
-    for (const auto& [pk, count] : counts) {
-      if (count >= t) result.push_back(pk);
+    std::sort(gathered.begin(), gathered.end());
+    size_t i = 0;
+    while (i < gathered.size()) {
+      size_t j = i + 1;
+      while (j < gathered.size() && gathered[j] == gathered[i]) ++j;
+      if (j - i >= static_cast<size_t>(t)) result.push_back(gathered[i]);
+      i = j;
     }
-    std::sort(result.begin(), result.end());
   } else {
     // Heap merge over the sorted posting lists; a pk appearing in >= t lists
     // produces a run of >= t equal heads.
-    std::vector<std::vector<int64_t>> lists;
-    lists.reserve(distinct.size());
-    for (const std::string& q : distinct) {
-      SIMDB_ASSIGN_OR_RETURN(std::vector<int64_t> list, PostingList(q));
-      ++local.lists_probed;
-      local.postings_read += list.size();
-      if (!list.empty()) lists.push_back(std::move(list));
-    }
     using Head = std::pair<int64_t, size_t>;  // (pk, list id)
     std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heap;
     std::vector<size_t> pos(lists.size(), 0);
-    for (size_t i = 0; i < lists.size(); ++i) heap.push({lists[i][0], i});
+    for (size_t i = 0; i < lists.size(); ++i) heap.push({(*lists[i])[0], i});
     while (!heap.empty()) {
       int64_t pk = heap.top().first;
       int count = 0;
@@ -123,7 +243,9 @@ Result<std::vector<int64_t>> InvertedIndex::SearchTOccurrence(
         auto [_, li] = heap.top();
         heap.pop();
         ++count;
-        if (++pos[li] < lists[li].size()) heap.push({lists[li][pos[li]], li});
+        if (++pos[li] < lists[li]->size()) {
+          heap.push({(*lists[li])[pos[li]], li});
+        }
       }
       if (count >= t) result.push_back(pk);
     }
@@ -134,6 +256,8 @@ Result<std::vector<int64_t>> InvertedIndex::SearchTOccurrence(
     stats->lists_probed += local.lists_probed;
     stats->postings_read += local.postings_read;
     stats->candidates += local.candidates;
+    stats->cache_hits += local.cache_hits;
+    stats->cache_misses += local.cache_misses;
   }
   return result;
 }

@@ -2,18 +2,22 @@
 #define SIMDB_STORAGE_INVERTED_INDEX_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "storage/lsm_index.h"
+#include "storage/token_dictionary.h"
 
 namespace simdb::storage {
 
 /// Algorithm used to solve the T-occurrence problem over posting lists.
 enum class TOccurrenceAlgorithm {
-  kScanCount,  // hash-count every posting (robust default)
+  kScanCount,  // gather postings, sort, count runs (robust default)
   kHeapMerge,  // k-way merge of sorted lists counting equal runs
 };
 
@@ -23,12 +27,23 @@ struct InvertedSearchStats {
   uint64_t lists_probed = 0;
   uint64_t postings_read = 0;
   uint64_t candidates = 0;
+  /// Posting-list cache behaviour: hits served from decoded lists, misses
+  /// decoded from the LSM. Probes for tokens unknown to the dictionary touch
+  /// neither (they are proven empty without storage access).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 };
 
 /// A secondary inverted index on one field, stored as an LSM index with
 /// composite keys [token, pk]. Serves both the "keyword" and "n-gram" index
 /// types of the paper; the difference is only in how keys are tokenized
 /// (see index_tokens.h).
+///
+/// Tokens are dictionary-encoded to dense uint32 ids (ascending global-
+/// frequency order after Open/BulkLoad, see TokenDictionary). The read path
+/// decodes each posting list from the LSM once into a flat sorted
+/// std::vector<int64_t> and keeps it in a bounded per-partition cache that
+/// is invalidated by Insert/Remove/BulkLoad.
 class InvertedIndex {
  public:
   static Result<std::unique_ptr<InvertedIndex>> Open(std::string dir,
@@ -39,11 +54,19 @@ class InvertedIndex {
   Status Insert(const std::vector<std::string>& tokens, int64_t pk);
   Status Remove(const std::vector<std::string>& tokens, int64_t pk);
 
-  /// Sorted bulk load of (token, pk) pairs; input need not be sorted.
+  /// Sorted bulk load of (token, pk) pairs; input need not be sorted. The
+  /// token dictionary is rebuilt in global-frequency order afterwards.
   Status BulkLoad(std::vector<std::pair<std::string, int64_t>> postings);
 
   /// Returns the sorted pks on the posting list of `token`.
   Result<std::vector<int64_t>> PostingList(const std::string& token) const;
+
+  /// Shared decoded posting list for `token` (empty list when the token is
+  /// unknown). Served from the cache when `use_cache` is set; the returned
+  /// list stays valid even if the cache is invalidated afterwards.
+  Result<std::shared_ptr<const std::vector<int64_t>>> FetchPostings(
+      const std::string& token, bool use_cache = true,
+      InvertedSearchStats* stats = nullptr) const;
 
   /// Solves the T-occurrence problem: returns the sorted pks that appear on
   /// at least `t` of the query tokens' posting lists. `t` must be >= 1 (the
@@ -52,7 +75,17 @@ class InvertedIndex {
   Result<std::vector<int64_t>> SearchTOccurrence(
       const std::vector<std::string>& query_tokens, int t,
       TOccurrenceAlgorithm algorithm = TOccurrenceAlgorithm::kScanCount,
-      InvertedSearchStats* stats = nullptr) const;
+      InvertedSearchStats* stats = nullptr, bool use_cache = true) const;
+
+  /// Token -> dense id mapping covering every token this index has stored
+  /// (a superset after removes; rebuilt frequency-ordered by Open/BulkLoad).
+  const TokenDictionary& dictionary() const { return dict_; }
+
+  /// Test hooks for the posting-list cache. Lowering the budget evicts
+  /// already-cached lists down to the new bound.
+  void set_cache_budget_postings(size_t budget);
+  size_t cached_postings() const;
+  size_t cached_lists() const;
 
   Status Flush() { return lsm_->Flush(); }
   uint64_t DiskSizeBytes() const { return lsm_->DiskSizeBytes(); }
@@ -62,7 +95,30 @@ class InvertedIndex {
   explicit InvertedIndex(std::unique_ptr<LsmIndex> lsm)
       : lsm_(std::move(lsm)) {}
 
+  /// Rebuilds the dictionary (frequency-ordered) from a full LSM scan.
+  Status RebuildDictionary();
+
+  /// Decodes the posting list of the dictionary token `id` from the LSM.
+  Result<std::vector<int64_t>> DecodePostings(uint32_t id) const;
+
+  void InvalidateCache();
+
+  /// FIFO-evicts cached lists until the budget holds. cache_mu_ must be held.
+  void EvictOverBudgetLocked() const;
+
   std::unique_ptr<LsmIndex> lsm_;
+  TokenDictionary dict_;
+
+  /// Decoded-posting-list cache, keyed by token id and bounded by the total
+  /// number of cached postings (FIFO eviction). Guarded by a mutex so the
+  /// per-partition executor tasks can share an index instance safely.
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<uint32_t,
+                             std::shared_ptr<const std::vector<int64_t>>>
+      cache_;
+  mutable std::deque<uint32_t> cache_order_;  // insertion order for eviction
+  mutable size_t cache_postings_ = 0;
+  size_t cache_budget_postings_ = 1u << 22;  // ~32 MB of int64 postings
 };
 
 }  // namespace simdb::storage

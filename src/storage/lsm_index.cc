@@ -25,9 +25,10 @@ class MemtableSource : public MergeSource {
  public:
   using Map = std::map<CompositeKey, std::optional<std::string>, KeyLess>;
 
-  MemtableSource(const Map& map, const CompositeKey* lower) {
+  MemtableSource(const Map& map, const CompositeKey* lower,
+                 const CompositeKey* upper) {
     it_ = lower ? map.lower_bound(*lower) : map.begin();
-    end_ = map.end();
+    end_ = upper ? map.lower_bound(*upper) : map.end();
   }
 
   bool Valid() const override { return it_ != end_; }
@@ -65,8 +66,11 @@ class RunSource : public MergeSource {
 class MergedIterator : public LsmIndex::Iterator {
  public:
   MergedIterator(std::vector<std::unique_ptr<MergeSource>> sources,
-                 bool skip_tombstones)
-      : sources_(std::move(sources)), skip_tombstones_(skip_tombstones) {}
+                 bool skip_tombstones, const CompositeKey* upper_bound = nullptr)
+      : sources_(std::move(sources)),
+        skip_tombstones_(skip_tombstones),
+        upper_bound_(upper_bound ? std::optional<CompositeKey>(*upper_bound)
+                                 : std::nullopt) {}
 
   Status Init() { return FindNext(); }
 
@@ -94,6 +98,11 @@ class MergedIterator : public LsmIndex::Iterator {
         return Status::OK();
       }
       key_ = sources_[best]->key();
+      if (upper_bound_.has_value() &&
+          CompareKeys(key_, *upper_bound_) >= 0) {
+        valid_ = false;
+        return Status::OK();
+      }
       tombstone_ = sources_[best]->is_tombstone();
       if (!tombstone_) value_ = sources_[best]->value();
       // Consume this key from every source that carries it.
@@ -110,6 +119,7 @@ class MergedIterator : public LsmIndex::Iterator {
 
   std::vector<std::unique_ptr<MergeSource>> sources_;
   bool skip_tombstones_;
+  std::optional<CompositeKey> upper_bound_;
   bool valid_ = false;
   bool tombstone_ = false;
   CompositeKey key_;
@@ -191,15 +201,16 @@ Result<std::optional<std::string>> LsmIndex::Get(
 }
 
 Result<std::unique_ptr<LsmIndex::Iterator>> LsmIndex::NewIterator(
-    const CompositeKey* lower_bound) const {
+    const CompositeKey* lower_bound, const CompositeKey* upper_bound) const {
   std::vector<std::unique_ptr<MergeSource>> sources;
-  sources.push_back(std::make_unique<MemtableSource>(memtable_, lower_bound));
+  sources.push_back(
+      std::make_unique<MemtableSource>(memtable_, lower_bound, upper_bound));
   for (const auto& run : runs_) {
     SIMDB_ASSIGN_OR_RETURN(auto it, run->NewIterator(lower_bound));
     sources.push_back(std::make_unique<RunSource>(std::move(it)));
   }
-  auto merged = std::make_unique<MergedIterator>(std::move(sources),
-                                                 /*skip_tombstones=*/true);
+  auto merged = std::make_unique<MergedIterator>(
+      std::move(sources), /*skip_tombstones=*/true, upper_bound);
   SIMDB_RETURN_IF_ERROR(merged->Init());
   return std::unique_ptr<Iterator>(std::move(merged));
 }

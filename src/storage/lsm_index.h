@@ -57,7 +57,8 @@ class LsmIndex {
   Result<std::optional<std::string>> Get(const CompositeKey& key) const;
 
   /// Merged forward iterator over live entries with key >= lower_bound (all
-  /// entries when null). Tombstoned keys are skipped.
+  /// entries when null) and key < upper_bound (unbounded when null).
+  /// Tombstoned keys are skipped.
   class Iterator {
    public:
     virtual ~Iterator() = default;
@@ -68,7 +69,8 @@ class LsmIndex {
   };
 
   Result<std::unique_ptr<Iterator>> NewIterator(
-      const CompositeKey* lower_bound = nullptr) const;
+      const CompositeKey* lower_bound = nullptr,
+      const CompositeKey* upper_bound = nullptr) const;
 
   /// Forces the in-memory component to disk (no-op when empty).
   Status Flush();

@@ -1,0 +1,36 @@
+#include "storage/token_dictionary.h"
+
+#include <algorithm>
+
+namespace simdb::storage {
+
+uint32_t TokenDictionary::GetOrAssign(const std::string& token) {
+  auto [it, inserted] =
+      ids_.emplace(token, static_cast<uint32_t>(tokens_.size()));
+  if (inserted) tokens_.push_back(token);
+  return it->second;
+}
+
+void TokenDictionary::BuildFrequencyOrdered(
+    std::vector<std::pair<std::string, uint64_t>> counts) {
+  std::sort(counts.begin(), counts.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  Clear();
+  ids_.reserve(counts.size());
+  tokens_.reserve(counts.size());
+  for (auto& [token, count] : counts) {
+    (void)count;
+    ids_.emplace(token, static_cast<uint32_t>(tokens_.size()));
+    tokens_.push_back(std::move(token));
+  }
+}
+
+void TokenDictionary::Clear() {
+  ids_.clear();
+  tokens_.clear();
+}
+
+}  // namespace simdb::storage

@@ -1,0 +1,52 @@
+#ifndef SIMDB_STORAGE_TOKEN_DICTIONARY_H_
+#define SIMDB_STORAGE_TOKEN_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace simdb::storage {
+
+/// Maps index tokens to dense `uint32_t` ids. Ids are assigned in ascending
+/// global-frequency order (ties broken by token text) whenever the dictionary
+/// is rebuilt from a full token census — exactly the global token order the
+/// paper's three-stage join computes in stage 1, so a token list sorted by id
+/// has the prefix-filter prefix as its leading elements. Tokens added
+/// incrementally (index maintenance inserts) are appended with the next free
+/// id; frequency order is only re-established by the next rebuild.
+class TokenDictionary {
+ public:
+  /// Id of `token`, or nullopt when the token has never been seen. A miss
+  /// proves the token is absent from the indexed data, so probes for unknown
+  /// tokens can skip storage entirely.
+  std::optional<uint32_t> Lookup(const std::string& token) const {
+    auto it = ids_.find(token);
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Id of `token`, assigning the next free id on first sight.
+  uint32_t GetOrAssign(const std::string& token);
+
+  const std::string& TokenOf(uint32_t id) const { return tokens_[id]; }
+  size_t size() const { return tokens_.size(); }
+  bool empty() const { return tokens_.empty(); }
+
+  /// Replaces the mapping: ids 0..n-1 are assigned in ascending
+  /// (frequency, token) order over `counts` (one entry per distinct token).
+  void BuildFrequencyOrdered(
+      std::vector<std::pair<std::string, uint64_t>> counts);
+
+  void Clear();
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> tokens_;  // id -> token
+};
+
+}  // namespace simdb::storage
+
+#endif  // SIMDB_STORAGE_TOKEN_DICTIONARY_H_

@@ -22,6 +22,7 @@ void ApplyVariant(QueryProcessor& engine, const ExecVariant& v) {
   opt.enable_three_stage_join = v.enable_three_stage_join;
   opt.enable_surrogate_join = v.enable_surrogate_join;
   engine.set_t_occurrence_algorithm(v.t_occurrence);
+  engine.set_posting_cache_enabled(v.posting_cache);
 }
 
 /// Executes one query and returns its result set as a sorted vector of JSON
@@ -165,6 +166,15 @@ std::vector<ExecVariant> PlanVariantMatrix() {
   heapmerge.label = "indexed-heapmerge";
   heapmerge.t_occurrence = storage::TOccurrenceAlgorithm::kHeapMerge;
   variants.push_back(heapmerge);
+
+  // The decoded posting-list cache must be invisible to results: run the
+  // full indexed configuration again with the cache disabled. Because the
+  // cached variants above warm the cache on the same engines, any stale-
+  // cache bug shows up as a variant mismatch here.
+  ExecVariant nocache = indexed;
+  nocache.label = "indexed-nocache";
+  nocache.posting_cache = false;
+  variants.push_back(nocache);
   return variants;
 }
 

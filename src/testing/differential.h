@@ -22,6 +22,8 @@ struct ExecVariant {
   bool enable_surrogate_join = true;
   storage::TOccurrenceAlgorithm t_occurrence =
       storage::TOccurrenceAlgorithm::kScanCount;
+  /// Serve inverted-index probes from the decoded posting-list cache.
+  bool posting_cache = true;
 };
 
 /// The default plan-variant matrix:
@@ -32,6 +34,7 @@ struct ExecVariant {
 ///   indexed-nosurr    - index join without the surrogate optimization
 ///   threestage        - index joins off; Jaccard joins go three-stage
 ///   indexed-heapmerge - all rewrites on, heap-merge T-occurrence
+///   indexed-nocache   - all rewrites on, posting-list cache disabled
 std::vector<ExecVariant> PlanVariantMatrix();
 
 /// Cluster shapes the matrix runs under: 1x1, 2x2, 4x2
