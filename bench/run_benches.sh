@@ -18,8 +18,9 @@ TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 KERNELS_BIN="$BUILD/bench/bench_kernels"
+SCHEDULER_BIN="$BUILD/bench/bench_scheduler"
 FIG22_BIN="$BUILD/bench/bench_fig22_selection"
-for bin in "$KERNELS_BIN" "$FIG22_BIN"; do
+for bin in "$KERNELS_BIN" "$SCHEDULER_BIN" "$FIG22_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "missing benchmark binary: $bin (build the tree first)" >&2
     exit 1
@@ -37,15 +38,22 @@ echo "== bench_kernels =="
 "$KERNELS_BIN" "${KERNEL_FLAGS[@]+"${KERNEL_FLAGS[@]}"}" \
   --benchmark_out="$TMP/kernels.json" --benchmark_out_format=json
 
+echo "== bench_scheduler =="
+"$SCHEDULER_BIN" "${KERNEL_FLAGS[@]+"${KERNEL_FLAGS[@]}"}" \
+  --benchmark_out="$TMP/scheduler.json" --benchmark_out_format=json
+
 echo "== bench_fig22_selection =="
 "$FIG22_BIN" | tee "$TMP/fig22.txt"
 
-python3 - "$TMP/kernels.json" "$TMP/fig22.txt" "$OUT" "$QUICK" <<'PY'
+python3 - "$TMP/kernels.json" "$TMP/scheduler.json" "$TMP/fig22.txt" \
+  "$OUT" "$QUICK" <<'PY'
 import json, sys
 
-kernels_path, fig22_path, out_path, quick = sys.argv[1:5]
+kernels_path, scheduler_path, fig22_path, out_path, quick = sys.argv[1:6]
 with open(kernels_path) as f:
     kernels = json.load(f)
+with open(scheduler_path) as f:
+    scheduler = json.load(f)
 with open(fig22_path) as f:
     fig22_lines = [line.rstrip("\n") for line in f]
 
@@ -53,6 +61,7 @@ merged = {
     "generated_by": "bench/run_benches.sh",
     "quick_mode": quick == "1",
     "bench_kernels": kernels,
+    "bench_scheduler": scheduler,
     "bench_fig22_selection": {"raw": fig22_lines},
 }
 with open(out_path, "w") as f:

@@ -3,9 +3,79 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <unordered_map>
 #include <vector>
 
 namespace simdb::cluster {
+
+namespace {
+
+/// Modeled seconds to push `remote_bytes` through the per-node NICs: bytes
+/// flow roughly evenly, frame latency is charged per 32 KiB frame, also
+/// spread across nodes. Shared by the stage-sum and critical-path figures.
+double NetworkSeconds(uint64_t remote_bytes, int nodes,
+                      const NetworkModel& net) {
+  if (remote_bytes == 0) return 0;
+  double per_node_bytes = static_cast<double>(remote_bytes) / nodes;
+  double frames =
+      std::ceil(static_cast<double>(remote_bytes) / net.frame_bytes) / nodes;
+  return per_node_bytes / net.bandwidth_bytes_per_sec +
+         frames * net.frame_latency_sec;
+}
+
+double PartitionSeconds(const hyracks::OpStats& op, int p) {
+  return static_cast<size_t>(p) < op.partition_seconds.size()
+             ? op.partition_seconds[static_cast<size_t>(p)]
+             : 0.0;
+}
+
+/// Longest dependency chain through the per-(node, partition) task DAG.
+/// done(i, p) = ready(i, p) + partition_seconds(i, p), where a local task is
+/// ready when partition p of each input is done, and a barrier waits for all
+/// partitions of all inputs plus its own network time.
+double CriticalPathSeconds(const hyracks::ExecStats& stats, int parts,
+                           int nodes, const NetworkModel& net) {
+  std::unordered_map<int, const hyracks::OpStats*> by_node;
+  for (const hyracks::OpStats& op : stats.ops) {
+    if (op.node_id >= 0) by_node[op.node_id] = &op;
+  }
+  std::unordered_map<int, std::vector<double>> done;
+  double longest = 0;
+  // ops are pushed in node order (topological), so inputs resolve first.
+  for (const hyracks::OpStats& op : stats.ops) {
+    if (op.node_id < 0) continue;
+    std::vector<double>& d =
+        done.emplace(op.node_id, std::vector<double>(
+                                     static_cast<size_t>(parts), 0.0))
+            .first->second;
+    if (op.barrier) {
+      double ready = 0;
+      for (int in : op.input_ops) {
+        auto it = done.find(in);
+        if (it == done.end()) continue;
+        for (double v : it->second) ready = std::max(ready, v);
+      }
+      ready += NetworkSeconds(op.remote_bytes, nodes, net);
+      for (int p = 0; p < parts; ++p) {
+        d[static_cast<size_t>(p)] = ready + PartitionSeconds(op, p);
+      }
+    } else {
+      for (int p = 0; p < parts; ++p) {
+        double ready = 0;
+        for (int in : op.input_ops) {
+          auto it = done.find(in);
+          if (it == done.end()) continue;
+          ready = std::max(ready, it->second[static_cast<size_t>(p)]);
+        }
+        d[static_cast<size_t>(p)] = ready + PartitionSeconds(op, p);
+      }
+    }
+    for (double v : d) longest = std::max(longest, v);
+  }
+  return longest;
+}
+
+}  // namespace
 
 MakespanReport ComputeMakespan(const hyracks::ExecStats& stats,
                                const hyracks::ClusterTopology& topology,
@@ -24,28 +94,29 @@ MakespanReport ComputeMakespan(const hyracks::ExecStats& stats,
     double stage = 0;
     for (double s : node_seconds) stage = std::max(stage, s);
     report.compute_seconds += stage;
-
-    // Network: remote bytes flow through per-node NICs roughly evenly; frame
-    // latency is charged per 32 KiB frame, also spread across nodes.
-    if (op.remote_bytes > 0) {
-      double per_node_bytes = static_cast<double>(op.remote_bytes) / nodes;
-      double frames = std::ceil(static_cast<double>(op.remote_bytes) /
-                                net.frame_bytes) /
-                      nodes;
-      report.network_seconds +=
-          per_node_bytes / net.bandwidth_bytes_per_sec +
-          frames * net.frame_latency_sec;
-    }
+    report.network_seconds += NetworkSeconds(op.remote_bytes, nodes, net);
+  }
+  if (stats.has_task_dag) {
+    report.has_critical_path = true;
+    report.critical_path_seconds = CriticalPathSeconds(
+        stats, std::max(1, topology.total_partitions()), nodes, net);
   }
   return report;
 }
 
 std::string FormatMakespan(const MakespanReport& report) {
-  char buf[128];
-  std::snprintf(buf, sizeof(buf),
-                "%.3fs (compute %.3fs + network %.3fs)",
-                report.total_seconds(), report.compute_seconds,
-                report.network_seconds);
+  char buf[160];
+  if (report.has_critical_path) {
+    std::snprintf(buf, sizeof(buf),
+                  "%.3fs critical path (stage-sum %.3fs = compute %.3fs + "
+                  "network %.3fs)",
+                  report.critical_path_seconds, report.stage_sum_seconds(),
+                  report.compute_seconds, report.network_seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs (compute %.3fs + network %.3fs)",
+                  report.total_seconds(), report.compute_seconds,
+                  report.network_seconds);
+  }
   return buf;
 }
 

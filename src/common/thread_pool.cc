@@ -2,6 +2,15 @@
 
 namespace simdb {
 
+namespace {
+/// Set for the lifetime of every pool worker; RunAll consults it so a task
+/// that (indirectly) calls RunAll again helps inline instead of parking a
+/// worker on a queue only workers can drain.
+thread_local bool t_on_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::OnWorkerThread() { return t_on_pool_worker; }
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
@@ -24,6 +33,10 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
+  if (t_on_pool_worker) {
+    for (auto& t : tasks) t();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& t : tasks) {
@@ -36,7 +49,17 @@ void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
   done_cv_.wait(lock, [this] { return in_flight_ == 0 && queue_.empty(); });
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
 void ThreadPool::WorkerLoop() {
+  t_on_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {

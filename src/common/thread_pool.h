@@ -27,7 +27,17 @@ class ThreadPool {
 
   /// Runs all tasks (possibly concurrently) and blocks until every one has
   /// finished. Tasks must not throw; they communicate failure out of band.
+  /// Safe to call from inside a pool worker: the batch then runs inline on
+  /// the calling thread instead of deadlocking the pool on its own queue.
   void RunAll(std::vector<std::function<void()>> tasks);
+
+  /// Enqueues one task and returns immediately. Completion tracking is the
+  /// caller's responsibility (the task-graph scheduler keeps its own counts);
+  /// tasks must not throw. A submitted task may itself Submit more tasks.
+  void Submit(std::function<void()> task);
+
+  /// True when the calling thread is one of this process's pool workers.
+  static bool OnWorkerThread();
 
  private:
   void WorkerLoop();

@@ -117,6 +117,7 @@ Status QueryProcessor::RunQuery(const aql::AExprPtr& query,
   ctx.stats = &exec_stats;
   ctx.t_occurrence_algorithm = options_.t_occurrence_algorithm;
   ctx.posting_cache_enabled = options_.posting_cache_enabled;
+  ctx.executor = options_.executor;
   SIMDB_ASSIGN_OR_RETURN(hyracks::PartitionedRows rows,
                          hyracks::Executor::Run(job, ctx));
 

@@ -29,6 +29,9 @@ struct EngineOptions {
       storage::TOccurrenceAlgorithm::kScanCount;
   /// Serve inverted-index probes from the decoded posting-list cache.
   bool posting_cache_enabled = true;
+  /// Dataflow runtime: dependency-scheduled task graph (default) or the
+  /// legacy stage-sequential loop. The two are answer-identical.
+  hyracks::ExecutorKind executor = hyracks::ExecutorKind::kScheduler;
 };
 
 /// Compilation timings, including the AQL+ overhead the paper reports in
@@ -86,6 +89,13 @@ class QueryProcessor {
   /// fuzz harness toggles this per execution variant.
   void set_posting_cache_enabled(bool enabled) {
     options_.posting_cache_enabled = enabled;
+  }
+
+  /// Switches the dataflow runtime for subsequent queries. The task-graph
+  /// scheduler and the stage-sequential executor must be answer-identical;
+  /// the differential fuzz harness runs both per execution variant.
+  void set_executor(hyracks::ExecutorKind executor) {
+    options_.executor = executor;
   }
 
   /// Programmatic data path used by generators and benches (bypasses AQL).

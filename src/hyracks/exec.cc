@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "hyracks/ops_exchange.h"
+#include "hyracks/scheduler.h"
 
 namespace simdb::hyracks {
 
@@ -51,6 +53,49 @@ Status RunPerPartition(ExecContext& ctx, int num_partitions, OpStats* stats,
   return Status::OK();
 }
 
+Status PartitionOperator::ValidateInputArity(size_t provided) const {
+  int expected = num_inputs();
+  if (expected < 0) {
+    if (provided == 0) {
+      return Status::Internal(name() + " expects at least one input");
+    }
+    return Status::OK();
+  }
+  if (provided != static_cast<size_t>(expected)) {
+    return Status::Internal(name() + " expects " + std::to_string(expected) +
+                            " input(s), got " + std::to_string(provided));
+  }
+  return Status::OK();
+}
+
+Result<PartitionedRows> PartitionOperator::Execute(
+    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+    OpStats* stats) {
+  SIMDB_RETURN_IF_ERROR(ValidateInputArity(inputs.size()));
+  SIMDB_RETURN_IF_ERROR(Prepare(ctx));
+  size_t parts = inputs.empty()
+                     ? static_cast<size_t>(ctx.topology.total_partitions())
+                     : inputs[0]->size();
+  for (const PartitionedRows* in : inputs) {
+    if (in->size() != parts) {
+      return Status::Internal(name() + " partition mismatch");
+    }
+  }
+  PartitionedRows out(parts);
+  SIMDB_RETURN_IF_ERROR(RunPerPartition(
+      ctx, static_cast<int>(parts), stats, [&](int p) -> Status {
+        std::vector<const Rows*> slice;
+        slice.reserve(inputs.size());
+        for (const PartitionedRows* in : inputs) {
+          slice.push_back(&(*in)[static_cast<size_t>(p)]);
+        }
+        SIMDB_ASSIGN_OR_RETURN(out[static_cast<size_t>(p)],
+                               ExecutePartition(ctx, p, slice));
+        return Status::OK();
+      }));
+  return out;
+}
+
 int Job::Add(std::unique_ptr<Operator> op, std::vector<int> inputs,
              RowSchema schema) {
   int id = static_cast<int>(nodes_.size());
@@ -74,7 +119,20 @@ std::string Job::ToString() const {
   return out;
 }
 
+Status WrapNodeError(int node, const std::string& op_name, const Status& s) {
+  return Status(s.code(), "node " + std::to_string(node) + " (" + op_name +
+                              "): " + s.message());
+}
+
 Result<PartitionedRows> Executor::Run(const Job& job, ExecContext& ctx) {
+  if (ctx.executor == ExecutorKind::kStageSequential) {
+    return RunStageSequential(job, ctx);
+  }
+  return Scheduler::Run(job, ctx);
+}
+
+Result<PartitionedRows> Executor::RunStageSequential(const Job& job,
+                                                     ExecContext& ctx) {
   const auto& nodes = job.nodes();
   if (nodes.empty()) return Status::PlanError("empty job");
 
@@ -96,18 +154,33 @@ Result<PartitionedRows> Executor::Run(const Job& job, ExecContext& ctx) {
     }
     OpStats op_stats;
     op_stats.name = nodes[i].op->name();
-    Result<PartitionedRows> executed = nodes[i].op->Execute(ctx, inputs, &op_stats);
+    op_stats.node_id = static_cast<int>(i);
+    op_stats.input_ops = nodes[i].inputs;
+    op_stats.barrier = !nodes[i].op->partition_local();
+    // An exchange that is the sole remaining consumer of its input may move
+    // tuples out of it instead of copying (the input is released right after
+    // anyway). The root's extra refcount keeps the final answer unstolen.
+    PartitionedRows* steal = nullptr;
+    auto* exchange = dynamic_cast<ExchangeOperator*>(nodes[i].op.get());
+    if (exchange != nullptr && nodes[i].inputs.size() == 1 &&
+        refcount[static_cast<size_t>(nodes[i].inputs[0])] == 1) {
+      steal = &outputs[static_cast<size_t>(nodes[i].inputs[0])];
+    }
+    Result<PartitionedRows> executed =
+        exchange != nullptr
+            ? RunExchange(ctx, *exchange, inputs, steal, &op_stats)
+            : nodes[i].op->Execute(ctx, inputs, &op_stats);
     if (!executed.ok()) {
       // Keep the partial stats trail and identify the failing node: error
       // reports stay deterministic and attributable instead of dropping the
       // per-partition context on the floor.
       if (ctx.stats != nullptr) {
+        ctx.stats->has_task_dag = true;
         ctx.stats->ops.push_back(std::move(op_stats));
         ctx.stats->wall_seconds += sw.ElapsedSeconds();
       }
-      const Status& s = executed.status();
-      return Status(s.code(), "node " + std::to_string(i) + " (" +
-                                  nodes[i].op->name() + "): " + s.message());
+      return WrapNodeError(static_cast<int>(i), nodes[i].op->name(),
+                           executed.status());
     }
     outputs[i] = std::move(executed).value();
     // Normalize: every operator must emit exactly total_partitions parts.
@@ -124,7 +197,10 @@ Result<PartitionedRows> Executor::Run(const Job& job, ExecContext& ctx) {
       }
     }
   }
-  if (ctx.stats != nullptr) ctx.stats->wall_seconds += sw.ElapsedSeconds();
+  if (ctx.stats != nullptr) {
+    ctx.stats->has_task_dag = true;
+    ctx.stats->wall_seconds += sw.ElapsedSeconds();
+  }
   return std::move(outputs[static_cast<size_t>(job.root())]);
 }
 

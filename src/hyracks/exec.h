@@ -28,10 +28,21 @@ struct ClusterTopology {
 /// into a simulated makespan (see cluster/cost_model.h).
 struct OpStats {
   std::string name;
-  /// Measured compute seconds for each partition's work.
+  /// Job node id and input node ids: the task-DAG shape the cost model needs
+  /// to compute a critical-path makespan. -1 / empty when the stats were not
+  /// produced by a job executor (hand-built stats, direct operator calls).
+  int node_id = -1;
+  std::vector<int> input_ops;
+  /// True for pipeline barriers (exchanges and whole-node operators): every
+  /// input partition must be complete before any output partition exists.
+  bool barrier = false;
+  /// Measured compute seconds for each partition's work. For exchanges this
+  /// is the per-destination build time (plus routing time spread evenly).
   std::vector<double> partition_seconds;
   uint64_t rows_out = 0;
-  /// Exchange traffic (zero for non-exchange operators).
+  /// Exchange traffic (zero for non-exchange operators). Accounted per
+  /// destination and merged in destination order, so the counters are
+  /// identical under any thread-pool size.
   uint64_t local_bytes = 0;
   uint64_t remote_bytes = 0;
   uint64_t remote_transfers = 0;
@@ -40,12 +51,26 @@ struct OpStats {
 struct ExecStats {
   std::vector<OpStats> ops;
   double wall_seconds = 0;
+  /// True when `ops` carries node/input DAG info (set by both executors);
+  /// enables the cost model's critical-path makespan.
+  bool has_task_dag = false;
 
   uint64_t TotalRemoteBytes() const {
     uint64_t total = 0;
     for (const OpStats& op : ops) total += op.remote_bytes;
     return total;
   }
+};
+
+/// Which dataflow runtime executes jobs. The two must be answer-identical
+/// (the differential fuzz harness cross-checks them on every CI run).
+enum class ExecutorKind {
+  /// Per-(node, partition) task graph scheduled on the thread pool: a
+  /// partition pipelines through chains of local operators while sibling
+  /// partitions and independent plan branches run concurrently.
+  kScheduler,
+  /// Legacy node-at-a-time execution with a global barrier per operator.
+  kStageSequential,
 };
 
 /// Everything an operator needs at runtime. `stats` may be null.
@@ -60,12 +85,13 @@ struct ExecContext {
   /// cached and uncached paths must be answer-identical (checked by the
   /// differential fuzz harness).
   bool posting_cache_enabled = true;
+  ExecutorKind executor = ExecutorKind::kScheduler;
 };
 
-/// A physical operator. Execution is stage-materialized: an operator
-/// consumes fully materialized partitioned inputs and produces partitioned
-/// output. Local operators parallelize across partitions via RunPerPartition;
-/// exchange operators reroute tuples between partitions and account traffic.
+/// A physical operator. Operators consume fully materialized partitioned
+/// inputs and produce partitioned output; partition-local operators
+/// additionally expose a per-partition hook (see PartitionOperator) that the
+/// task-graph scheduler drives directly.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -73,6 +99,46 @@ class Operator {
   virtual Result<PartitionedRows> Execute(
       ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
       OpStats* stats) = 0;
+  /// True when output partition p is a pure function of partition p of each
+  /// input (scan, select, project, join, ...). False for pipeline barriers
+  /// (exchanges, rank-assign, limit).
+  virtual bool partition_local() const { return false; }
+};
+
+/// A partition-local physical operator: implements ExecutePartition and
+/// inherits a stage-materialized Execute adapter that fans ExecutePartition
+/// out over all partitions via RunPerPartition. The task-graph scheduler
+/// calls ExecutePartition directly, so one partition can flow through a
+/// chain of local operators while sibling partitions run concurrently.
+class PartitionOperator : public Operator {
+ public:
+  bool partition_local() const final { return true; }
+
+  /// Expected input count: >= 0 exact, -1 for one-or-more (UNION-ALL).
+  virtual int num_inputs() const { return 1; }
+
+  /// Runs once per job execution before any partition task: resolve catalog
+  /// objects, validate the plan. Errors here are node-level (no partition
+  /// prefix). Called single-threaded by both executors.
+  virtual Status Prepare(ExecContext& ctx) {
+    (void)ctx;
+    return Status::OK();
+  }
+
+  /// Computes output partition `p` from partition `p` of each input.
+  /// Must be safe to run concurrently with other partitions of this operator
+  /// and with other operators' partition tasks.
+  virtual Result<Rows> ExecutePartition(
+      ExecContext& ctx, int p, const std::vector<const Rows*>& inputs) = 0;
+
+  /// Adapter for the stage-sequential executor and direct operator calls.
+  Result<PartitionedRows> Execute(
+      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
+      OpStats* stats) final;
+
+  /// Arity + partition-count validation shared by the adapter and the
+  /// scheduler's graph builder.
+  Status ValidateInputArity(size_t provided) const;
 };
 
 /// Runs `fn(p)` for every partition on the context's thread pool, recording
@@ -108,12 +174,24 @@ class Job {
   std::vector<Node> nodes_;
 };
 
-/// Executes a Job: topological, node at a time, sharing node outputs across
-/// consumers. Returns the root node's partitioned output.
+/// Executes a Job and returns the root node's partitioned output. Dispatches
+/// on ctx.executor: the dependency-scheduled task graph (default, see
+/// hyracks/scheduler.h) or the legacy stage-sequential loop. Both executors
+/// are answer-identical and report errors identically: the lowest failing
+/// (node, partition) wins regardless of thread interleaving.
 class Executor {
  public:
   static Result<PartitionedRows> Run(const Job& job, ExecContext& ctx);
+
+  /// Node-at-a-time execution with a barrier after every operator.
+  static Result<PartitionedRows> RunStageSequential(const Job& job,
+                                                    ExecContext& ctx);
 };
+
+/// Formats a task failure exactly like the stage-sequential executor:
+/// "node N (NAME): [partition P: ]message". Shared with the scheduler so
+/// error strings are byte-identical across executors and pool sizes.
+Status WrapNodeError(int node, const std::string& op_name, const Status& s);
 
 }  // namespace simdb::hyracks
 

@@ -6,36 +6,17 @@ namespace simdb::hyracks {
 
 using adm::Value;
 
-namespace {
-
-Status ExpectOneInput(const std::vector<const PartitionedRows*>& inputs,
-                      const std::string& op) {
-  if (inputs.size() != 1) {
-    return Status::Internal(op + " expects exactly one input");
+Result<Rows> SelectOp::ExecutePartition(ExecContext&, int,
+                                        const std::vector<const Rows*>& inputs) {
+  Rows out;
+  for (const Tuple& row : *inputs[0]) {
+    SIMDB_ASSIGN_OR_RETURN(Value v, predicate_->Eval(row));
+    if (v.is_boolean() && v.AsBoolean()) {
+      out.push_back(row);
+    } else if (!v.is_boolean() && !v.is_missing() && !v.is_null()) {
+      return Status::TypeError("SELECT predicate must return boolean");
+    }
   }
-  return Status::OK();
-}
-
-}  // namespace
-
-Result<PartitionedRows> SelectOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats* stats) {
-  SIMDB_RETURN_IF_ERROR(ExpectOneInput(inputs, "SELECT"));
-  const PartitionedRows& in = *inputs[0];
-  PartitionedRows out(in.size());
-  SIMDB_RETURN_IF_ERROR(RunPerPartition(
-      ctx, static_cast<int>(in.size()), stats, [&](int p) -> Status {
-        for (const Tuple& row : in[static_cast<size_t>(p)]) {
-          SIMDB_ASSIGN_OR_RETURN(Value v, predicate_->Eval(row));
-          if (v.is_boolean() && v.AsBoolean()) {
-            out[static_cast<size_t>(p)].push_back(row);
-          } else if (!v.is_boolean() && !v.is_missing() && !v.is_null()) {
-            return Status::TypeError("SELECT predicate must return boolean");
-          }
-        }
-        return Status::OK();
-      }));
   return out;
 }
 
@@ -49,129 +30,88 @@ std::string AssignOp::name() const {
   return out;
 }
 
-Result<PartitionedRows> AssignOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats* stats) {
-  SIMDB_RETURN_IF_ERROR(ExpectOneInput(inputs, "ASSIGN"));
-  const PartitionedRows& in = *inputs[0];
-  PartitionedRows out(in.size());
-  SIMDB_RETURN_IF_ERROR(RunPerPartition(
-      ctx, static_cast<int>(in.size()), stats, [&](int p) -> Status {
-        Rows& rows = out[static_cast<size_t>(p)];
-        rows.reserve(in[static_cast<size_t>(p)].size());
-        for (const Tuple& row : in[static_cast<size_t>(p)]) {
-          Tuple extended = row;
-          // Evaluate against the growing tuple so later expressions may
-          // reference the columns produced by earlier ones.
-          for (const ExprPtr& e : exprs_) {
-            SIMDB_ASSIGN_OR_RETURN(Value v, e->Eval(extended));
-            extended.push_back(std::move(v));
-          }
-          rows.push_back(std::move(extended));
-        }
-        return Status::OK();
-      }));
+Result<Rows> AssignOp::ExecutePartition(ExecContext&, int,
+                                        const std::vector<const Rows*>& inputs) {
+  Rows out;
+  out.reserve(inputs[0]->size());
+  for (const Tuple& row : *inputs[0]) {
+    Tuple extended = row;
+    // Evaluate against the growing tuple so later expressions may
+    // reference the columns produced by earlier ones.
+    for (const ExprPtr& e : exprs_) {
+      SIMDB_ASSIGN_OR_RETURN(Value v, e->Eval(extended));
+      extended.push_back(std::move(v));
+    }
+    out.push_back(std::move(extended));
+  }
   return out;
 }
 
-Result<PartitionedRows> ProjectOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats* stats) {
-  SIMDB_RETURN_IF_ERROR(ExpectOneInput(inputs, "PROJECT"));
-  const PartitionedRows& in = *inputs[0];
-  PartitionedRows out(in.size());
-  SIMDB_RETURN_IF_ERROR(RunPerPartition(
-      ctx, static_cast<int>(in.size()), stats, [&](int p) -> Status {
-        Rows& rows = out[static_cast<size_t>(p)];
-        rows.reserve(in[static_cast<size_t>(p)].size());
-        for (const Tuple& row : in[static_cast<size_t>(p)]) {
-          Tuple projected;
-          projected.reserve(keep_.size());
-          for (int k : keep_) {
-            if (k < 0 || static_cast<size_t>(k) >= row.size()) {
-              return Status::Internal("PROJECT column out of range");
-            }
-            projected.push_back(row[static_cast<size_t>(k)]);
-          }
-          rows.push_back(std::move(projected));
-        }
-        return Status::OK();
-      }));
+Result<Rows> ProjectOp::ExecutePartition(
+    ExecContext&, int, const std::vector<const Rows*>& inputs) {
+  Rows out;
+  out.reserve(inputs[0]->size());
+  for (const Tuple& row : *inputs[0]) {
+    Tuple projected;
+    projected.reserve(keep_.size());
+    for (int k : keep_) {
+      if (k < 0 || static_cast<size_t>(k) >= row.size()) {
+        return Status::Internal("PROJECT column out of range");
+      }
+      projected.push_back(row[static_cast<size_t>(k)]);
+    }
+    out.push_back(std::move(projected));
+  }
   return out;
 }
 
-Result<PartitionedRows> SortOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats* stats) {
-  SIMDB_RETURN_IF_ERROR(ExpectOneInput(inputs, "SORT"));
-  PartitionedRows out = *inputs[0];  // copy, then sort in place
-  SIMDB_RETURN_IF_ERROR(RunPerPartition(
-      ctx, static_cast<int>(out.size()), stats, [&](int p) -> Status {
-        Rows& rows = out[static_cast<size_t>(p)];
-        std::stable_sort(rows.begin(), rows.end(),
-                         [this](const Tuple& a, const Tuple& b) {
-                           for (const SortKey& k : keys_) {
-                             int c = Value::Compare(
-                                 a[static_cast<size_t>(k.column)],
-                                 b[static_cast<size_t>(k.column)]);
-                             if (c != 0) return k.ascending ? c < 0 : c > 0;
-                           }
-                           return false;
-                         });
-        return Status::OK();
-      }));
+Result<Rows> SortOp::ExecutePartition(ExecContext&, int,
+                                      const std::vector<const Rows*>& inputs) {
+  Rows out = *inputs[0];  // copy, then sort in place
+  std::stable_sort(out.begin(), out.end(),
+                   [this](const Tuple& a, const Tuple& b) {
+                     for (const SortKey& k : keys_) {
+                       int c = Value::Compare(a[static_cast<size_t>(k.column)],
+                                              b[static_cast<size_t>(k.column)]);
+                       if (c != 0) return k.ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
   return out;
 }
 
-Result<PartitionedRows> UnnestOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats* stats) {
-  SIMDB_RETURN_IF_ERROR(ExpectOneInput(inputs, "UNNEST"));
-  const PartitionedRows& in = *inputs[0];
-  PartitionedRows out(in.size());
-  SIMDB_RETURN_IF_ERROR(RunPerPartition(
-      ctx, static_cast<int>(in.size()), stats, [&](int p) -> Status {
-        Rows& rows = out[static_cast<size_t>(p)];
-        for (const Tuple& row : in[static_cast<size_t>(p)]) {
-          SIMDB_ASSIGN_OR_RETURN(Value list, list_expr_->Eval(row));
-          if (list.is_missing() || list.is_null()) continue;
-          if (!list.is_list()) {
-            return Status::TypeError("UNNEST expects a list, got " +
-                                     std::string(adm::ValueTypeToString(
-                                         list.type())));
-          }
-          int64_t pos = 1;
-          for (const Value& item : list.AsList()) {
-            Tuple extended = row;
-            extended.push_back(item);
-            if (with_position_) extended.push_back(Value::Int64(pos));
-            rows.push_back(std::move(extended));
-            ++pos;
-          }
-        }
-        return Status::OK();
-      }));
+Result<Rows> UnnestOp::ExecutePartition(ExecContext&, int,
+                                        const std::vector<const Rows*>& inputs) {
+  Rows out;
+  for (const Tuple& row : *inputs[0]) {
+    SIMDB_ASSIGN_OR_RETURN(Value list, list_expr_->Eval(row));
+    if (list.is_missing() || list.is_null()) continue;
+    if (!list.is_list()) {
+      return Status::TypeError(
+          "UNNEST expects a list, got " +
+          std::string(adm::ValueTypeToString(list.type())));
+    }
+    int64_t pos = 1;
+    for (const Value& item : list.AsList()) {
+      Tuple extended = row;
+      extended.push_back(item);
+      if (with_position_) extended.push_back(Value::Int64(pos));
+      out.push_back(std::move(extended));
+      ++pos;
+    }
+  }
   return out;
 }
 
-Result<PartitionedRows> UnionAllOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats* stats) {
-  if (inputs.empty()) return Status::Internal("UNION-ALL needs inputs");
-  size_t parts = inputs[0]->size();
-  PartitionedRows out(parts);
-  SIMDB_RETURN_IF_ERROR(RunPerPartition(
-      ctx, static_cast<int>(parts), stats, [&](int p) -> Status {
-        for (const PartitionedRows* in : inputs) {
-          if (in->size() != parts) {
-            return Status::Internal("UNION-ALL partition mismatch");
-          }
-          const Rows& rows = (*in)[static_cast<size_t>(p)];
-          out[static_cast<size_t>(p)].insert(out[static_cast<size_t>(p)].end(),
-                                             rows.begin(), rows.end());
-        }
-        return Status::OK();
-      }));
+Result<Rows> UnionAllOp::ExecutePartition(
+    ExecContext&, int, const std::vector<const Rows*>& inputs) {
+  size_t total = 0;
+  for (const Rows* in : inputs) total += in->size();
+  Rows out;
+  out.reserve(total);
+  for (const Rows* in : inputs) {
+    out.insert(out.end(), in->begin(), in->end());
+  }
   return out;
 }
 

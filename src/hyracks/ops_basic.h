@@ -11,29 +11,29 @@
 namespace simdb::hyracks {
 
 /// Filters rows where `predicate` evaluates to boolean true.
-class SelectOp : public Operator {
+class SelectOp : public PartitionOperator {
  public:
   explicit SelectOp(ExprPtr predicate) : predicate_(std::move(predicate)) {}
   std::string name() const override {
     return "SELECT(" + predicate_->ToString() + ")";
   }
-  Result<PartitionedRows> Execute(
-      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-      OpStats* stats) override;
+  Result<Rows> ExecutePartition(ExecContext& ctx, int p,
+                                const std::vector<const Rows*>& inputs)
+      override;
 
  private:
   ExprPtr predicate_;
 };
 
 /// Appends one computed column per expression to each row.
-class AssignOp : public Operator {
+class AssignOp : public PartitionOperator {
  public:
   AssignOp(std::vector<ExprPtr> exprs, std::vector<std::string> names)
       : exprs_(std::move(exprs)), names_(std::move(names)) {}
   std::string name() const override;
-  Result<PartitionedRows> Execute(
-      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-      OpStats* stats) override;
+  Result<Rows> ExecutePartition(ExecContext& ctx, int p,
+                                const std::vector<const Rows*>& inputs)
+      override;
 
  private:
   std::vector<ExprPtr> exprs_;
@@ -41,13 +41,13 @@ class AssignOp : public Operator {
 };
 
 /// Keeps only the listed column positions, in the given order.
-class ProjectOp : public Operator {
+class ProjectOp : public PartitionOperator {
  public:
   explicit ProjectOp(std::vector<int> keep) : keep_(std::move(keep)) {}
   std::string name() const override { return "PROJECT"; }
-  Result<PartitionedRows> Execute(
-      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-      OpStats* stats) override;
+  Result<Rows> ExecutePartition(ExecContext& ctx, int p,
+                                const std::vector<const Rows*>& inputs)
+      override;
 
  private:
   std::vector<int> keep_;
@@ -59,13 +59,13 @@ struct SortKey {
 };
 
 /// Per-partition sort. Combine with MergeGatherOp for a global order.
-class SortOp : public Operator {
+class SortOp : public PartitionOperator {
  public:
   explicit SortOp(std::vector<SortKey> keys) : keys_(std::move(keys)) {}
   std::string name() const override { return "SORT"; }
-  Result<PartitionedRows> Execute(
-      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-      OpStats* stats) override;
+  Result<Rows> ExecutePartition(ExecContext& ctx, int p,
+                                const std::vector<const Rows*>& inputs)
+      override;
 
  private:
   std::vector<SortKey> keys_;
@@ -74,16 +74,16 @@ class SortOp : public Operator {
 /// Expands a list-valued expression: one output row per element, keeping the
 /// input columns and appending the element (and its 1-based position when
 /// `with_position`, supporting AQL's `for $x at $i in ...`).
-class UnnestOp : public Operator {
+class UnnestOp : public PartitionOperator {
  public:
   UnnestOp(ExprPtr list_expr, bool with_position)
       : list_expr_(std::move(list_expr)), with_position_(with_position) {}
   std::string name() const override {
     return "UNNEST(" + list_expr_->ToString() + ")";
   }
-  Result<PartitionedRows> Execute(
-      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-      OpStats* stats) override;
+  Result<Rows> ExecutePartition(ExecContext& ctx, int p,
+                                const std::vector<const Rows*>& inputs)
+      override;
 
  private:
   ExprPtr list_expr_;
@@ -91,17 +91,19 @@ class UnnestOp : public Operator {
 };
 
 /// Concatenates any number of inputs partition-wise (UNION ALL).
-class UnionAllOp : public Operator {
+class UnionAllOp : public PartitionOperator {
  public:
   std::string name() const override { return "UNION-ALL"; }
-  Result<PartitionedRows> Execute(
-      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-      OpStats* stats) override;
+  int num_inputs() const override { return -1; }
+  Result<Rows> ExecutePartition(ExecContext& ctx, int p,
+                                const std::vector<const Rows*>& inputs)
+      override;
 };
 
 /// Appends an int64 rank column start, start+1, ... in row order. Input must
 /// already be gathered into partition 0 (used to materialize the global token
 /// order of the three-stage join's stage 1; AQL's `at $i` is 1-based).
+/// A pipeline barrier: the whole input must exist before ranks are assigned.
 class RankAssignOp : public Operator {
  public:
   explicit RankAssignOp(int64_t start = 0) : start_(start) {}
@@ -115,7 +117,8 @@ class RankAssignOp : public Operator {
 };
 
 /// Caps the total number of output rows (first `limit` rows by partition
-/// order; apply after a gather for deterministic results).
+/// order; apply after a gather for deterministic results). A pipeline
+/// barrier: the cap spans partitions.
 class LimitOp : public Operator {
  public:
   explicit LimitOp(int64_t limit) : limit_(limit) {}

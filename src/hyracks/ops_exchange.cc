@@ -1,6 +1,9 @@
 #include "hyracks/ops_exchange.h"
 
 #include <algorithm>
+#include <queue>
+
+#include "common/stopwatch.h"
 
 namespace simdb::hyracks {
 
@@ -30,102 +33,196 @@ void AccountMove(const ExecContext& ctx, OpStats* stats, int src, int dst,
   }
 }
 
+/// Copies, or moves when the executor owns the input exclusively. A tuple is
+/// taken only by the one destination it routes to, so concurrent builds
+/// moving out of the same source partition touch disjoint rows.
+Tuple TakeRow(const PartitionedRows& in, PartitionedRows* steal, size_t src,
+              size_t i) {
+  if (steal != nullptr) return std::move((*steal)[src][i]);
+  return in[src][i];
+}
+
 }  // namespace
 
-Result<PartitionedRows> HashExchangeOp::Execute(
+Result<ExchangeOperator::Routing> ExchangeOperator::Route(
+    ExecContext&, const PartitionedRows&) {
+  return Routing{};
+}
+
+Result<PartitionedRows> ExchangeOperator::Execute(
     ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
     OpStats* stats) {
-  if (inputs.size() != 1) return Status::Internal("HASH-EXCHANGE input");
+  return RunExchange(ctx, *this, inputs, /*steal=*/nullptr, stats);
+}
+
+Result<PartitionedRows> RunExchange(
+    ExecContext& ctx, ExchangeOperator& op,
+    const std::vector<const PartitionedRows*>& inputs, PartitionedRows* steal,
+    OpStats* stats) {
+  if (inputs.size() != 1) {
+    return Status::Internal(op.name() + " expects exactly one input");
+  }
   const PartitionedRows& in = *inputs[0];
+  int parts = static_cast<int>(in.size());
+  if (parts == 0) return PartitionedRows();
+
+  Stopwatch route_sw;
+  SIMDB_ASSIGN_OR_RETURN(ExchangeOperator::Routing routing,
+                         op.Route(ctx, in));
+  double route_seconds = route_sw.ElapsedSeconds();
+
+  // Destination builds run in parallel; each accounts its own traffic into a
+  // private sink. Merging in destination order keeps the counters identical
+  // under any pool size.
+  PartitionedRows out(static_cast<size_t>(parts));
+  std::vector<OpStats> dest_stats(static_cast<size_t>(parts));
+  SIMDB_RETURN_IF_ERROR(
+      RunPerPartition(ctx, parts, stats, [&](int dst) -> Status {
+        SIMDB_ASSIGN_OR_RETURN(
+            out[static_cast<size_t>(dst)],
+            op.BuildDestination(ctx, dst, in, routing, steal,
+                                &dest_stats[static_cast<size_t>(dst)]));
+        return Status::OK();
+      }));
+  if (stats != nullptr) {
+    for (int dst = 0; dst < parts; ++dst) {
+      const OpStats& d = dest_stats[static_cast<size_t>(dst)];
+      stats->local_bytes += d.local_bytes;
+      stats->remote_bytes += d.remote_bytes;
+      stats->remote_transfers += d.remote_transfers;
+    }
+    // Routing runs over the sources once; spread its cost evenly the way the
+    // cluster would (each source partition routes its own rows).
+    double spread = route_seconds / parts;
+    for (double& s : stats->partition_seconds) s += spread;
+  }
+  return out;
+}
+
+Result<ExchangeOperator::Routing> HashExchangeOp::Route(
+    ExecContext&, const PartitionedRows& in) {
   size_t parts = in.size();
-  PartitionedRows out(parts);
+  Routing routing;
+  routing.destinations.resize(parts);
   for (size_t src = 0; src < parts; ++src) {
+    std::vector<int>& dsts = routing.destinations[src];
+    dsts.reserve(in[src].size());
     for (const Tuple& row : in[src]) {
       for (int c : key_columns_) {
         if (c < 0 || static_cast<size_t>(c) >= row.size()) {
           return Status::Internal("HASH-EXCHANGE key column out of range");
         }
       }
-      size_t dst = HashKeys(row, key_columns_) % parts;
-      AccountMove(ctx, stats, static_cast<int>(src), static_cast<int>(dst),
-                  row);
-      out[dst].push_back(row);
+      dsts.push_back(
+          static_cast<int>(HashKeys(row, key_columns_) % parts));
+    }
+  }
+  return routing;
+}
+
+Result<Rows> HashExchangeOp::BuildDestination(ExecContext& ctx, int dst,
+                                              const PartitionedRows& in,
+                                              const Routing& routing,
+                                              PartitionedRows* steal,
+                                              OpStats* stats) {
+  size_t mine = 0;
+  for (size_t src = 0; src < in.size(); ++src) {
+    for (int d : routing.destinations[src]) mine += (d == dst);
+  }
+  Rows out;
+  out.reserve(mine);
+  for (size_t src = 0; src < in.size(); ++src) {
+    const std::vector<int>& dsts = routing.destinations[src];
+    for (size_t i = 0; i < dsts.size(); ++i) {
+      if (dsts[i] != dst) continue;
+      AccountMove(ctx, stats, static_cast<int>(src), dst, in[src][i]);
+      out.push_back(TakeRow(in, steal, src, i));
     }
   }
   return out;
 }
 
-Result<PartitionedRows> BroadcastExchangeOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats* stats) {
-  if (inputs.size() != 1) return Status::Internal("BROADCAST input");
-  const PartitionedRows& in = *inputs[0];
-  size_t parts = in.size();
-  PartitionedRows out(parts);
-  for (size_t src = 0; src < parts; ++src) {
-    for (const Tuple& row : in[src]) {
-      for (size_t dst = 0; dst < parts; ++dst) {
-        AccountMove(ctx, stats, static_cast<int>(src), static_cast<int>(dst),
-                    row);
-        out[dst].push_back(row);
-      }
-    }
-  }
-  return out;
-}
-
-Result<PartitionedRows> GatherOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats* stats) {
-  if (inputs.size() != 1) return Status::Internal("GATHER input");
-  const PartitionedRows& in = *inputs[0];
-  PartitionedRows out(in.size());
+Result<Rows> BroadcastExchangeOp::BuildDestination(ExecContext& ctx, int dst,
+                                                   const PartitionedRows& in,
+                                                   const Routing&,
+                                                   PartitionedRows*,
+                                                   OpStats* stats) {
+  // Every destination needs its own copy — replication cannot move. The
+  // de-copy win here is the exact reserve and one destination per task.
+  size_t total = 0;
+  for (const Rows& rows : in) total += rows.size();
+  Rows out;
+  out.reserve(total);
   for (size_t src = 0; src < in.size(); ++src) {
     for (const Tuple& row : in[src]) {
-      AccountMove(ctx, stats, static_cast<int>(src), 0, row);
-      out[0].push_back(row);
+      AccountMove(ctx, stats, static_cast<int>(src), dst, row);
+      out.push_back(row);
     }
   }
   return out;
 }
 
-Result<PartitionedRows> MergeGatherOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats* stats) {
-  if (inputs.size() != 1) return Status::Internal("MERGE-GATHER input");
-  const PartitionedRows& in = *inputs[0];
-  PartitionedRows out(in.size());
-  // Account traffic.
+Result<Rows> GatherOp::BuildDestination(ExecContext& ctx, int dst,
+                                        const PartitionedRows& in,
+                                        const Routing&, PartitionedRows* steal,
+                                        OpStats* stats) {
+  if (dst != 0) return Rows();
+  size_t total = 0;
+  for (const Rows& rows : in) total += rows.size();
+  Rows out;
+  out.reserve(total);
   for (size_t src = 0; src < in.size(); ++src) {
-    for (const Tuple& row : in[src]) {
-      AccountMove(ctx, stats, static_cast<int>(src), 0, row);
+    for (size_t i = 0; i < in[src].size(); ++i) {
+      AccountMove(ctx, stats, static_cast<int>(src), 0, in[src][i]);
+      out.push_back(TakeRow(in, steal, src, i));
     }
   }
-  // K-way merge of the sorted partitions.
-  auto less = [this](const Tuple& a, const Tuple& b) {
+  return out;
+}
+
+Result<Rows> MergeGatherOp::BuildDestination(ExecContext& ctx, int dst,
+                                             const PartitionedRows& in,
+                                             const Routing&,
+                                             PartitionedRows* steal,
+                                             OpStats* stats) {
+  if (dst != 0) return Rows();
+  // -1 / 0 / 1 over the sort keys (ascending flags applied).
+  auto compare = [this](const Tuple& a, const Tuple& b) {
     for (const SortKey& k : keys_) {
       int c = Value::Compare(a[static_cast<size_t>(k.column)],
                              b[static_cast<size_t>(k.column)]);
-      if (c != 0) return k.ascending ? c < 0 : c > 0;
+      if (c != 0) return k.ascending ? c : -c;
     }
-    return false;
+    return 0;
   };
-  std::vector<size_t> pos(in.size(), 0);
+  // K-way binary-heap merge. Ties break on the partition index so the output
+  // is identical to a sequential first-wins scan (and stable across runs).
+  struct Head {
+    size_t part;
+    size_t pos;
+  };
+  auto after = [&](const Head& a, const Head& b) {
+    int c = compare(in[a.part][a.pos], in[b.part][b.pos]);
+    if (c != 0) return c > 0;
+    return a.part > b.part;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(after)> heap(after);
   size_t total = 0;
-  for (const Rows& rows : in) total += rows.size();
-  out[0].reserve(total);
-  for (;;) {
-    int best = -1;
-    for (size_t p = 0; p < in.size(); ++p) {
-      if (pos[p] >= in[p].size()) continue;
-      if (best < 0 || less(in[p][pos[p]], in[static_cast<size_t>(best)]
-                                            [pos[static_cast<size_t>(best)]])) {
-        best = static_cast<int>(p);
-      }
+  for (size_t p = 0; p < in.size(); ++p) {
+    total += in[p].size();
+    if (!in[p].empty()) heap.push({p, 0});
+  }
+  Rows out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    Head head = heap.top();
+    heap.pop();
+    AccountMove(ctx, stats, static_cast<int>(head.part), 0,
+                in[head.part][head.pos]);
+    out.push_back(TakeRow(in, steal, head.part, head.pos));
+    if (head.pos + 1 < in[head.part].size()) {
+      heap.push({head.part, head.pos + 1});
     }
-    if (best < 0) break;
-    out[0].push_back(in[static_cast<size_t>(best)][pos[static_cast<size_t>(best)]]);
-    ++pos[static_cast<size_t>(best)];
   }
   return out;
 }

@@ -20,109 +20,100 @@ struct GroupState {
 
 }  // namespace
 
-Result<PartitionedRows> HashGroupOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats* stats) {
-  if (inputs.size() != 1) return Status::Internal("HASH-GROUP input");
-  const PartitionedRows& in = *inputs[0];
-  PartitionedRows out(in.size());
-  SIMDB_RETURN_IF_ERROR(RunPerPartition(
-      ctx, static_cast<int>(in.size()), stats, [&](int p) -> Status {
-        // Group states keyed by the encoded key tuple.
-        std::unordered_map<std::string, GroupState> groups;
-        std::vector<std::string> order;  // deterministic output order
-        for (const Tuple& row : in[static_cast<size_t>(p)]) {
-          Tuple keys;
-          keys.reserve(key_exprs_.size());
-          for (const ExprPtr& ke : key_exprs_) {
-            SIMDB_ASSIGN_OR_RETURN(Value k, ke->Eval(row));
-            keys.push_back(std::move(k));
+Result<Rows> HashGroupOp::ExecutePartition(
+    ExecContext&, int, const std::vector<const Rows*>& inputs) {
+  // Group states keyed by the encoded key tuple; output in first-seen order
+  // so results are deterministic under any executor.
+  std::unordered_map<std::string, GroupState> groups;
+  std::vector<std::string> order;
+  for (const Tuple& row : *inputs[0]) {
+    Tuple keys;
+    keys.reserve(key_exprs_.size());
+    for (const ExprPtr& ke : key_exprs_) {
+      SIMDB_ASSIGN_OR_RETURN(Value k, ke->Eval(row));
+      keys.push_back(std::move(k));
+    }
+    std::string encoded = storage::EncodeKey(keys);
+    auto [it, inserted] = groups.try_emplace(encoded);
+    GroupState& g = it->second;
+    if (inserted) {
+      order.push_back(encoded);
+      g.keys = std::move(keys);
+      g.accumulators.resize(aggs_.size());
+      g.counts.assign(aggs_.size(), 0);
+      g.lists.resize(aggs_.size());
+      g.initialized = true;
+    }
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const AggSpec& spec = aggs_[a];
+      if (spec.kind == AggSpec::Kind::kCount) {
+        ++g.counts[a];
+        continue;
+      }
+      SIMDB_ASSIGN_OR_RETURN(Value v, spec.input->Eval(row));
+      switch (spec.kind) {
+        case AggSpec::Kind::kSum: {
+          if (!v.is_numeric()) {
+            return Status::TypeError("sum over non-numeric value");
           }
-          std::string encoded = storage::EncodeKey(keys);
-          auto [it, inserted] = groups.try_emplace(encoded);
-          GroupState& g = it->second;
-          if (inserted) {
-            order.push_back(encoded);
-            g.keys = std::move(keys);
-            g.accumulators.resize(aggs_.size());
-            g.counts.assign(aggs_.size(), 0);
-            g.lists.resize(aggs_.size());
-            g.initialized = true;
+          if (g.counts[a] == 0) {
+            g.accumulators[a] = v;
+          } else if (g.accumulators[a].is_int64() && v.is_int64()) {
+            g.accumulators[a] =
+                Value::Int64(g.accumulators[a].AsInt64() + v.AsInt64());
+          } else {
+            g.accumulators[a] =
+                Value::Double(g.accumulators[a].AsNumber() + v.AsNumber());
           }
-          for (size_t a = 0; a < aggs_.size(); ++a) {
-            const AggSpec& spec = aggs_[a];
-            if (spec.kind == AggSpec::Kind::kCount) {
-              ++g.counts[a];
-              continue;
-            }
-            SIMDB_ASSIGN_OR_RETURN(Value v, spec.input->Eval(row));
-            switch (spec.kind) {
-              case AggSpec::Kind::kSum: {
-                if (!v.is_numeric()) {
-                  return Status::TypeError("sum over non-numeric value");
-                }
-                if (g.counts[a] == 0) {
-                  g.accumulators[a] = v;
-                } else if (g.accumulators[a].is_int64() && v.is_int64()) {
-                  g.accumulators[a] = Value::Int64(
-                      g.accumulators[a].AsInt64() + v.AsInt64());
-                } else {
-                  g.accumulators[a] = Value::Double(
-                      g.accumulators[a].AsNumber() + v.AsNumber());
-                }
-                ++g.counts[a];
-                break;
-              }
-              case AggSpec::Kind::kMin:
-                if (g.counts[a] == 0 ||
-                    Value::Compare(v, g.accumulators[a]) < 0) {
-                  g.accumulators[a] = v;
-                }
-                ++g.counts[a];
-                break;
-              case AggSpec::Kind::kMax:
-                if (g.counts[a] == 0 ||
-                    Value::Compare(v, g.accumulators[a]) > 0) {
-                  g.accumulators[a] = v;
-                }
-                ++g.counts[a];
-                break;
-              case AggSpec::Kind::kFirst:
-                if (g.counts[a] == 0) g.accumulators[a] = v;
-                ++g.counts[a];
-                break;
-              case AggSpec::Kind::kListify:
-                g.lists[a].push_back(std::move(v));
-                ++g.counts[a];
-                break;
-              case AggSpec::Kind::kCount:
-                break;  // handled above
-            }
-          }
+          ++g.counts[a];
+          break;
         }
-        Rows& rows = out[static_cast<size_t>(p)];
-        rows.reserve(groups.size());
-        for (const std::string& encoded : order) {
-          GroupState& g = groups[encoded];
-          Tuple row = std::move(g.keys);
-          for (size_t a = 0; a < aggs_.size(); ++a) {
-            switch (aggs_[a].kind) {
-              case AggSpec::Kind::kCount:
-                row.push_back(Value::Int64(g.counts[a]));
-                break;
-              case AggSpec::Kind::kListify:
-                row.push_back(Value::MakeArray(std::move(g.lists[a])));
-                break;
-              default:
-                row.push_back(g.counts[a] == 0 ? Value::Null()
-                                               : std::move(g.accumulators[a]));
-            }
+        case AggSpec::Kind::kMin:
+          if (g.counts[a] == 0 || Value::Compare(v, g.accumulators[a]) < 0) {
+            g.accumulators[a] = v;
           }
-          rows.push_back(std::move(row));
-        }
-        return Status::OK();
-      }));
-  return out;
+          ++g.counts[a];
+          break;
+        case AggSpec::Kind::kMax:
+          if (g.counts[a] == 0 || Value::Compare(v, g.accumulators[a]) > 0) {
+            g.accumulators[a] = v;
+          }
+          ++g.counts[a];
+          break;
+        case AggSpec::Kind::kFirst:
+          if (g.counts[a] == 0) g.accumulators[a] = v;
+          ++g.counts[a];
+          break;
+        case AggSpec::Kind::kListify:
+          g.lists[a].push_back(std::move(v));
+          ++g.counts[a];
+          break;
+        case AggSpec::Kind::kCount:
+          break;  // handled above
+      }
+    }
+  }
+  Rows rows;
+  rows.reserve(groups.size());
+  for (const std::string& encoded : order) {
+    GroupState& g = groups[encoded];
+    Tuple row = std::move(g.keys);
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      switch (aggs_[a].kind) {
+        case AggSpec::Kind::kCount:
+          row.push_back(Value::Int64(g.counts[a]));
+          break;
+        case AggSpec::Kind::kListify:
+          row.push_back(Value::MakeArray(std::move(g.lists[a])));
+          break;
+        default:
+          row.push_back(g.counts[a] == 0 ? Value::Null()
+                                         : std::move(g.accumulators[a]));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 }  // namespace simdb::hyracks

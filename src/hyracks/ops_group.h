@@ -22,14 +22,14 @@ struct AggSpec {
 /// inserts a HashExchange on the grouping keys first, so equal keys meet in
 /// one partition (the paper's `/*+ hash */` group hint maps here; sort-based
 /// grouping is not modeled).
-class HashGroupOp : public Operator {
+class HashGroupOp : public PartitionOperator {
  public:
   HashGroupOp(std::vector<ExprPtr> key_exprs, std::vector<AggSpec> aggs)
       : key_exprs_(std::move(key_exprs)), aggs_(std::move(aggs)) {}
   std::string name() const override { return "HASH-GROUP"; }
-  Result<PartitionedRows> Execute(
-      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-      OpStats* stats) override;
+  Result<Rows> ExecutePartition(ExecContext& ctx, int p,
+                                const std::vector<const Rows*>& inputs)
+      override;
 
  private:
   std::vector<ExprPtr> key_exprs_;

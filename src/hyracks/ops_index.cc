@@ -24,119 +24,111 @@ void ReserveAdditional(Rows& rows, size_t additional) {
 
 }  // namespace
 
-Result<PartitionedRows> InvertedIndexSearchOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats* stats) {
-  if (inputs.size() != 1) return Status::Internal("INVERTED-SEARCH input");
+Status InvertedIndexSearchOp::Prepare(ExecContext& ctx) {
   if (ctx.catalog == nullptr) return Status::Internal("no catalog");
-  storage::Dataset* ds = ctx.catalog->Find(dataset_);
-  if (ds == nullptr) return Status::NotFound("dataset " + dataset_);
-  const storage::IndexSpec* index_spec = ds->FindIndex(index_);
-  if (index_spec == nullptr) {
+  ds_ = ctx.catalog->Find(dataset_);
+  if (ds_ == nullptr) return Status::NotFound("dataset " + dataset_);
+  index_spec_ = ds_->FindIndex(index_);
+  if (index_spec_ == nullptr) {
     return Status::NotFound("index " + index_ + " on " + dataset_);
   }
-  const PartitionedRows& in = *inputs[0];
-  PartitionedRows out(in.size());
-  SIMDB_RETURN_IF_ERROR(RunPerPartition(
-      ctx, static_cast<int>(in.size()), stats, [&](int p) -> Status {
-        storage::InvertedIndex* index = ds->inverted_index(p, index_);
-        if (index == nullptr) {
-          return Status::Internal("missing inverted index partition");
-        }
-        Rows& rows = out[static_cast<size_t>(p)];
-        // Duplicate search keys are common (e.g. popular outer values after
-        // a broadcast); memoize per-key candidate lists for this partition.
-        std::unordered_map<std::string, std::vector<int64_t>> memo;
-        for (const Tuple& row : in[static_cast<size_t>(p)]) {
-          SIMDB_ASSIGN_OR_RETURN(Value key, key_expr_->Eval(row));
-          if (key.is_missing() || key.is_null()) continue;
-          std::string memo_key = key.ToJson();
-          auto cached = memo.find(memo_key);
-          if (cached != memo.end()) {
-            ReserveAdditional(rows, cached->second.size());
-            for (int64_t pk : cached->second) {
-              Tuple extended = row;
-              extended.reserve(row.size() + 1);
-              extended.push_back(Value::Int64(pk));
-              rows.push_back(std::move(extended));
-            }
-            continue;
-          }
-          SIMDB_ASSIGN_OR_RETURN(std::vector<std::string> tokens,
-                                 storage::ExtractIndexTokens(*index_spec, key));
-          int t = 0;
-          switch (spec_.fn) {
-            case SimSearchSpec::Fn::kJaccard:
-              t = similarity::JaccardTOccurrence(
-                  static_cast<int>(tokens.size()), spec_.threshold);
-              break;
-            case SimSearchSpec::Fn::kEditDistance: {
-              if (!key.is_string()) {
-                return Status::TypeError(
-                    "edit-distance index search requires a string key");
-              }
-              t = similarity::EditDistanceTOccurrence(
-                  static_cast<int>(key.AsString().size()),
-                  index_spec->gram_len, static_cast<int>(spec_.threshold));
-              break;
-            }
-            case SimSearchSpec::Fn::kContains: {
-              // Every gram of the pattern must occur.
-              t = static_cast<int>(tokens.size());
-              break;
-            }
-          }
-          // Corner case (T <= 0): this operator cannot prune; the plan's
-          // corner-case branch (scan + verify) is responsible for the row.
-          if (t <= 0 || tokens.empty()) {
-            memo.emplace(std::move(memo_key), std::vector<int64_t>());
-            continue;
-          }
-          SIMDB_ASSIGN_OR_RETURN(
-              std::vector<int64_t> pks,
-              index->SearchTOccurrence(tokens, t, ctx.t_occurrence_algorithm,
-                                       /*stats=*/nullptr,
-                                       ctx.posting_cache_enabled));
-          ReserveAdditional(rows, pks.size());
-          for (int64_t pk : pks) {
-            Tuple extended = row;
-            extended.reserve(row.size() + 1);
-            extended.push_back(Value::Int64(pk));
-            rows.push_back(std::move(extended));
-          }
-          memo.emplace(std::move(memo_key), std::move(pks));
-        }
-        return Status::OK();
-      }));
-  return out;
+  return Status::OK();
 }
 
-Result<PartitionedRows> BtreeSearchOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats* stats) {
-  if (inputs.size() != 1) return Status::Internal("BTREE-SEARCH input");
-  if (ctx.catalog == nullptr) return Status::Internal("no catalog");
-  storage::Dataset* ds = ctx.catalog->Find(dataset_);
-  if (ds == nullptr) return Status::NotFound("dataset " + dataset_);
-  const PartitionedRows& in = *inputs[0];
-  PartitionedRows out(in.size());
-  SIMDB_RETURN_IF_ERROR(RunPerPartition(
-      ctx, static_cast<int>(in.size()), stats, [&](int p) -> Status {
-        Rows& rows = out[static_cast<size_t>(p)];
-        for (const Tuple& row : in[static_cast<size_t>(p)]) {
-          SIMDB_ASSIGN_OR_RETURN(Value key, key_expr_->Eval(row));
-          if (key.is_missing() || key.is_null()) continue;
-          SIMDB_ASSIGN_OR_RETURN(std::vector<int64_t> pks,
-                                 ds->BtreeSearch(p, index_, key));
-          for (int64_t pk : pks) {
-            Tuple extended = row;
-            extended.push_back(Value::Int64(pk));
-            rows.push_back(std::move(extended));
-          }
+Result<Rows> InvertedIndexSearchOp::ExecutePartition(
+    ExecContext& ctx, int p, const std::vector<const Rows*>& inputs) {
+  storage::InvertedIndex* index = ds_->inverted_index(p, index_);
+  if (index == nullptr) {
+    return Status::Internal("missing inverted index partition");
+  }
+  Rows rows;
+  // Duplicate search keys are common (e.g. popular outer values after
+  // a broadcast); memoize per-key candidate lists for this partition.
+  std::unordered_map<std::string, std::vector<int64_t>> memo;
+  for (const Tuple& row : *inputs[0]) {
+    SIMDB_ASSIGN_OR_RETURN(Value key, key_expr_->Eval(row));
+    if (key.is_missing() || key.is_null()) continue;
+    std::string memo_key = key.ToJson();
+    auto cached = memo.find(memo_key);
+    if (cached != memo.end()) {
+      ReserveAdditional(rows, cached->second.size());
+      for (int64_t pk : cached->second) {
+        Tuple extended = row;
+        extended.reserve(row.size() + 1);
+        extended.push_back(Value::Int64(pk));
+        rows.push_back(std::move(extended));
+      }
+      continue;
+    }
+    SIMDB_ASSIGN_OR_RETURN(std::vector<std::string> tokens,
+                           storage::ExtractIndexTokens(*index_spec_, key));
+    int t = 0;
+    switch (spec_.fn) {
+      case SimSearchSpec::Fn::kJaccard:
+        t = similarity::JaccardTOccurrence(static_cast<int>(tokens.size()),
+                                           spec_.threshold);
+        break;
+      case SimSearchSpec::Fn::kEditDistance: {
+        if (!key.is_string()) {
+          return Status::TypeError(
+              "edit-distance index search requires a string key");
         }
-        return Status::OK();
-      }));
-  return out;
+        t = similarity::EditDistanceTOccurrence(
+            static_cast<int>(key.AsString().size()), index_spec_->gram_len,
+            static_cast<int>(spec_.threshold));
+        break;
+      }
+      case SimSearchSpec::Fn::kContains: {
+        // Every gram of the pattern must occur.
+        t = static_cast<int>(tokens.size());
+        break;
+      }
+    }
+    // Corner case (T <= 0): this operator cannot prune; the plan's
+    // corner-case branch (scan + verify) is responsible for the row.
+    if (t <= 0 || tokens.empty()) {
+      memo.emplace(std::move(memo_key), std::vector<int64_t>());
+      continue;
+    }
+    SIMDB_ASSIGN_OR_RETURN(
+        std::vector<int64_t> pks,
+        index->SearchTOccurrence(tokens, t, ctx.t_occurrence_algorithm,
+                                 /*stats=*/nullptr,
+                                 ctx.posting_cache_enabled));
+    ReserveAdditional(rows, pks.size());
+    for (int64_t pk : pks) {
+      Tuple extended = row;
+      extended.reserve(row.size() + 1);
+      extended.push_back(Value::Int64(pk));
+      rows.push_back(std::move(extended));
+    }
+    memo.emplace(std::move(memo_key), std::move(pks));
+  }
+  return rows;
+}
+
+Status BtreeSearchOp::Prepare(ExecContext& ctx) {
+  if (ctx.catalog == nullptr) return Status::Internal("no catalog");
+  ds_ = ctx.catalog->Find(dataset_);
+  if (ds_ == nullptr) return Status::NotFound("dataset " + dataset_);
+  return Status::OK();
+}
+
+Result<Rows> BtreeSearchOp::ExecutePartition(
+    ExecContext&, int p, const std::vector<const Rows*>& inputs) {
+  Rows rows;
+  for (const Tuple& row : *inputs[0]) {
+    SIMDB_ASSIGN_OR_RETURN(Value key, key_expr_->Eval(row));
+    if (key.is_missing() || key.is_null()) continue;
+    SIMDB_ASSIGN_OR_RETURN(std::vector<int64_t> pks,
+                           ds_->BtreeSearch(p, index_, key));
+    for (int64_t pk : pks) {
+      Tuple extended = row;
+      extended.push_back(Value::Int64(pk));
+      rows.push_back(std::move(extended));
+    }
+  }
+  return rows;
 }
 
 }  // namespace simdb::hyracks

@@ -6,6 +6,7 @@
 
 #include "hyracks/exec.h"
 #include "hyracks/expr.h"
+#include "storage/catalog.h"
 
 namespace simdb::hyracks {
 
@@ -23,7 +24,9 @@ struct SimSearchSpec {
 /// local inverted index. Emits input columns + candidate pk. Rows whose T
 /// bound is non-positive (edit-distance corner case) produce nothing here —
 /// the corner-case path of the plan (paper Figure 14) covers them.
-class InvertedIndexSearchOp : public Operator {
+/// Partition-local: probing is thread-safe (the decoded posting-list cache
+/// is mutex-guarded), so partitions may run concurrently with other ops.
+class InvertedIndexSearchOp : public PartitionOperator {
  public:
   InvertedIndexSearchOp(std::string dataset, std::string index,
                         ExprPtr key_expr, SimSearchSpec spec)
@@ -34,20 +37,23 @@ class InvertedIndexSearchOp : public Operator {
   std::string name() const override {
     return "INVERTED-SEARCH(" + dataset_ + "." + index_ + ")";
   }
-  Result<PartitionedRows> Execute(
-      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-      OpStats* stats) override;
+  Status Prepare(ExecContext& ctx) override;
+  Result<Rows> ExecutePartition(ExecContext& ctx, int p,
+                                const std::vector<const Rows*>& inputs)
+      override;
 
  private:
   std::string dataset_;
   std::string index_;
   ExprPtr key_expr_;
   SimSearchSpec spec_;
+  storage::Dataset* ds_ = nullptr;                 // resolved by Prepare
+  const storage::IndexSpec* index_spec_ = nullptr;  // resolved by Prepare
 };
 
 /// Exact-match search on a secondary B+-tree: emits input columns + pk for
 /// every local record whose indexed field equals the key expression.
-class BtreeSearchOp : public Operator {
+class BtreeSearchOp : public PartitionOperator {
  public:
   BtreeSearchOp(std::string dataset, std::string index, ExprPtr key_expr)
       : dataset_(std::move(dataset)),
@@ -56,14 +62,16 @@ class BtreeSearchOp : public Operator {
   std::string name() const override {
     return "BTREE-SEARCH(" + dataset_ + "." + index_ + ")";
   }
-  Result<PartitionedRows> Execute(
-      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-      OpStats* stats) override;
+  Status Prepare(ExecContext& ctx) override;
+  Result<Rows> ExecutePartition(ExecContext& ctx, int p,
+                                const std::vector<const Rows*>& inputs)
+      override;
 
  private:
   std::string dataset_;
   std::string index_;
   ExprPtr key_expr_;
+  storage::Dataset* ds_ = nullptr;  // resolved by Prepare
 };
 
 }  // namespace simdb::hyracks

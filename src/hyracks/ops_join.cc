@@ -8,93 +8,73 @@ namespace simdb::hyracks {
 
 using adm::Value;
 
-Result<PartitionedRows> HashJoinOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats* stats) {
-  if (inputs.size() != 2) return Status::Internal("HASH-JOIN needs 2 inputs");
-  const PartitionedRows& left = *inputs[0];
-  const PartitionedRows& right = *inputs[1];
-  if (left.size() != right.size()) {
-    return Status::Internal("HASH-JOIN partition mismatch");
+Result<Rows> HashJoinOp::ExecutePartition(
+    ExecContext&, int, const std::vector<const Rows*>& inputs) {
+  const Rows& left = *inputs[0];
+  const Rows& right = *inputs[1];
+  // Build on the right side.
+  std::unordered_map<std::string, std::vector<const Tuple*>> table;
+  for (const Tuple& row : right) {
+    Tuple keys;
+    keys.reserve(right_keys_.size());
+    bool missing = false;
+    for (int c : right_keys_) {
+      const Value& v = row[static_cast<size_t>(c)];
+      if (v.is_missing() || v.is_null()) {
+        missing = true;
+        break;
+      }
+      keys.push_back(v);
+    }
+    if (missing) continue;
+    table[storage::EncodeKey(keys)].push_back(&row);
   }
-  PartitionedRows out(left.size());
-  SIMDB_RETURN_IF_ERROR(RunPerPartition(
-      ctx, static_cast<int>(left.size()), stats, [&](int p) -> Status {
-        // Build on the right side.
-        std::unordered_map<std::string, std::vector<const Tuple*>> table;
-        for (const Tuple& row : right[static_cast<size_t>(p)]) {
-          Tuple keys;
-          keys.reserve(right_keys_.size());
-          bool missing = false;
-          for (int c : right_keys_) {
-            const Value& v = row[static_cast<size_t>(c)];
-            if (v.is_missing() || v.is_null()) {
-              missing = true;
-              break;
-            }
-            keys.push_back(v);
-          }
-          if (missing) continue;
-          table[storage::EncodeKey(keys)].push_back(&row);
-        }
-        // Probe with the left side.
-        Rows& rows = out[static_cast<size_t>(p)];
-        for (const Tuple& lrow : left[static_cast<size_t>(p)]) {
-          Tuple keys;
-          keys.reserve(left_keys_.size());
-          bool missing = false;
-          for (int c : left_keys_) {
-            const Value& v = lrow[static_cast<size_t>(c)];
-            if (v.is_missing() || v.is_null()) {
-              missing = true;
-              break;
-            }
-            keys.push_back(v);
-          }
-          if (missing) continue;
-          auto it = table.find(storage::EncodeKey(keys));
-          if (it == table.end()) continue;
-          for (const Tuple* rrow : it->second) {
-            Tuple combined = lrow;
-            combined.insert(combined.end(), rrow->begin(), rrow->end());
-            if (residual_ != nullptr) {
-              SIMDB_ASSIGN_OR_RETURN(Value keep, residual_->Eval(combined));
-              if (!keep.is_boolean() || !keep.AsBoolean()) continue;
-            }
-            rows.push_back(std::move(combined));
-          }
-        }
-        return Status::OK();
-      }));
-  return out;
+  // Probe with the left side.
+  Rows rows;
+  for (const Tuple& lrow : left) {
+    Tuple keys;
+    keys.reserve(left_keys_.size());
+    bool missing = false;
+    for (int c : left_keys_) {
+      const Value& v = lrow[static_cast<size_t>(c)];
+      if (v.is_missing() || v.is_null()) {
+        missing = true;
+        break;
+      }
+      keys.push_back(v);
+    }
+    if (missing) continue;
+    auto it = table.find(storage::EncodeKey(keys));
+    if (it == table.end()) continue;
+    for (const Tuple* rrow : it->second) {
+      Tuple combined = lrow;
+      combined.insert(combined.end(), rrow->begin(), rrow->end());
+      if (residual_ != nullptr) {
+        SIMDB_ASSIGN_OR_RETURN(Value keep, residual_->Eval(combined));
+        if (!keep.is_boolean() || !keep.AsBoolean()) continue;
+      }
+      rows.push_back(std::move(combined));
+    }
+  }
+  return rows;
 }
 
-Result<PartitionedRows> NestedLoopJoinOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats* stats) {
-  if (inputs.size() != 2) return Status::Internal("NL-JOIN needs 2 inputs");
-  const PartitionedRows& left = *inputs[0];
-  const PartitionedRows& right = *inputs[1];
-  if (left.size() != right.size()) {
-    return Status::Internal("NL-JOIN partition mismatch");
+Result<Rows> NestedLoopJoinOp::ExecutePartition(
+    ExecContext&, int, const std::vector<const Rows*>& inputs) {
+  const Rows& left = *inputs[0];
+  const Rows& right = *inputs[1];
+  Rows rows;
+  for (const Tuple& lrow : left) {
+    for (const Tuple& rrow : right) {
+      Tuple combined = lrow;
+      combined.insert(combined.end(), rrow.begin(), rrow.end());
+      SIMDB_ASSIGN_OR_RETURN(Value keep, predicate_->Eval(combined));
+      if (keep.is_boolean() && keep.AsBoolean()) {
+        rows.push_back(std::move(combined));
+      }
+    }
   }
-  PartitionedRows out(left.size());
-  SIMDB_RETURN_IF_ERROR(RunPerPartition(
-      ctx, static_cast<int>(left.size()), stats, [&](int p) -> Status {
-        Rows& rows = out[static_cast<size_t>(p)];
-        for (const Tuple& lrow : left[static_cast<size_t>(p)]) {
-          for (const Tuple& rrow : right[static_cast<size_t>(p)]) {
-            Tuple combined = lrow;
-            combined.insert(combined.end(), rrow.begin(), rrow.end());
-            SIMDB_ASSIGN_OR_RETURN(Value keep, predicate_->Eval(combined));
-            if (keep.is_boolean() && keep.AsBoolean()) {
-              rows.push_back(std::move(combined));
-            }
-          }
-        }
-        return Status::OK();
-      }));
-  return out;
+  return rows;
 }
 
 }  // namespace simdb::hyracks

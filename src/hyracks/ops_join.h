@@ -13,7 +13,7 @@ namespace simdb::hyracks {
 /// on the join keys (via HashExchange) or one side broadcast. Output tuples
 /// are left columns followed by right columns. `residual` (over the combined
 /// tuple) filters matches when set; MISSING/NULL keys never match.
-class HashJoinOp : public Operator {
+class HashJoinOp : public PartitionOperator {
  public:
   HashJoinOp(std::vector<int> left_keys, std::vector<int> right_keys,
              ExprPtr residual = nullptr)
@@ -21,9 +21,10 @@ class HashJoinOp : public Operator {
         right_keys_(std::move(right_keys)),
         residual_(std::move(residual)) {}
   std::string name() const override { return "HASH-JOIN"; }
-  Result<PartitionedRows> Execute(
-      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-      OpStats* stats) override;
+  int num_inputs() const override { return 2; }
+  Result<Rows> ExecutePartition(ExecContext& ctx, int p,
+                                const std::vector<const Rows*>& inputs)
+      override;
 
  private:
   std::vector<int> left_keys_;
@@ -34,16 +35,17 @@ class HashJoinOp : public Operator {
 /// Local per-partition nested-loop theta join: emits left×right pairs where
 /// `predicate` (over the combined tuple) holds. Broadcast one side first for
 /// a parallel NL join.
-class NestedLoopJoinOp : public Operator {
+class NestedLoopJoinOp : public PartitionOperator {
  public:
   explicit NestedLoopJoinOp(ExprPtr predicate)
       : predicate_(std::move(predicate)) {}
   std::string name() const override {
     return "NL-JOIN(" + predicate_->ToString() + ")";
   }
-  Result<PartitionedRows> Execute(
-      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-      OpStats* stats) override;
+  int num_inputs() const override { return 2; }
+  Result<Rows> ExecutePartition(ExecContext& ctx, int p,
+                                const std::vector<const Rows*>& inputs)
+      override;
 
  private:
   ExprPtr predicate_;

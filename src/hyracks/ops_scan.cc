@@ -16,69 +16,55 @@ Result<storage::Dataset*> FindDataset(ExecContext& ctx,
 
 }  // namespace
 
-Result<PartitionedRows> DataScanOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats* stats) {
-  if (!inputs.empty()) return Status::Internal("DATA-SCAN takes no inputs");
-  SIMDB_ASSIGN_OR_RETURN(storage::Dataset * ds, FindDataset(ctx, dataset_));
+Status DataScanOp::Prepare(ExecContext& ctx) {
+  SIMDB_ASSIGN_OR_RETURN(ds_, FindDataset(ctx, dataset_));
   int parts = ctx.topology.total_partitions();
-  if (ds->num_partitions() != parts) {
+  if (ds_->num_partitions() != parts) {
     return Status::PlanError(
         "dataset " + dataset_ + " has " +
-        std::to_string(ds->num_partitions()) +
+        std::to_string(ds_->num_partitions()) +
         " partitions but the cluster expects " + std::to_string(parts));
   }
-  PartitionedRows out(static_cast<size_t>(parts));
-  SIMDB_RETURN_IF_ERROR(
-      RunPerPartition(ctx, parts, stats, [&](int p) -> Status {
-        SIMDB_ASSIGN_OR_RETURN(std::vector<Value> records, ds->ScanPartition(p));
-        Rows& rows = out[static_cast<size_t>(p)];
-        rows.reserve(records.size());
-        for (Value& rec : records) {
-          rows.push_back({std::move(rec)});
-        }
-        return Status::OK();
-      }));
-  return out;
+  return Status::OK();
 }
 
-Result<PartitionedRows> ConstantSourceOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats*) {
-  if (!inputs.empty()) {
-    return Status::Internal("CONSTANT-SOURCE takes no inputs");
+Result<Rows> DataScanOp::ExecutePartition(ExecContext&, int p,
+                                          const std::vector<const Rows*>&) {
+  SIMDB_ASSIGN_OR_RETURN(std::vector<Value> records, ds_->ScanPartition(p));
+  Rows rows;
+  rows.reserve(records.size());
+  for (Value& rec : records) {
+    rows.push_back({std::move(rec)});
   }
-  PartitionedRows out(
-      static_cast<size_t>(ctx.topology.total_partitions()));
-  out[0] = rows_;
-  return out;
+  return rows;
 }
 
-Result<PartitionedRows> PrimaryLookupOp::Execute(
-    ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-    OpStats* stats) {
-  if (inputs.size() != 1) return Status::Internal("PRIMARY-LOOKUP input");
-  SIMDB_ASSIGN_OR_RETURN(storage::Dataset * ds, FindDataset(ctx, dataset_));
-  const PartitionedRows& in = *inputs[0];
-  PartitionedRows out(in.size());
-  SIMDB_RETURN_IF_ERROR(RunPerPartition(
-      ctx, static_cast<int>(in.size()), stats, [&](int p) -> Status {
-        Rows& rows = out[static_cast<size_t>(p)];
-        for (const Tuple& row : in[static_cast<size_t>(p)]) {
-          const Value& pk = row[static_cast<size_t>(pk_column_)];
-          if (!pk.is_int64()) {
-            return Status::TypeError("PRIMARY-LOOKUP pk must be int64");
-          }
-          SIMDB_ASSIGN_OR_RETURN(auto record,
-                                 ds->GetByPkInPartition(p, pk.AsInt64()));
-          if (!record.has_value()) continue;
-          Tuple extended = row;
-          extended.push_back(std::move(*record));
-          rows.push_back(std::move(extended));
-        }
-        return Status::OK();
-      }));
-  return out;
+Result<Rows> ConstantSourceOp::ExecutePartition(
+    ExecContext&, int p, const std::vector<const Rows*>&) {
+  if (p != 0) return Rows();
+  return rows_;
+}
+
+Status PrimaryLookupOp::Prepare(ExecContext& ctx) {
+  SIMDB_ASSIGN_OR_RETURN(ds_, FindDataset(ctx, dataset_));
+  return Status::OK();
+}
+
+Result<Rows> PrimaryLookupOp::ExecutePartition(
+    ExecContext&, int p, const std::vector<const Rows*>& inputs) {
+  Rows rows;
+  for (const Tuple& row : *inputs[0]) {
+    const Value& pk = row[static_cast<size_t>(pk_column_)];
+    if (!pk.is_int64()) {
+      return Status::TypeError("PRIMARY-LOOKUP pk must be int64");
+    }
+    SIMDB_ASSIGN_OR_RETURN(auto record, ds_->GetByPkInPartition(p, pk.AsInt64()));
+    if (!record.has_value()) continue;
+    Tuple extended = row;
+    extended.push_back(std::move(*record));
+    rows.push_back(std::move(extended));
+  }
+  return rows;
 }
 
 }  // namespace simdb::hyracks

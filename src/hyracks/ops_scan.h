@@ -6,6 +6,7 @@
 
 #include "hyracks/exec.h"
 #include "hyracks/expr.h"
+#include "storage/catalog.h"
 
 namespace simdb::hyracks {
 
@@ -13,27 +14,31 @@ namespace simdb::hyracks {
 /// records of dataset partition p (one record-object column). The dataset's
 /// partition count must equal the cluster's total partition count
 /// (co-location, as in AsterixDB).
-class DataScanOp : public Operator {
+class DataScanOp : public PartitionOperator {
  public:
   explicit DataScanOp(std::string dataset) : dataset_(std::move(dataset)) {}
   std::string name() const override { return "DATA-SCAN(" + dataset_ + ")"; }
-  Result<PartitionedRows> Execute(
-      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-      OpStats* stats) override;
+  int num_inputs() const override { return 0; }
+  Status Prepare(ExecContext& ctx) override;
+  Result<Rows> ExecutePartition(ExecContext& ctx, int p,
+                                const std::vector<const Rows*>& inputs)
+      override;
 
  private:
   std::string dataset_;
+  storage::Dataset* ds_ = nullptr;  // resolved by Prepare
 };
 
 /// Emits fixed rows into partition 0 (used for constant search keys, which
 /// the coordinator then broadcasts — paper Figure 6 step 1).
-class ConstantSourceOp : public Operator {
+class ConstantSourceOp : public PartitionOperator {
  public:
   explicit ConstantSourceOp(Rows rows) : rows_(std::move(rows)) {}
   std::string name() const override { return "CONSTANT-SOURCE"; }
-  Result<PartitionedRows> Execute(
-      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-      OpStats* stats) override;
+  int num_inputs() const override { return 0; }
+  Result<Rows> ExecutePartition(ExecContext& ctx, int p,
+                                const std::vector<const Rows*>& inputs)
+      override;
 
  private:
   Rows rows_;
@@ -43,20 +48,22 @@ class ConstantSourceOp : public Operator {
 /// partition of the dataset's primary index and appends the record object.
 /// Rows whose pk does not exist locally are dropped — by construction the
 /// upstream secondary-index search produced pks of the same partition.
-class PrimaryLookupOp : public Operator {
+class PrimaryLookupOp : public PartitionOperator {
  public:
   PrimaryLookupOp(std::string dataset, int pk_column)
       : dataset_(std::move(dataset)), pk_column_(pk_column) {}
   std::string name() const override {
     return "PRIMARY-LOOKUP(" + dataset_ + ")";
   }
-  Result<PartitionedRows> Execute(
-      ExecContext& ctx, const std::vector<const PartitionedRows*>& inputs,
-      OpStats* stats) override;
+  Status Prepare(ExecContext& ctx) override;
+  Result<Rows> ExecutePartition(ExecContext& ctx, int p,
+                                const std::vector<const Rows*>& inputs)
+      override;
 
  private:
   std::string dataset_;
   int pk_column_;
+  storage::Dataset* ds_ = nullptr;  // resolved by Prepare
 };
 
 }  // namespace simdb::hyracks

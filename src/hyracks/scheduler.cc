@@ -1,0 +1,465 @@
+#include "hyracks/scheduler.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "hyracks/ops_exchange.h"
+
+namespace simdb::hyracks {
+
+namespace {
+
+enum class TaskKind { kLocal, kRoute, kBuild, kBarrier };
+
+struct Task {
+  TaskKind kind;
+  int node = -1;
+  /// Partition (kLocal) or destination partition (kBuild); -1 otherwise.
+  int p = -1;
+  /// Unfinished dependency count; duplicate edges are counted on both sides.
+  int pending = 0;
+  bool dep_failed = false;
+  std::vector<int> dependents;
+};
+
+/// Per-node execution state shared by the node's tasks.
+struct NodeRun {
+  /// No tasks were created: the node failed validation or consumes a dead
+  /// node's output.
+  bool dead = false;
+  bool is_exchange = false;
+  /// Exchange builds may move tuples out of the input (sole consumer edge).
+  bool steal = false;
+
+  // Failure bookkeeping. Within a node the lowest partition wins;
+  // partition -1 is a node-level failure (validation, routing) and beats all.
+  bool failed = false;
+  bool unwrapped = false;  // reported without the "node N (NAME): " prefix
+  int fail_partition = 0;
+  Status fail_status = Status::OK();
+
+  // Stats, assembled deterministically regardless of task interleaving.
+  bool any_ran = false;
+  OpStats stats;
+  std::vector<OpStats> dest_stats;     // exchange: per-destination traffic
+  std::vector<double> build_seconds;   // exchange: per-destination build time
+  double route_seconds = 0.0;
+  ExchangeOperator::Routing routing;
+};
+
+class SchedulerRun {
+ public:
+  SchedulerRun(const Job& job, ExecContext& ctx)
+      : job_(job), ctx_(ctx), parts_(ctx.topology.total_partitions()) {}
+
+  Result<PartitionedRows> Go() {
+    if (job_.nodes().empty()) return Status::PlanError("empty job");
+    Stopwatch sw;
+    BuildGraph();
+    RunTasks();
+    return Finalize(sw.ElapsedSeconds());
+  }
+
+ private:
+  int AddTask(TaskKind kind, int node, int p) {
+    int id = static_cast<int>(tasks_.size());
+    Task t;
+    t.kind = kind;
+    t.node = node;
+    t.p = p;
+    tasks_.push_back(std::move(t));
+    return id;
+  }
+
+  void AddDep(int producer, int consumer) {
+    tasks_[static_cast<size_t>(producer)].dependents.push_back(consumer);
+    ++tasks_[static_cast<size_t>(consumer)].pending;
+  }
+
+  void BuildGraph() {
+    const auto& jnodes = job_.nodes();
+    int n = static_cast<int>(jnodes.size());
+    nodes_.resize(static_cast<size_t>(n));
+    outputs_.assign(static_cast<size_t>(n),
+                    PartitionedRows(static_cast<size_t>(parts_)));
+    refcount_.assign(static_cast<size_t>(n),
+                     std::vector<int>(static_cast<size_t>(parts_), 0));
+    producer_.assign(static_cast<size_t>(n),
+                     std::vector<int>(static_cast<size_t>(parts_), -1));
+
+    // Total consumer edges per node, for the exchange steal decision: tuples
+    // may be moved only when the exchange is the input's sole consumer.
+    std::vector<int> consumer_edges(static_cast<size_t>(n), 0);
+    for (const auto& jn : jnodes) {
+      for (int in : jn.inputs) ++consumer_edges[static_cast<size_t>(in)];
+    }
+
+    for (int i = 0; i < n; ++i) {
+      const Job::Node& jn = jnodes[static_cast<size_t>(i)];
+      NodeRun& nr = nodes_[static_cast<size_t>(i)];
+      Operator* op = jn.op.get();
+      auto* exchange = dynamic_cast<ExchangeOperator*>(op);
+      nr.is_exchange = exchange != nullptr;
+      nr.stats.name = op->name();
+      nr.stats.node_id = i;
+      nr.stats.input_ops = jn.inputs;
+      nr.stats.barrier = !op->partition_local();
+
+      bool input_dead = false;
+      for (int in : jn.inputs) {
+        input_dead |= nodes_[static_cast<size_t>(in)].dead;
+      }
+      if (input_dead) {
+        nr.dead = true;
+        continue;
+      }
+
+      if (op->partition_local()) {
+        auto* pop = static_cast<PartitionOperator*>(op);
+        Status v = pop->ValidateInputArity(jn.inputs.size());
+        if (v.ok()) v = pop->Prepare(ctx_);
+        if (!v.ok()) {
+          // Recorded (not returned): an earlier node's runtime failure must
+          // still win, and upstream nodes always have smaller ids.
+          RecordFailure(i, -1, v, /*unwrapped=*/false);
+          nr.dead = true;
+          continue;
+        }
+        nr.stats.partition_seconds.assign(static_cast<size_t>(parts_), 0.0);
+        for (int p = 0; p < parts_; ++p) {
+          int tid = AddTask(TaskKind::kLocal, i, p);
+          producer_[static_cast<size_t>(i)][static_cast<size_t>(p)] = tid;
+          for (int in : jn.inputs) {
+            AddDep(producer_[static_cast<size_t>(in)][static_cast<size_t>(p)],
+                   tid);
+            ++refcount_[static_cast<size_t>(in)][static_cast<size_t>(p)];
+          }
+        }
+      } else if (exchange != nullptr) {
+        if (jn.inputs.size() != 1) {
+          RecordFailure(
+              i, -1,
+              Status::Internal(op->name() + " expects exactly one input"),
+              /*unwrapped=*/false);
+          nr.dead = true;
+          continue;
+        }
+        int in = jn.inputs[0];
+        nr.steal = consumer_edges[static_cast<size_t>(in)] == 1;
+        nr.dest_stats.resize(static_cast<size_t>(parts_));
+        nr.build_seconds.assign(static_cast<size_t>(parts_), 0.0);
+        nr.stats.partition_seconds.assign(static_cast<size_t>(parts_), 0.0);
+        int route = AddTask(TaskKind::kRoute, i, -1);
+        for (int p = 0; p < parts_; ++p) {
+          AddDep(producer_[static_cast<size_t>(in)][static_cast<size_t>(p)],
+                 route);
+        }
+        for (int d = 0; d < parts_; ++d) {
+          int tid = AddTask(TaskKind::kBuild, i, d);
+          producer_[static_cast<size_t>(i)][static_cast<size_t>(d)] = tid;
+          AddDep(route, tid);
+          // Every build reads the whole input and releases it once.
+          for (int p = 0; p < parts_; ++p) {
+            ++refcount_[static_cast<size_t>(in)][static_cast<size_t>(p)];
+          }
+        }
+      } else {
+        int tid = AddTask(TaskKind::kBarrier, i, -1);
+        for (int p = 0; p < parts_; ++p) {
+          producer_[static_cast<size_t>(i)][static_cast<size_t>(p)] = tid;
+        }
+        for (int in : jn.inputs) {
+          for (int p = 0; p < parts_; ++p) {
+            AddDep(producer_[static_cast<size_t>(in)][static_cast<size_t>(p)],
+                   tid);
+            ++refcount_[static_cast<size_t>(in)][static_cast<size_t>(p)];
+          }
+        }
+      }
+    }
+
+    // The root's output must survive every release.
+    for (int p = 0; p < parts_; ++p) {
+      ++refcount_[static_cast<size_t>(job_.root())][static_cast<size_t>(p)];
+    }
+  }
+
+  void RunTasks() {
+    // Pool workers must not block waiting for other workers; a nested run
+    // (and the no-pool case) executes inline in topological order instead.
+    use_pool_ = ctx_.pool != nullptr && !ThreadPool::OnWorkerThread();
+    remaining_ = static_cast<int>(tasks_.size());
+    if (remaining_ == 0) return;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (int tid = 0; tid < static_cast<int>(tasks_.size()); ++tid) {
+        if (tasks_[static_cast<size_t>(tid)].pending == 0) LaunchLocked(tid);
+      }
+      if (use_pool_) {
+        done_cv_.wait(lock, [this] { return remaining_ == 0; });
+        return;
+      }
+    }
+    while (!inline_queue_.empty()) {
+      int tid = inline_queue_.front();
+      inline_queue_.pop_front();
+      ExecTask(tid);
+    }
+    SIMDB_CHECK(remaining_ == 0) << "scheduler finished with pending tasks";
+  }
+
+  void LaunchLocked(int tid) {
+    if (use_pool_) {
+      ctx_.pool->Submit([this, tid] { ExecTask(tid); });
+    } else {
+      inline_queue_.push_back(tid);
+    }
+  }
+
+  /// Records a failure for `node`; the lowest partition wins, node-level
+  /// failures (partition -1) beat all partitions.
+  void RecordFailure(int node, int partition, Status s, bool unwrapped) {
+    NodeRun& nr = nodes_[static_cast<size_t>(node)];
+    if (nr.failed && nr.fail_partition <= partition) return;
+    nr.failed = true;
+    nr.fail_partition = partition;
+    nr.fail_status = std::move(s);
+    nr.unwrapped = unwrapped;
+  }
+
+  /// Runs one task, records its outcome, and wakes dependents. Called from
+  /// pool workers (or inline); everything after the operator call happens
+  /// under the scheduler mutex, which also publishes outputs to dependents.
+  void ExecTask(int tid) {
+    Task& t = tasks_[static_cast<size_t>(tid)];
+    const Job::Node& jn = job_.nodes()[static_cast<size_t>(t.node)];
+    NodeRun& nr = nodes_[static_cast<size_t>(t.node)];
+    switch (t.kind) {
+      case TaskKind::kLocal: {
+        auto* op = static_cast<PartitionOperator*>(jn.op.get());
+        std::vector<const Rows*> slice;
+        slice.reserve(jn.inputs.size());
+        for (int in : jn.inputs) {
+          slice.push_back(
+              &outputs_[static_cast<size_t>(in)][static_cast<size_t>(t.p)]);
+        }
+        Stopwatch sw;
+        Result<Rows> r = op->ExecutePartition(ctx_, t.p, slice);
+        double secs = sw.ElapsedSeconds();
+        std::unique_lock<std::mutex> lock(mu_);
+        nr.any_ran = true;
+        nr.stats.partition_seconds[static_cast<size_t>(t.p)] = secs;
+        if (r.ok()) {
+          nr.stats.rows_out += r.value().size();
+          outputs_[static_cast<size_t>(t.node)][static_cast<size_t>(t.p)] =
+              std::move(r).value();
+          CompleteLocked(tid, /*bad=*/false);
+        } else {
+          RecordFailure(t.node, t.p, WrapPartitionError(t.p, r.status()),
+                        /*unwrapped=*/false);
+          CompleteLocked(tid, /*bad=*/true);
+        }
+        return;
+      }
+      case TaskKind::kRoute: {
+        auto* op = static_cast<ExchangeOperator*>(jn.op.get());
+        Stopwatch sw;
+        Result<ExchangeOperator::Routing> r =
+            op->Route(ctx_, outputs_[static_cast<size_t>(jn.inputs[0])]);
+        double secs = sw.ElapsedSeconds();
+        std::unique_lock<std::mutex> lock(mu_);
+        nr.any_ran = true;
+        nr.route_seconds = secs;
+        if (r.ok()) {
+          nr.routing = std::move(r).value();
+          CompleteLocked(tid, /*bad=*/false);
+        } else {
+          RecordFailure(t.node, -1, r.status(), /*unwrapped=*/false);
+          CompleteLocked(tid, /*bad=*/true);
+        }
+        return;
+      }
+      case TaskKind::kBuild: {
+        auto* op = static_cast<ExchangeOperator*>(jn.op.get());
+        const PartitionedRows& in = outputs_[static_cast<size_t>(jn.inputs[0])];
+        PartitionedRows* steal =
+            nr.steal ? &outputs_[static_cast<size_t>(jn.inputs[0])] : nullptr;
+        OpStats dstats;
+        Stopwatch sw;
+        Result<Rows> r =
+            op->BuildDestination(ctx_, t.p, in, nr.routing, steal, &dstats);
+        double secs = sw.ElapsedSeconds();
+        std::unique_lock<std::mutex> lock(mu_);
+        nr.any_ran = true;
+        nr.build_seconds[static_cast<size_t>(t.p)] = secs;
+        if (r.ok()) {
+          nr.dest_stats[static_cast<size_t>(t.p)] = std::move(dstats);
+          nr.stats.rows_out += r.value().size();
+          outputs_[static_cast<size_t>(t.node)][static_cast<size_t>(t.p)] =
+              std::move(r).value();
+          CompleteLocked(tid, /*bad=*/false);
+        } else {
+          RecordFailure(t.node, t.p, WrapPartitionError(t.p, r.status()),
+                        /*unwrapped=*/false);
+          CompleteLocked(tid, /*bad=*/true);
+        }
+        return;
+      }
+      case TaskKind::kBarrier: {
+        std::vector<const PartitionedRows*> ins;
+        ins.reserve(jn.inputs.size());
+        for (int in : jn.inputs) {
+          ins.push_back(&outputs_[static_cast<size_t>(in)]);
+        }
+        // The barrier owns all of its node's stats slots; no other task of
+        // this node exists, so writing them pre-lock is safe.
+        Result<PartitionedRows> r = jn.op->Execute(ctx_, ins, &nr.stats);
+        std::unique_lock<std::mutex> lock(mu_);
+        nr.any_ran = true;
+        if (!r.ok()) {
+          RecordFailure(t.node, -1, r.status(), /*unwrapped=*/false);
+          CompleteLocked(tid, /*bad=*/true);
+          return;
+        }
+        PartitionedRows out = std::move(r).value();
+        if (static_cast<int>(out.size()) != parts_) {
+          // Stage-sequential reports this check without the node prefix.
+          RecordFailure(t.node, -1,
+                        Status::Internal("operator " + jn.op->name() +
+                                         " produced wrong partition count"),
+                        /*unwrapped=*/true);
+          CompleteLocked(tid, /*bad=*/true);
+          return;
+        }
+        nr.stats.rows_out = RowsCount(out);
+        outputs_[static_cast<size_t>(t.node)] = std::move(out);
+        CompleteLocked(tid, /*bad=*/false);
+        return;
+      }
+    }
+  }
+
+  static Status WrapPartitionError(int p, const Status& s) {
+    return Status(s.code(),
+                  "partition " + std::to_string(p) + ": " + s.message());
+  }
+
+  /// Marks `tid` finished (`bad` = failed or skipped), releases its input
+  /// claims, and cascades: dependents whose last dependency this was are
+  /// launched, or — when any dependency was bad — skipped transitively.
+  /// Mutex held.
+  void CompleteLocked(int tid, bool bad) {
+    std::deque<std::pair<int, bool>> events;
+    events.emplace_back(tid, bad);
+    while (!events.empty()) {
+      auto [id, was_bad] = events.front();
+      events.pop_front();
+      ReleaseInputsLocked(id);
+      for (int d : tasks_[static_cast<size_t>(id)].dependents) {
+        Task& dep = tasks_[static_cast<size_t>(d)];
+        dep.dep_failed |= was_bad;
+        if (--dep.pending == 0) {
+          if (dep.dep_failed) {
+            events.emplace_back(d, true);  // skipped, never executed
+          } else {
+            LaunchLocked(d);
+          }
+        }
+      }
+      --remaining_;
+    }
+    if (remaining_ == 0) done_cv_.notify_all();
+  }
+
+  /// Releases the (input, partition) claims this task holds; a partition is
+  /// freed when its last consumer finishes. Skipped tasks release too, so
+  /// live branches still reclaim memory next to a failed branch.
+  void ReleaseInputsLocked(int tid) {
+    const Task& t = tasks_[static_cast<size_t>(tid)];
+    const auto& inputs = job_.nodes()[static_cast<size_t>(t.node)].inputs;
+    switch (t.kind) {
+      case TaskKind::kLocal:
+        for (int in : inputs) DecRefLocked(in, t.p);
+        break;
+      case TaskKind::kRoute:
+        break;  // builds hold the input alive; routing claims nothing
+      case TaskKind::kBuild:
+        for (int p = 0; p < parts_; ++p) DecRefLocked(inputs[0], p);
+        break;
+      case TaskKind::kBarrier:
+        for (int in : inputs) {
+          for (int p = 0; p < parts_; ++p) DecRefLocked(in, p);
+        }
+        break;
+    }
+  }
+
+  void DecRefLocked(int node, int p) {
+    int& rc = refcount_[static_cast<size_t>(node)][static_cast<size_t>(p)];
+    if (--rc == 0) {
+      outputs_[static_cast<size_t>(node)][static_cast<size_t>(p)] = Rows();
+    }
+  }
+
+  Result<PartitionedRows> Finalize(double wall_seconds) {
+    int n = static_cast<int>(job_.nodes().size());
+    if (ctx_.stats != nullptr) {
+      for (int i = 0; i < n; ++i) {
+        NodeRun& nr = nodes_[static_cast<size_t>(i)];
+        if (!nr.any_ran) continue;
+        if (nr.is_exchange) {
+          // Merge per-destination traffic in destination order; spread the
+          // one-shot routing cost evenly (each source routes its own rows).
+          double spread = nr.route_seconds / parts_;
+          for (int d = 0; d < parts_; ++d) {
+            const OpStats& ds = nr.dest_stats[static_cast<size_t>(d)];
+            nr.stats.local_bytes += ds.local_bytes;
+            nr.stats.remote_bytes += ds.remote_bytes;
+            nr.stats.remote_transfers += ds.remote_transfers;
+            nr.stats.partition_seconds[static_cast<size_t>(d)] =
+                nr.build_seconds[static_cast<size_t>(d)] + spread;
+          }
+        }
+        ctx_.stats->ops.push_back(std::move(nr.stats));
+      }
+      ctx_.stats->has_task_dag = true;
+      ctx_.stats->wall_seconds += wall_seconds;
+    }
+    for (int i = 0; i < n; ++i) {
+      const NodeRun& nr = nodes_[static_cast<size_t>(i)];
+      if (!nr.failed) continue;
+      if (nr.unwrapped) return nr.fail_status;
+      return WrapNodeError(i, job_.nodes()[static_cast<size_t>(i)].op->name(),
+                           nr.fail_status);
+    }
+    return std::move(outputs_[static_cast<size_t>(job_.root())]);
+  }
+
+  const Job& job_;
+  ExecContext& ctx_;
+  int parts_;
+
+  std::vector<Task> tasks_;
+  std::vector<NodeRun> nodes_;
+  std::vector<PartitionedRows> outputs_;
+  std::vector<std::vector<int>> refcount_;  // [node][partition]
+  std::vector<std::vector<int>> producer_;  // task producing (node, partition)
+
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  int remaining_ = 0;
+  bool use_pool_ = false;
+  std::deque<int> inline_queue_;
+};
+
+}  // namespace
+
+Result<PartitionedRows> Scheduler::Run(const Job& job, ExecContext& ctx) {
+  return SchedulerRun(job, ctx).Go();
+}
+
+}  // namespace simdb::hyracks

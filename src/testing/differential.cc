@@ -23,6 +23,7 @@ void ApplyVariant(QueryProcessor& engine, const ExecVariant& v) {
   opt.enable_surrogate_join = v.enable_surrogate_join;
   engine.set_t_occurrence_algorithm(v.t_occurrence);
   engine.set_posting_cache_enabled(v.posting_cache);
+  engine.set_executor(v.executor);
 }
 
 /// Executes one query and returns its result set as a sorted vector of JSON
@@ -175,6 +176,16 @@ std::vector<ExecVariant> PlanVariantMatrix() {
   nocache.label = "indexed-nocache";
   nocache.posting_cache = false;
   variants.push_back(nocache);
+
+  // The dataflow runtime must be invisible to results: run the full indexed
+  // configuration once more on the legacy stage-sequential executor. Every
+  // other variant (including the scan ground truth) runs on the task-graph
+  // scheduler, so any scheduling, routing, or tuple-stealing bug shows up
+  // as a variant mismatch here.
+  ExecVariant stageseq = indexed;
+  stageseq.label = "indexed-stageseq";
+  stageseq.executor = hyracks::ExecutorKind::kStageSequential;
+  variants.push_back(stageseq);
   return variants;
 }
 

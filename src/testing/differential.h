@@ -24,6 +24,9 @@ struct ExecVariant {
       storage::TOccurrenceAlgorithm::kScanCount;
   /// Serve inverted-index probes from the decoded posting-list cache.
   bool posting_cache = true;
+  /// Dataflow runtime executing the job (task-graph scheduler vs legacy
+  /// stage-sequential). Both must be answer-identical on every query.
+  hyracks::ExecutorKind executor = hyracks::ExecutorKind::kScheduler;
 };
 
 /// The default plan-variant matrix:
@@ -35,6 +38,8 @@ struct ExecVariant {
 ///   threestage        - index joins off; Jaccard joins go three-stage
 ///   indexed-heapmerge - all rewrites on, heap-merge T-occurrence
 ///   indexed-nocache   - all rewrites on, posting-list cache disabled
+///   indexed-stageseq  - all rewrites on, legacy stage-sequential executor
+///                       (cross-checks the task-graph scheduler)
 std::vector<ExecVariant> PlanVariantMatrix();
 
 /// Cluster shapes the matrix runs under: 1x1, 2x2, 4x2

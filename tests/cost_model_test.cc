@@ -97,6 +97,101 @@ TEST(ComputeMakespanTest, LocalBytesAreFree) {
   EXPECT_EQ(report.network_seconds, 0.0);
 }
 
+TEST(CriticalPathTest, LegacyStatsKeepStageSum) {
+  // Stats without task-DAG shape (hand-built, or from old recordings) must
+  // keep the stage-sum total and the legacy format string.
+  ExecStats stats;
+  OpStats op;
+  op.partition_seconds = {0.4, 0.1};
+  stats.ops.push_back(op);
+  MakespanReport report = ComputeMakespan(stats, ClusterTopology{1, 2});
+  EXPECT_FALSE(report.has_critical_path);
+  EXPECT_DOUBLE_EQ(report.total_seconds(), 0.5);
+}
+
+TEST(CriticalPathTest, ChainOfLocalOpsFollowsSlowestPartitionChain) {
+  // Two chained partition-local ops: the critical path is the slowest
+  // per-partition chain (0.4 + 0.2 = 0.6), not the stage-sum of per-stage
+  // maxima — partitions overlap across stages in the task-graph runtime.
+  ExecStats stats;
+  stats.has_task_dag = true;
+  OpStats a, b;
+  a.name = "SCAN";
+  a.node_id = 0;
+  a.partition_seconds = {0.4, 0.1};
+  b.name = "SELECT";
+  b.node_id = 1;
+  b.input_ops = {0};
+  b.partition_seconds = {0.2, 0.2};
+  stats.ops.push_back(a);
+  stats.ops.push_back(b);
+  MakespanReport report = ComputeMakespan(stats, ClusterTopology{1, 2});
+  ASSERT_TRUE(report.has_critical_path);
+  EXPECT_DOUBLE_EQ(report.critical_path_seconds, 0.6);
+  EXPECT_DOUBLE_EQ(report.total_seconds(), 0.6);
+  // Stage-sum charges 0.5 + 0.4 = 0.9 for the same stats.
+  EXPECT_DOUBLE_EQ(report.stage_sum_seconds(), 0.9);
+}
+
+TEST(CriticalPathTest, BarrierWaitsForAllPartitionsOfAllInputs) {
+  // A barrier op cannot start any partition until every input partition is
+  // done: ready = max(0.4, 0.1) = 0.4, then its own partition times.
+  ExecStats stats;
+  stats.has_task_dag = true;
+  OpStats a, b;
+  a.node_id = 0;
+  a.partition_seconds = {0.4, 0.1};
+  b.node_id = 1;
+  b.input_ops = {0};
+  b.barrier = true;
+  b.partition_seconds = {0.05, 0.3};
+  stats.ops.push_back(a);
+  stats.ops.push_back(b);
+  MakespanReport report = ComputeMakespan(stats, ClusterTopology{1, 2});
+  ASSERT_TRUE(report.has_critical_path);
+  EXPECT_DOUBLE_EQ(report.critical_path_seconds, 0.7);
+}
+
+TEST(CriticalPathTest, BarrierChargesNetworkBeforeItsOutputs) {
+  // An exchange's modeled network time delays the start of its outputs on
+  // the critical path (and is charged once, not per partition).
+  ExecStats stats;
+  stats.has_task_dag = true;
+  OpStats a, x;
+  a.node_id = 0;
+  a.partition_seconds = {0.1, 0.1};
+  x.name = "HASH-EXCHANGE";
+  x.node_id = 1;
+  x.input_ops = {0};
+  x.barrier = true;
+  x.remote_bytes = 2 * 1024 * 1024;
+  stats.ops.push_back(a);
+  stats.ops.push_back(x);
+
+  NetworkModel net;
+  net.bandwidth_bytes_per_sec = 1024 * 1024;
+  net.frame_bytes = 32 * 1024;
+  net.frame_latency_sec = 0;
+
+  const int nodes = 2;
+  MakespanReport report =
+      ComputeMakespan(stats, ClusterTopology{nodes, 1}, net);
+  ASSERT_TRUE(report.has_critical_path);
+  // 0.1 compute, then 2 MiB spread over 2 NICs at 1 MiB/s = 1.0s.
+  EXPECT_DOUBLE_EQ(report.critical_path_seconds, 1.1);
+}
+
+TEST(FormatMakespanTest, RendersCriticalPathWhenPresent) {
+  MakespanReport report;
+  report.compute_seconds = 1.25;
+  report.network_seconds = 0.75;
+  report.critical_path_seconds = 1.5;
+  report.has_critical_path = true;
+  std::string s = FormatMakespan(report);
+  EXPECT_NE(s.find("1.500s critical path"), std::string::npos);
+  EXPECT_NE(s.find("stage-sum 2.000s"), std::string::npos);
+}
+
 TEST(FormatMakespanTest, RendersAllComponents) {
   MakespanReport report;
   report.compute_seconds = 1.25;
