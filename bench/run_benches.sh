@@ -19,8 +19,9 @@ trap 'rm -rf "$TMP"' EXIT
 
 KERNELS_BIN="$BUILD/bench/bench_kernels"
 SCHEDULER_BIN="$BUILD/bench/bench_scheduler"
+VERIFY_BIN="$BUILD/bench/bench_verify_overhead"
 FIG22_BIN="$BUILD/bench/bench_fig22_selection"
-for bin in "$KERNELS_BIN" "$SCHEDULER_BIN" "$FIG22_BIN"; do
+for bin in "$KERNELS_BIN" "$SCHEDULER_BIN" "$VERIFY_BIN" "$FIG22_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "missing benchmark binary: $bin (build the tree first)" >&2
     exit 1
@@ -42,18 +43,25 @@ echo "== bench_scheduler =="
 "$SCHEDULER_BIN" "${KERNEL_FLAGS[@]+"${KERNEL_FLAGS[@]}"}" \
   --benchmark_out="$TMP/scheduler.json" --benchmark_out_format=json
 
+echo "== bench_verify_overhead =="
+"$VERIFY_BIN" "${KERNEL_FLAGS[@]+"${KERNEL_FLAGS[@]}"}" \
+  --benchmark_out="$TMP/verify.json" --benchmark_out_format=json
+
 echo "== bench_fig22_selection =="
 "$FIG22_BIN" | tee "$TMP/fig22.txt"
 
-python3 - "$TMP/kernels.json" "$TMP/scheduler.json" "$TMP/fig22.txt" \
-  "$OUT" "$QUICK" <<'PY'
+python3 - "$TMP/kernels.json" "$TMP/scheduler.json" "$TMP/verify.json" \
+  "$TMP/fig22.txt" "$OUT" "$QUICK" <<'PY'
 import json, sys
 
-kernels_path, scheduler_path, fig22_path, out_path, quick = sys.argv[1:6]
+(kernels_path, scheduler_path, verify_path, fig22_path, out_path,
+ quick) = sys.argv[1:7]
 with open(kernels_path) as f:
     kernels = json.load(f)
 with open(scheduler_path) as f:
     scheduler = json.load(f)
+with open(verify_path) as f:
+    verify = json.load(f)
 with open(fig22_path) as f:
     fig22_lines = [line.rstrip("\n") for line in f]
 
@@ -62,6 +70,7 @@ merged = {
     "quick_mode": quick == "1",
     "bench_kernels": kernels,
     "bench_scheduler": scheduler,
+    "bench_verify_overhead": verify,
     "bench_fig22_selection": {"raw": fig22_lines},
 }
 with open(out_path, "w") as f:

@@ -108,13 +108,15 @@ Result<std::vector<int>> JobGenerator::MaterializeColumns(
       names.push_back("_" + label + std::to_string(i));
     }
     int base = plan->width;
+    // Widen before attaching the schema: the assign node's declared schema
+    // must include the columns it appends.
+    plan->width = base + static_cast<int>(assign_positions.size());
     plan->node = job_.Add(
         std::make_unique<hyracks::AssignOp>(std::move(to_assign), names),
         {plan->node}, SchemaOf(*plan));
     for (size_t i = 0; i < assign_positions.size(); ++i) {
       cols[assign_positions[i]] = base + static_cast<int>(i);
     }
-    plan->width = base + static_cast<int>(assign_positions.size());
   }
   return cols;
 }

@@ -2,24 +2,44 @@
 
 #include <functional>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace simdb::algebricks {
 
 namespace {
 
-/// Depth-first application of `rule` over the DAG rooted at `root`.
-Result<bool> ApplyRuleOnce(LOpPtr& root, RewriteRule& rule, OptContext& ctx,
-                           std::unordered_set<const LOp*>& visited) {
+void CollectSharedNodesImpl(const LOpPtr& op,
+                            std::unordered_map<const LOp*, int>& parents) {
+  for (const LOpPtr& in : op->inputs) {
+    if (++parents[in.get()] == 1) CollectSharedNodesImpl(in, parents);
+  }
+}
+
+/// Depth-first application of `rule` over the DAG hanging off the edge `op`
+/// of the plan `root`. After every firing the shared-node set is rebuilt so
+/// rules always see current sharing, and the verify hook (if any) re-checks
+/// the rule's contract plus full-plan invariants.
+Result<bool> ApplyRuleOnce(LOpPtr& op, LOpPtr& root, RewriteRule& rule,
+                           OptContext& ctx,
+                           std::unordered_set<const LOp*>& visited,
+                           std::unordered_set<const LOp*>& shared) {
   bool changed = false;
-  SIMDB_ASSIGN_OR_RETURN(bool top_changed, rule.Apply(root, ctx));
+  if (ctx.check_hook != nullptr) ctx.check_hook->BeforeApply(rule, op, root);
+  SIMDB_ASSIGN_OR_RETURN(bool top_changed, rule.Apply(op, ctx));
+  if (ctx.check_hook != nullptr) {
+    SIMDB_RETURN_IF_ERROR(
+        ctx.check_hook->AfterApply(rule, op, root, top_changed));
+  }
   if (top_changed) {
     ctx.fired_rules.push_back(rule.name());
+    shared = CollectSharedNodes(root);
     changed = true;
   }
-  if (visited.insert(root.get()).second) {
-    for (LOpPtr& input : root->inputs) {
-      SIMDB_ASSIGN_OR_RETURN(bool sub, ApplyRuleOnce(input, rule, ctx, visited));
+  if (visited.insert(op.get()).second) {
+    for (LOpPtr& input : op->inputs) {
+      SIMDB_ASSIGN_OR_RETURN(
+          bool sub, ApplyRuleOnce(input, root, rule, ctx, visited, shared));
       changed = changed || sub;
     }
   }
@@ -28,19 +48,38 @@ Result<bool> ApplyRuleOnce(LOpPtr& root, RewriteRule& rule, OptContext& ctx,
 
 }  // namespace
 
-Result<bool> ApplyRuleSet(LOpPtr& root, const RuleSet& set, OptContext& ctx) {
-  bool any = false;
-  for (int pass = 0; pass < set.max_iterations; ++pass) {
-    bool changed = false;
-    for (const auto& rule : set.rules) {
-      std::unordered_set<const LOp*> visited;
-      SIMDB_ASSIGN_OR_RETURN(bool c, ApplyRuleOnce(root, *rule, ctx, visited));
-      changed = changed || c;
-    }
-    any = any || changed;
-    if (!changed) break;
+std::unordered_set<const LOp*> CollectSharedNodes(const LOpPtr& root) {
+  std::unordered_map<const LOp*, int> parents;
+  CollectSharedNodesImpl(root, parents);
+  std::unordered_set<const LOp*> shared;
+  for (const auto& [node, count] : parents) {
+    if (count > 1) shared.insert(node);
   }
-  return any;
+  return shared;
+}
+
+Result<bool> ApplyRuleSet(LOpPtr& root, const RuleSet& set, OptContext& ctx) {
+  std::unordered_set<const LOp*> shared = CollectSharedNodes(root);
+  const std::unordered_set<const LOp*>* prev_shared = ctx.shared_nodes;
+  ctx.shared_nodes = &shared;
+  auto run = [&]() -> Result<bool> {
+    bool any = false;
+    for (int pass = 0; pass < set.max_iterations; ++pass) {
+      bool changed = false;
+      for (const auto& rule : set.rules) {
+        std::unordered_set<const LOp*> visited;
+        SIMDB_ASSIGN_OR_RETURN(
+            bool c, ApplyRuleOnce(root, root, *rule, ctx, visited, shared));
+        changed = changed || c;
+      }
+      any = any || changed;
+      if (!changed) break;
+    }
+    return any;
+  };
+  Result<bool> result = run();
+  ctx.shared_nodes = prev_shared;
+  return result;
 }
 
 namespace {
@@ -49,10 +88,20 @@ class PushSelectIntoJoinRule : public RewriteRule {
  public:
   std::string name() const override { return "push-select-into-join"; }
 
-  Result<bool> Apply(LOpPtr& op, OptContext&) override {
+  RuleContract contract() const override {
+    RuleContract c;
+    c.may_introduce = {};  // reuses the child join node
+    return c;
+  }
+
+  Result<bool> Apply(LOpPtr& op, OptContext& ctx) override {
     if (op->kind != LOpKind::kSelect) return false;
     LOpPtr join = op->inputs[0];
     if (join->kind != LOpKind::kJoin) return false;
+    // Merging this select's condition changes the join's output, which is
+    // wrong for any *other* parent of a shared join (e.g. the gt/le corner
+    // selects the index-join rewrite hangs off one reused subplan).
+    if (ctx.IsShared(join.get())) return false;
     std::vector<LExprPtr> conjuncts = SplitConjuncts(join->expr);
     std::vector<LExprPtr> extra = SplitConjuncts(op->expr);
     conjuncts.insert(conjuncts.end(), extra.begin(), extra.end());
@@ -74,6 +123,15 @@ class PushSelectIntoJoinRule : public RewriteRule {
 class PushSelectBelowJoinRule : public RewriteRule {
  public:
   std::string name() const override { return "push-select-below-join"; }
+
+  RuleContract contract() const override {
+    RuleContract c;
+    c.may_introduce = {LOpKind::kSelect};
+    // Pushing its own conjuncts below a join leaves the join's output
+    // unchanged, so rewriting a shared join is safe for every parent.
+    c.shared_mutation_safe = true;
+    return c;
+  }
 
   Result<bool> Apply(LOpPtr& op, OptContext&) override {
     if (op->kind != LOpKind::kJoin) return false;
@@ -119,6 +177,12 @@ class PushSelectBelowJoinRule : public RewriteRule {
 class RemoveTrivialSelectRule : public RewriteRule {
  public:
   std::string name() const override { return "remove-trivial-select"; }
+
+  RuleContract contract() const override {
+    RuleContract c;
+    c.may_introduce = {};  // only unlinks a node
+    return c;
+  }
 
   Result<bool> Apply(LOpPtr& op, OptContext&) override {
     if (op->kind != LOpKind::kSelect) return false;
@@ -233,6 +297,10 @@ Result<bool> ApplyCountListifyRewrite(LOpPtr& root, OptContext& ctx) {
       ctx.fired_rules.push_back("count-listify-to-count");
       changed = true;
     }
+  }
+  if (changed && ctx.check_hook != nullptr) {
+    SIMDB_RETURN_IF_ERROR(
+        ctx.check_hook->AfterGlobalRewrite("count-listify-to-count", root));
   }
   return changed;
 }

@@ -1,0 +1,52 @@
+#ifndef SIMDB_ANALYSIS_DAG_VERIFIER_H_
+#define SIMDB_ANALYSIS_DAG_VERIFIER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "hyracks/exec.h"
+
+namespace simdb::analysis {
+
+/// Static checker for generated hyracks jobs. Verifies:
+///
+///   shape       - non-empty, inputs reference earlier nodes only
+///                 (acyclicity), every non-root node has a consumer,
+///                 exchanges have exactly one input, partition operators
+///                 satisfy their declared arity;
+///   schemas     - every node's declared schema width is consistent with its
+///                 operator and its inputs' widths (project columns, join
+///                 key columns, exchange keys, lookup pk columns in range),
+///                 and every compiled expression references only columns
+///                 that exist in the operator's input;
+///   properties  - partitioning-property inference: hash joins need
+///                 co-hashed keys or a broadcast side, hash groups need
+///                 keys-hashed input, index searches need a broadcast input,
+///                 primary lookups need a partition-aligned pk column,
+///                 rank-assign needs a gathered input, no exchange or union
+///                 consumes a broadcast input (rows would be duplicated),
+///                 and per-partition sort order is preserved into merge
+///                 gathers;
+///   steals      - the scheduler's tuple-steal plan is legal (a stolen
+///                 input has exactly one consumer edge).
+///
+/// Returns OK or the first violation as a deterministic PlanError.
+class DagVerifier {
+ public:
+  static Status Verify(const hyracks::Job& job,
+                       const hyracks::ClusterTopology& topology);
+
+  /// Edge-shape subset of Verify, callable without constructing a Job
+  /// (Job::Add aborts on bad edges): inputs of node i must be in [0, i).
+  static Status VerifyEdges(int num_nodes,
+                            const std::vector<std::vector<int>>& inputs);
+
+  /// Steal legality for a proposed steal plan: steals[i] requires node i to
+  /// be an exchange whose single input has exactly one consumer edge.
+  static Status VerifySteals(const hyracks::Job& job,
+                             const std::vector<bool>& steals);
+};
+
+}  // namespace simdb::analysis
+
+#endif  // SIMDB_ANALYSIS_DAG_VERIFIER_H_

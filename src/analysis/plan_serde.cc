@@ -1,0 +1,461 @@
+#include "analysis/plan_serde.h"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "adm/value.h"
+
+namespace simdb::analysis {
+
+namespace {
+
+using adm::Value;
+using algebricks::LAgg;
+using algebricks::LExpr;
+using algebricks::LExprPtr;
+using algebricks::LOp;
+using algebricks::LOpKind;
+using algebricks::LOpKindToString;
+using algebricks::LOpPtr;
+using algebricks::LSortKey;
+using hyracks::SimSearchSpec;
+
+// ---- serialization ----
+
+Value ExprToValue(const LExprPtr& e);
+
+Value ExprListToValue(const std::vector<LExprPtr>& exprs) {
+  Value::Array items;
+  for (const LExprPtr& e : exprs) items.push_back(ExprToValue(e));
+  return Value::MakeArray(std::move(items));
+}
+
+Value ExprToValue(const LExprPtr& e) {
+  Value::Object fields;
+  switch (e->kind) {
+    case LExpr::Kind::kVar:
+      fields.emplace_back("kind", Value::String("var"));
+      fields.emplace_back("name", Value::String(e->name));
+      break;
+    case LExpr::Kind::kLiteral:
+      fields.emplace_back("kind", Value::String("lit"));
+      fields.emplace_back("value", e->literal);
+      break;
+    case LExpr::Kind::kField:
+      fields.emplace_back("kind", Value::String("field"));
+      fields.emplace_back("name", Value::String(e->name));
+      fields.emplace_back("base", ExprToValue(e->children[0]));
+      break;
+    case LExpr::Kind::kCall:
+      fields.emplace_back("kind", Value::String("call"));
+      fields.emplace_back("name", Value::String(e->name));
+      fields.emplace_back("args", ExprListToValue(e->children));
+      if (e->bcast_hint) fields.emplace_back("bcast", Value::Boolean(true));
+      break;
+    case LExpr::Kind::kRecord: {
+      fields.emplace_back("kind", Value::String("record"));
+      Value::Array names;
+      for (const std::string& n : e->field_names) {
+        names.push_back(Value::String(n));
+      }
+      fields.emplace_back("names", Value::MakeArray(std::move(names)));
+      fields.emplace_back("values", ExprListToValue(e->children));
+      break;
+    }
+    case LExpr::Kind::kList:
+      fields.emplace_back("kind", Value::String("list"));
+      fields.emplace_back("items", ExprListToValue(e->children));
+      break;
+  }
+  return Value::MakeObject(std::move(fields));
+}
+
+std::string_view AggKindToString(LAgg::Kind k) {
+  switch (k) {
+    case LAgg::Kind::kListify: return "listify";
+    case LAgg::Kind::kCount: return "count";
+    case LAgg::Kind::kSum: return "sum";
+    case LAgg::Kind::kMin: return "min";
+    case LAgg::Kind::kMax: return "max";
+    case LAgg::Kind::kFirst: return "first";
+  }
+  return "listify";
+}
+
+std::string_view SimFnToString(SimSearchSpec::Fn fn) {
+  switch (fn) {
+    case SimSearchSpec::Fn::kJaccard: return "jaccard";
+    case SimSearchSpec::Fn::kEditDistance: return "edit-distance";
+    case SimSearchSpec::Fn::kContains: return "contains";
+  }
+  return "jaccard";
+}
+
+Value NodeToValue(const LOp& op, int id, const std::vector<int>& inputs) {
+  Value::Object f;
+  f.emplace_back("id", Value::Int64(id));
+  f.emplace_back("kind", Value::String(std::string(LOpKindToString(op.kind))));
+  Value::Array ins;
+  for (int in : inputs) ins.push_back(Value::Int64(in));
+  f.emplace_back("inputs", Value::MakeArray(std::move(ins)));
+
+  if (!op.dataset.empty()) f.emplace_back("dataset", Value::String(op.dataset));
+  if (!op.out_var.empty()) f.emplace_back("out_var", Value::String(op.out_var));
+  if (!op.pos_var.empty()) f.emplace_back("pos_var", Value::String(op.pos_var));
+  if (op.expr != nullptr) f.emplace_back("expr", ExprToValue(op.expr));
+
+  if (!op.assigns.empty()) {
+    Value::Array assigns;
+    for (const auto& [var, e] : op.assigns) {
+      Value::Object a;
+      a.emplace_back("var", Value::String(var));
+      a.emplace_back("expr", ExprToValue(e));
+      assigns.push_back(Value::MakeObject(std::move(a)));
+    }
+    f.emplace_back("assigns", Value::MakeArray(std::move(assigns)));
+  }
+  if (!op.group_keys.empty()) {
+    Value::Array keys;
+    for (const auto& [var, e] : op.group_keys) {
+      Value::Object k;
+      k.emplace_back("var", Value::String(var));
+      k.emplace_back("expr", ExprToValue(e));
+      keys.push_back(Value::MakeObject(std::move(k)));
+    }
+    f.emplace_back("group_keys", Value::MakeArray(std::move(keys)));
+  }
+  if (!op.group_aggs.empty()) {
+    Value::Array aggs;
+    for (const LAgg& agg : op.group_aggs) {
+      Value::Object a;
+      a.emplace_back("agg", Value::String(std::string(AggKindToString(agg.kind))));
+      if (agg.input != nullptr) a.emplace_back("input", ExprToValue(agg.input));
+      a.emplace_back("out_var", Value::String(agg.out_var));
+      aggs.push_back(Value::MakeObject(std::move(a)));
+    }
+    f.emplace_back("group_aggs", Value::MakeArray(std::move(aggs)));
+  }
+  if (!op.sort_keys.empty()) {
+    Value::Array keys;
+    for (const LSortKey& k : op.sort_keys) {
+      Value::Object s;
+      s.emplace_back("expr", ExprToValue(k.expr));
+      s.emplace_back("ascending", Value::Boolean(k.ascending));
+      keys.push_back(Value::MakeObject(std::move(s)));
+    }
+    f.emplace_back("sort_keys", Value::MakeArray(std::move(keys)));
+  }
+  if (!op.project_vars.empty()) {
+    Value::Array vars;
+    for (const std::string& v : op.project_vars) {
+      vars.push_back(Value::String(v));
+    }
+    f.emplace_back("project_vars", Value::MakeArray(std::move(vars)));
+  }
+  if (op.limit != 0) f.emplace_back("limit", Value::Int64(op.limit));
+  if (op.join_strategy != algebricks::JoinStrategy::kAuto) {
+    f.emplace_back(
+        "join_strategy",
+        Value::String(op.join_strategy ==
+                              algebricks::JoinStrategy::kBroadcastHash
+                          ? "broadcast-hash"
+                          : "broadcast-nl"));
+  }
+  if (!op.index_name.empty()) {
+    f.emplace_back("index_name", Value::String(op.index_name));
+    Value::Object spec;
+    spec.emplace_back("fn",
+                      Value::String(std::string(SimFnToString(op.sim_spec.fn))));
+    spec.emplace_back("threshold", Value::Double(op.sim_spec.threshold));
+    f.emplace_back("sim_spec", Value::MakeObject(std::move(spec)));
+  }
+  if (!op.pk_var.empty()) f.emplace_back("pk_var", Value::String(op.pk_var));
+  return Value::MakeObject(std::move(f));
+}
+
+void NumberNodes(const LOpPtr& op, std::unordered_map<const LOp*, int>* ids,
+                 std::vector<const LOp*>* order) {
+  if (op == nullptr || ids->count(op.get()) > 0) return;
+  for (const LOpPtr& in : op->inputs) NumberNodes(in, ids, order);
+  // Post-order: inputs get smaller ids than consumers.
+  ids->emplace(op.get(), static_cast<int>(order->size()));
+  order->push_back(op.get());
+}
+
+// ---- parsing ----
+
+Status ParseError(const std::string& msg) {
+  return Status::PlanError("plan serde: " + msg);
+}
+
+Result<const Value*> RequireField(const Value& obj, const std::string& name) {
+  if (!obj.is_object()) return ParseError("expected an object");
+  const Value& v = obj.GetField(name);
+  if (v.is_missing()) return ParseError("missing field '" + name + "'");
+  return &v;
+}
+
+Result<std::string> RequireString(const Value& obj, const std::string& name) {
+  SIMDB_ASSIGN_OR_RETURN(const Value* v, RequireField(obj, name));
+  if (!v->is_string()) return ParseError("field '" + name + "' must be a string");
+  return v->AsString();
+}
+
+std::string OptionalString(const Value& obj, const std::string& name) {
+  const Value& v = obj.GetField(name);
+  return v.is_string() ? v.AsString() : "";
+}
+
+Result<LExprPtr> ValueToExpr(const Value& v);
+
+Result<std::vector<LExprPtr>> ValueToExprList(const Value& v,
+                                              const std::string& what) {
+  if (!v.is_array()) return ParseError("'" + what + "' must be an array");
+  std::vector<LExprPtr> out;
+  for (const Value& item : v.AsList()) {
+    SIMDB_ASSIGN_OR_RETURN(LExprPtr e, ValueToExpr(item));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+Result<LExprPtr> ValueToExpr(const Value& v) {
+  SIMDB_ASSIGN_OR_RETURN(std::string kind, RequireString(v, "kind"));
+  if (kind == "var") {
+    SIMDB_ASSIGN_OR_RETURN(std::string name, RequireString(v, "name"));
+    return LExpr::Var(std::move(name));
+  }
+  if (kind == "lit") {
+    SIMDB_ASSIGN_OR_RETURN(const Value* lit, RequireField(v, "value"));
+    return LExpr::Lit(*lit);
+  }
+  if (kind == "field") {
+    SIMDB_ASSIGN_OR_RETURN(std::string name, RequireString(v, "name"));
+    SIMDB_ASSIGN_OR_RETURN(const Value* base, RequireField(v, "base"));
+    SIMDB_ASSIGN_OR_RETURN(LExprPtr base_expr, ValueToExpr(*base));
+    return LExpr::Field(std::move(base_expr), std::move(name));
+  }
+  if (kind == "call") {
+    SIMDB_ASSIGN_OR_RETURN(std::string name, RequireString(v, "name"));
+    SIMDB_ASSIGN_OR_RETURN(const Value* args, RequireField(v, "args"));
+    SIMDB_ASSIGN_OR_RETURN(std::vector<LExprPtr> arg_exprs,
+                           ValueToExprList(*args, "args"));
+    LExprPtr call = LExpr::CallF(std::move(name), std::move(arg_exprs));
+    const Value& bcast = v.GetField("bcast");
+    if (bcast.is_boolean() && bcast.AsBoolean()) {
+      auto hinted = std::make_shared<LExpr>(*call);
+      hinted->bcast_hint = true;
+      return LExprPtr(hinted);
+    }
+    return call;
+  }
+  if (kind == "record") {
+    SIMDB_ASSIGN_OR_RETURN(const Value* names, RequireField(v, "names"));
+    if (!names->is_array()) return ParseError("'names' must be an array");
+    std::vector<std::string> name_list;
+    for (const Value& n : names->AsList()) {
+      if (!n.is_string()) return ParseError("record names must be strings");
+      name_list.push_back(n.AsString());
+    }
+    SIMDB_ASSIGN_OR_RETURN(const Value* values, RequireField(v, "values"));
+    SIMDB_ASSIGN_OR_RETURN(std::vector<LExprPtr> value_exprs,
+                           ValueToExprList(*values, "values"));
+    if (name_list.size() != value_exprs.size()) {
+      return ParseError("record has " + std::to_string(name_list.size()) +
+                        " names but " + std::to_string(value_exprs.size()) +
+                        " values");
+    }
+    return LExpr::Record(std::move(name_list), std::move(value_exprs));
+  }
+  if (kind == "list") {
+    SIMDB_ASSIGN_OR_RETURN(const Value* items, RequireField(v, "items"));
+    SIMDB_ASSIGN_OR_RETURN(std::vector<LExprPtr> item_exprs,
+                           ValueToExprList(*items, "items"));
+    return LExpr::List(std::move(item_exprs));
+  }
+  return ParseError("unknown expression kind '" + kind + "'");
+}
+
+Result<LOpKind> ParseKind(const std::string& s) {
+  for (int k = 0; k <= static_cast<int>(LOpKind::kLocalSort); ++k) {
+    LOpKind kind = static_cast<LOpKind>(k);
+    if (s == LOpKindToString(kind)) return kind;
+  }
+  return ParseError("unknown operator kind '" + s + "'");
+}
+
+Result<LAgg::Kind> ParseAggKind(const std::string& s) {
+  if (s == "listify") return LAgg::Kind::kListify;
+  if (s == "count") return LAgg::Kind::kCount;
+  if (s == "sum") return LAgg::Kind::kSum;
+  if (s == "min") return LAgg::Kind::kMin;
+  if (s == "max") return LAgg::Kind::kMax;
+  if (s == "first") return LAgg::Kind::kFirst;
+  return ParseError("unknown aggregate kind '" + s + "'");
+}
+
+Result<SimSearchSpec::Fn> ParseSimFn(const std::string& s) {
+  if (s == "jaccard") return SimSearchSpec::Fn::kJaccard;
+  if (s == "edit-distance") return SimSearchSpec::Fn::kEditDistance;
+  if (s == "contains") return SimSearchSpec::Fn::kContains;
+  return ParseError("unknown similarity function '" + s + "'");
+}
+
+Result<LOpPtr> ValueToNode(const Value& v,
+                           const std::map<int64_t, LOpPtr>& by_id) {
+  auto op = std::make_shared<LOp>();
+  SIMDB_ASSIGN_OR_RETURN(std::string kind_str, RequireString(v, "kind"));
+  SIMDB_ASSIGN_OR_RETURN(op->kind, ParseKind(kind_str));
+
+  SIMDB_ASSIGN_OR_RETURN(const Value* inputs, RequireField(v, "inputs"));
+  if (!inputs->is_array()) return ParseError("'inputs' must be an array");
+  for (const Value& in : inputs->AsList()) {
+    if (!in.is_int64()) return ParseError("input ids must be integers");
+    auto it = by_id.find(in.AsInt64());
+    if (it == by_id.end()) {
+      // Also how a cycle manifests: a cyclic plan cannot order every input
+      // before its consumer.
+      return ParseError("node input " + std::to_string(in.AsInt64()) +
+                        " is not defined by an earlier node "
+                        "(undefined id, forward edge, or cycle)");
+    }
+    op->inputs.push_back(it->second);
+  }
+
+  op->dataset = OptionalString(v, "dataset");
+  op->out_var = OptionalString(v, "out_var");
+  op->pos_var = OptionalString(v, "pos_var");
+  op->pk_var = OptionalString(v, "pk_var");
+  op->index_name = OptionalString(v, "index_name");
+
+  const Value& expr = v.GetField("expr");
+  if (!expr.is_missing()) {
+    SIMDB_ASSIGN_OR_RETURN(op->expr, ValueToExpr(expr));
+  }
+
+  const Value& assigns = v.GetField("assigns");
+  if (assigns.is_array()) {
+    for (const Value& a : assigns.AsList()) {
+      SIMDB_ASSIGN_OR_RETURN(std::string var, RequireString(a, "var"));
+      SIMDB_ASSIGN_OR_RETURN(const Value* e, RequireField(a, "expr"));
+      SIMDB_ASSIGN_OR_RETURN(LExprPtr expr_ptr, ValueToExpr(*e));
+      op->assigns.emplace_back(std::move(var), std::move(expr_ptr));
+    }
+  }
+  const Value& group_keys = v.GetField("group_keys");
+  if (group_keys.is_array()) {
+    for (const Value& k : group_keys.AsList()) {
+      SIMDB_ASSIGN_OR_RETURN(std::string var, RequireString(k, "var"));
+      SIMDB_ASSIGN_OR_RETURN(const Value* e, RequireField(k, "expr"));
+      SIMDB_ASSIGN_OR_RETURN(LExprPtr expr_ptr, ValueToExpr(*e));
+      op->group_keys.emplace_back(std::move(var), std::move(expr_ptr));
+    }
+  }
+  const Value& group_aggs = v.GetField("group_aggs");
+  if (group_aggs.is_array()) {
+    for (const Value& a : group_aggs.AsList()) {
+      LAgg agg;
+      SIMDB_ASSIGN_OR_RETURN(std::string agg_kind, RequireString(a, "agg"));
+      SIMDB_ASSIGN_OR_RETURN(agg.kind, ParseAggKind(agg_kind));
+      SIMDB_ASSIGN_OR_RETURN(agg.out_var, RequireString(a, "out_var"));
+      const Value& input = a.GetField("input");
+      if (!input.is_missing()) {
+        SIMDB_ASSIGN_OR_RETURN(agg.input, ValueToExpr(input));
+      }
+      op->group_aggs.push_back(std::move(agg));
+    }
+  }
+  const Value& sort_keys = v.GetField("sort_keys");
+  if (sort_keys.is_array()) {
+    for (const Value& k : sort_keys.AsList()) {
+      LSortKey key;
+      SIMDB_ASSIGN_OR_RETURN(const Value* e, RequireField(k, "expr"));
+      SIMDB_ASSIGN_OR_RETURN(key.expr, ValueToExpr(*e));
+      const Value& asc = k.GetField("ascending");
+      key.ascending = !asc.is_boolean() || asc.AsBoolean();
+      op->sort_keys.push_back(std::move(key));
+    }
+  }
+  const Value& project_vars = v.GetField("project_vars");
+  if (project_vars.is_array()) {
+    for (const Value& pv : project_vars.AsList()) {
+      if (!pv.is_string()) return ParseError("project_vars must be strings");
+      op->project_vars.push_back(pv.AsString());
+    }
+  }
+  const Value& limit = v.GetField("limit");
+  if (limit.is_int64()) op->limit = limit.AsInt64();
+  const Value& strategy = v.GetField("join_strategy");
+  if (strategy.is_string()) {
+    if (strategy.AsString() == "broadcast-hash") {
+      op->join_strategy = algebricks::JoinStrategy::kBroadcastHash;
+    } else if (strategy.AsString() == "broadcast-nl") {
+      op->join_strategy = algebricks::JoinStrategy::kBroadcastNl;
+    } else if (strategy.AsString() != "auto") {
+      return ParseError("unknown join strategy '" + strategy.AsString() + "'");
+    }
+  }
+  const Value& spec = v.GetField("sim_spec");
+  if (spec.is_object()) {
+    SIMDB_ASSIGN_OR_RETURN(std::string fn, RequireString(spec, "fn"));
+    SIMDB_ASSIGN_OR_RETURN(op->sim_spec.fn, ParseSimFn(fn));
+    const Value& threshold = spec.GetField("threshold");
+    if (threshold.is_numeric()) op->sim_spec.threshold = threshold.AsNumber();
+  }
+  return LOpPtr(op);
+}
+
+}  // namespace
+
+std::string PlanToJson(const LOpPtr& root) {
+  std::unordered_map<const LOp*, int> ids;
+  std::vector<const LOp*> order;
+  NumberNodes(root, &ids, &order);
+
+  Value::Array nodes;
+  for (const LOp* op : order) {
+    std::vector<int> inputs;
+    for (const LOpPtr& in : op->inputs) inputs.push_back(ids.at(in.get()));
+    nodes.push_back(NodeToValue(*op, ids.at(op), inputs));
+  }
+  Value::Object doc;
+  doc.emplace_back("version", Value::Int64(1));
+  doc.emplace_back("root", Value::Int64(root == nullptr ? -1
+                                                        : ids.at(root.get())));
+  doc.emplace_back("nodes", Value::MakeArray(std::move(nodes)));
+  return Value::MakeObject(std::move(doc)).ToJson();
+}
+
+Result<LOpPtr> PlanFromJson(const std::string& text) {
+  SIMDB_ASSIGN_OR_RETURN(Value doc, Value::FromJson(text));
+  if (!doc.is_object()) return ParseError("top level must be an object");
+  const Value& version = doc.GetField("version");
+  if (!version.is_int64() || version.AsInt64() != 1) {
+    return ParseError("unsupported or missing version (expected 1)");
+  }
+  SIMDB_ASSIGN_OR_RETURN(const Value* nodes, RequireField(doc, "nodes"));
+  if (!nodes->is_array()) return ParseError("'nodes' must be an array");
+
+  std::map<int64_t, LOpPtr> by_id;
+  for (const Value& nv : nodes->AsList()) {
+    SIMDB_ASSIGN_OR_RETURN(const Value* id, RequireField(nv, "id"));
+    if (!id->is_int64()) return ParseError("node ids must be integers");
+    if (by_id.count(id->AsInt64()) > 0) {
+      return ParseError("duplicate node id " + std::to_string(id->AsInt64()));
+    }
+    SIMDB_ASSIGN_OR_RETURN(LOpPtr op, ValueToNode(nv, by_id));
+    by_id.emplace(id->AsInt64(), std::move(op));
+  }
+
+  SIMDB_ASSIGN_OR_RETURN(const Value* root_id, RequireField(doc, "root"));
+  if (!root_id->is_int64()) return ParseError("'root' must be an integer");
+  auto it = by_id.find(root_id->AsInt64());
+  if (it == by_id.end()) {
+    return ParseError("root id " + std::to_string(root_id->AsInt64()) +
+                      " is not a defined node");
+  }
+  return it->second;
+}
+
+}  // namespace simdb::analysis

@@ -1,0 +1,36 @@
+#ifndef SIMDB_ANALYSIS_PLAN_SERDE_H_
+#define SIMDB_ANALYSIS_PLAN_SERDE_H_
+
+#include <string>
+
+#include "algebricks/lop.h"
+#include "common/result.h"
+
+namespace simdb::analysis {
+
+/// JSON serialization of logical plans, used by the `simdb_planlint` CLI to
+/// lint externally supplied plans and by tests to express invalid plans that
+/// the in-process constructors refuse to build.
+///
+/// Format (version 1):
+///
+///   {"version": 1, "root": <id>,
+///    "nodes": [{"id": 0, "kind": "DATA-SCAN", "inputs": [], ...}, ...]}
+///
+/// Node `kind` strings match `LOpKindToString`. `inputs` entries reference
+/// node ids; sharing the same id from two parents reproduces a shared
+/// subplan. An input id that is not defined by an earlier node is a parse
+/// error — which is also how a cyclic plan manifests, since a cycle cannot
+/// be ordered.
+///
+/// Expressions: {"kind": "var"|"lit"|"field"|"call"|"record"|"list", ...}
+/// with "name" (var/field/call), "value" (lit, any ADM value), "base"
+/// (field), "args"/"items"/"values" children, "names" (record), and
+/// optional "bcast": true (call).
+std::string PlanToJson(const algebricks::LOpPtr& root);
+
+Result<algebricks::LOpPtr> PlanFromJson(const std::string& text);
+
+}  // namespace simdb::analysis
+
+#endif  // SIMDB_ANALYSIS_PLAN_SERDE_H_

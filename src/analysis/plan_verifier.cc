@@ -1,0 +1,416 @@
+#include "analysis/plan_verifier.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "hyracks/functions.h"
+#include "storage/dataset.h"
+
+namespace simdb::analysis {
+
+namespace {
+
+using algebricks::LAgg;
+using algebricks::LExpr;
+using algebricks::LExprPtr;
+using algebricks::LOp;
+using algebricks::LOpKind;
+using algebricks::LOpKindToString;
+using algebricks::LOpPtr;
+using algebricks::LSortKey;
+
+std::string Kind(const LOp& op) { return std::string(LOpKindToString(op.kind)); }
+
+Status Violation(const LOp& op, const std::string& message) {
+  return Status::PlanError("plan verifier: " + Kind(op) + ": " + message);
+}
+
+/// Expected input count per kind; -1 means "exactly 2" is checked elsewhere.
+int ExpectedInputs(LOpKind kind) {
+  switch (kind) {
+    case LOpKind::kDataScan:
+    case LOpKind::kConstantTuple:
+      return 0;
+    case LOpKind::kJoin:
+    case LOpKind::kUnionAll:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+/// Per-node facts computed bottom-up and memoized across shared subplans.
+struct NodeInfo {
+  /// Variables visible in the node's output, in schema order.
+  std::vector<std::string> vars;
+  /// True when all rows sit in one coordinator partition in a defined order
+  /// (CONSTANT-TUPLE, ORDER-BY, RANK, and anything that preserves them).
+  bool gathered = false;
+  /// Variables whose value is partition-aligned with a dataset: a row in
+  /// partition p carries a pk (or record) of dataset partition p. Keyed by
+  /// variable, value = dataset name.
+  std::map<std::string, std::string> aligned;
+};
+
+class Checker {
+ public:
+  explicit Checker(const storage::Catalog* catalog) : catalog_(catalog) {}
+
+  Result<NodeInfo> Visit(const LOpPtr& op) {
+    if (op == nullptr) return Status::PlanError("plan verifier: null operator");
+    auto it = memo_.find(op.get());
+    if (it != memo_.end()) return it->second;
+    if (!on_stack_.insert(op.get()).second) {
+      return Status::PlanError("plan verifier: cycle in logical plan at " +
+                               Kind(*op));
+    }
+    Result<NodeInfo> info = Check(*op);
+    on_stack_.erase(op.get());
+    if (info.ok()) memo_.emplace(op.get(), *info);
+    return info;
+  }
+
+ private:
+  /// Every variable `expr` references must be bound in `bound`.
+  Status CheckExprVars(const LOp& op, const LExprPtr& expr,
+                       const std::set<std::string>& bound,
+                       const char* what) {
+    std::set<std::string> used;
+    expr->CollectVars(&used);
+    for (const std::string& v : used) {
+      if (bound.count(v) == 0) {
+        return Violation(op, std::string(what) + " uses unbound variable $" +
+                                 v + " in " + expr->ToString());
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Structural expression check: null children, empty names, and for calls
+  /// a known runtime function with matching arity. `count` is aliased to
+  /// `len` by the job generator and `~=` desugars to sim-eq before job
+  /// generation, so both names are accepted in intermediate plans.
+  Status CheckExprShape(const LOp& op, const LExprPtr& expr) {
+    if (expr == nullptr) return Violation(op, "null expression");
+    switch (expr->kind) {
+      case LExpr::Kind::kVar:
+        if (expr->name.empty()) return Violation(op, "variable without name");
+        break;
+      case LExpr::Kind::kLiteral:
+        break;
+      case LExpr::Kind::kField:
+        if (expr->children.size() != 1) {
+          return Violation(op, "field access ." + expr->name + " needs " +
+                                   "exactly one base expression");
+        }
+        break;
+      case LExpr::Kind::kCall: {
+        if (expr->name.empty()) return Violation(op, "call without name");
+        if (expr->name != "sim-eq" && expr->name != "count") {
+          const hyracks::FunctionDef* def =
+              hyracks::FunctionRegistry::Global().Find(expr->name);
+          if (def == nullptr) {
+            return Violation(op, "call to unknown function " + expr->name);
+          }
+          int n = static_cast<int>(expr->children.size());
+          if (n < def->min_args || n > def->max_args) {
+            return Violation(op, "call " + expr->name + " with " +
+                                     std::to_string(n) + " arguments");
+          }
+        }
+        break;
+      }
+      case LExpr::Kind::kRecord:
+        if (expr->field_names.size() != expr->children.size()) {
+          return Violation(op, "record constructor with " +
+                                   std::to_string(expr->field_names.size()) +
+                                   " names for " +
+                                   std::to_string(expr->children.size()) +
+                                   " values");
+        }
+        break;
+      case LExpr::Kind::kList:
+        break;
+    }
+    for (const LExprPtr& c : expr->children) {
+      SIMDB_RETURN_IF_ERROR(CheckExprShape(op, c));
+    }
+    return Status::OK();
+  }
+
+  Status CheckExpr(const LOp& op, const LExprPtr& expr,
+                   const std::set<std::string>& bound, const char* what) {
+    SIMDB_RETURN_IF_ERROR(CheckExprShape(op, expr));
+    return CheckExprVars(op, expr, bound, what);
+  }
+
+  /// Adds a fresh binding, rejecting collisions with already-visible vars.
+  Status Bind(const LOp& op, std::vector<std::string>& vars,
+              std::set<std::string>& bound, const std::string& name) {
+    if (name.empty()) return Violation(op, "empty variable name");
+    if (!bound.insert(name).second) {
+      return Violation(op, "duplicate variable binding $" + name);
+    }
+    vars.push_back(name);
+    return Status::OK();
+  }
+
+  Status CheckDataset(const LOp& op, const std::string& dataset,
+                      const std::string& index) {
+    if (catalog_ == nullptr) return Status::OK();
+    storage::Dataset* ds = catalog_->Find(dataset);
+    if (ds == nullptr) {
+      return Violation(op, "unknown dataset " + dataset);
+    }
+    if (!index.empty() && ds->FindIndex(index) == nullptr) {
+      return Violation(op, "unknown index " + dataset + "." + index);
+    }
+    return Status::OK();
+  }
+
+  Result<NodeInfo> Check(const LOp& op) {
+    int expected = ExpectedInputs(op.kind);
+    if (static_cast<int>(op.inputs.size()) != expected) {
+      return Violation(op, "expects " + std::to_string(expected) +
+                               " inputs, has " +
+                               std::to_string(op.inputs.size()));
+    }
+    std::vector<NodeInfo> in;
+    in.reserve(op.inputs.size());
+    for (const LOpPtr& input : op.inputs) {
+      SIMDB_ASSIGN_OR_RETURN(NodeInfo info, Visit(input));
+      in.push_back(std::move(info));
+    }
+
+    NodeInfo out;
+    switch (op.kind) {
+      case LOpKind::kDataScan: {
+        if (op.dataset.empty()) return Violation(op, "empty dataset name");
+        if (op.out_var.empty()) return Violation(op, "empty record variable");
+        SIMDB_RETURN_IF_ERROR(CheckDataset(op, op.dataset, ""));
+        out.vars = {op.out_var};
+        out.aligned[op.out_var] = op.dataset;
+        return out;
+      }
+      case LOpKind::kConstantTuple: {
+        out.gathered = true;
+        return out;
+      }
+      case LOpKind::kSelect: {
+        std::set<std::string> bound(in[0].vars.begin(), in[0].vars.end());
+        SIMDB_RETURN_IF_ERROR(CheckExpr(op, op.expr, bound, "condition"));
+        out = in[0];
+        return out;
+      }
+      case LOpKind::kAssign: {
+        out = in[0];
+        std::set<std::string> bound(out.vars.begin(), out.vars.end());
+        if (op.assigns.empty()) return Violation(op, "no assignments");
+        for (const auto& [name, e] : op.assigns) {
+          // Later assigns of the same node may use earlier ones (the job
+          // generator compiles them sequentially).
+          SIMDB_RETURN_IF_ERROR(CheckExpr(op, e, bound, "assignment"));
+          SIMDB_RETURN_IF_ERROR(Bind(op, out.vars, bound, name));
+        }
+        return out;
+      }
+      case LOpKind::kJoin: {
+        std::set<std::string> bound;
+        out.vars = in[0].vars;
+        for (const std::string& v : in[0].vars) bound.insert(v);
+        for (const std::string& v : in[1].vars) {
+          if (bound.count(v) > 0) {
+            return Violation(
+                op, "variable $" + v + " is bound by both join branches");
+          }
+          bound.insert(v);
+          out.vars.push_back(v);
+        }
+        SIMDB_RETURN_IF_ERROR(CheckExpr(op, op.expr, bound, "condition"));
+        // An exchange may move rows of either side; alignment and gathering
+        // are not preserved.
+        return out;
+      }
+      case LOpKind::kGroupBy: {
+        std::set<std::string> in_bound(in[0].vars.begin(), in[0].vars.end());
+        std::set<std::string> bound;
+        if (op.group_keys.empty() && op.group_aggs.empty()) {
+          return Violation(op, "no keys and no aggregates");
+        }
+        for (const auto& [name, e] : op.group_keys) {
+          SIMDB_RETURN_IF_ERROR(CheckExpr(op, e, in_bound, "group key"));
+          SIMDB_RETURN_IF_ERROR(Bind(op, out.vars, bound, name));
+        }
+        for (const LAgg& agg : op.group_aggs) {
+          if (agg.kind != LAgg::Kind::kCount) {
+            if (agg.input == nullptr) {
+              return Violation(op, "aggregate $" + agg.out_var +
+                                       " without input expression");
+            }
+            SIMDB_RETURN_IF_ERROR(
+                CheckExpr(op, agg.input, in_bound, "aggregate"));
+          }
+          SIMDB_RETURN_IF_ERROR(Bind(op, out.vars, bound, agg.out_var));
+        }
+        return out;
+      }
+      case LOpKind::kOrderBy:
+      case LOpKind::kLocalSort: {
+        std::set<std::string> bound(in[0].vars.begin(), in[0].vars.end());
+        if (op.sort_keys.empty()) return Violation(op, "no sort keys");
+        for (const LSortKey& k : op.sort_keys) {
+          SIMDB_RETURN_IF_ERROR(CheckExpr(op, k.expr, bound, "sort key"));
+        }
+        out = in[0];
+        if (op.kind == LOpKind::kOrderBy) {
+          out.gathered = true;     // merge-gathers into the coordinator
+          out.aligned.clear();     // ... which moves rows across partitions
+        }
+        return out;
+      }
+      case LOpKind::kUnnest: {
+        out = in[0];
+        std::set<std::string> bound(out.vars.begin(), out.vars.end());
+        SIMDB_RETURN_IF_ERROR(CheckExpr(op, op.expr, bound, "list"));
+        SIMDB_RETURN_IF_ERROR(Bind(op, out.vars, bound, op.out_var));
+        if (!op.pos_var.empty()) {
+          SIMDB_RETURN_IF_ERROR(Bind(op, out.vars, bound, op.pos_var));
+        }
+        return out;
+      }
+      case LOpKind::kProject: {
+        std::set<std::string> bound(in[0].vars.begin(), in[0].vars.end());
+        std::set<std::string> kept;
+        for (const std::string& v : op.project_vars) {
+          if (bound.count(v) == 0) {
+            return Violation(op, "projects unbound variable $" + v);
+          }
+          if (!kept.insert(v).second) {
+            return Violation(op, "duplicate variable binding $" + v);
+          }
+        }
+        out.vars = op.project_vars;
+        out.gathered = in[0].gathered;
+        for (const auto& [v, ds] : in[0].aligned) {
+          if (kept.count(v) > 0) out.aligned[v] = ds;
+        }
+        return out;
+      }
+      case LOpKind::kLimit: {
+        if (op.limit < 0) {
+          return Violation(op,
+                           "negative limit " + std::to_string(op.limit));
+        }
+        out = in[0];
+        return out;
+      }
+      case LOpKind::kUnionAll: {
+        if (op.project_vars.empty()) {
+          return Violation(op, "empty union schema");
+        }
+        for (size_t side = 0; side < in.size(); ++side) {
+          std::set<std::string> have(in[side].vars.begin(),
+                                     in[side].vars.end());
+          for (const std::string& v : op.project_vars) {
+            if (have.count(v) == 0) {
+              return Violation(op, "branch " + std::to_string(side) +
+                                       " does not produce union variable $" +
+                                       v);
+            }
+          }
+        }
+        out.vars = op.project_vars;
+        return out;
+      }
+      case LOpKind::kRank: {
+        if (op.pos_var.empty()) return Violation(op, "empty rank variable");
+        if (!in[0].gathered) {
+          return Violation(op,
+                           "requires a gathered (globally ordered) input; "
+                           "got " +
+                               Kind(*op.inputs[0]));
+        }
+        out = in[0];
+        std::set<std::string> bound(out.vars.begin(), out.vars.end());
+        SIMDB_RETURN_IF_ERROR(Bind(op, out.vars, bound, op.pos_var));
+        return out;
+      }
+      case LOpKind::kIndexSearch:
+      case LOpKind::kBtreeSearch: {
+        if (op.dataset.empty()) return Violation(op, "empty dataset name");
+        if (op.index_name.empty()) return Violation(op, "empty index name");
+        if (op.pk_var.empty()) return Violation(op, "empty pk variable");
+        SIMDB_RETURN_IF_ERROR(CheckDataset(op, op.dataset, op.index_name));
+        std::set<std::string> bound(in[0].vars.begin(), in[0].vars.end());
+        SIMDB_RETURN_IF_ERROR(CheckExpr(op, op.expr, bound, "search key"));
+        if (op.kind == LOpKind::kIndexSearch) {
+          using Fn = hyracks::SimSearchSpec::Fn;
+          // The rewrite rules guard these: a jaccard T-occurrence search
+          // with delta <= 0 would need T = 0 (match everything), which the
+          // index cannot answer; a negative edit-distance bound is vacuous.
+          if (op.sim_spec.fn == Fn::kJaccard && op.sim_spec.threshold <= 0) {
+            return Violation(op, "jaccard search with threshold " +
+                                     std::to_string(op.sim_spec.threshold) +
+                                     " <= 0 (delta guard)");
+          }
+          if (op.sim_spec.fn == Fn::kEditDistance &&
+              op.sim_spec.threshold < 0) {
+            return Violation(op, "edit-distance search with negative bound");
+          }
+        }
+        out.vars = in[0].vars;
+        std::set<std::string> b2(out.vars.begin(), out.vars.end());
+        SIMDB_RETURN_IF_ERROR(Bind(op, out.vars, b2, op.pk_var));
+        // The emitted pk comes from the *local* partition's index: it is
+        // aligned with the dataset. Input variables were broadcast to get
+        // here, so their alignment (if any) is gone.
+        out.aligned[op.pk_var] = op.dataset;
+        return out;
+      }
+      case LOpKind::kPrimaryLookup: {
+        if (op.dataset.empty()) return Violation(op, "empty dataset name");
+        if (op.pk_var.empty()) return Violation(op, "empty pk variable");
+        SIMDB_RETURN_IF_ERROR(CheckDataset(op, op.dataset, ""));
+        std::set<std::string> bound(in[0].vars.begin(), in[0].vars.end());
+        if (bound.count(op.pk_var) == 0) {
+          return Violation(op, "pk variable $" + op.pk_var + " is not bound");
+        }
+        // The lookup probes only the local partition of the primary index:
+        // rows whose pk lives elsewhere would be silently dropped. The pk
+        // must be partition-aligned with the dataset (produced by an index
+        // search on it and not moved by an exchange since).
+        auto it = in[0].aligned.find(op.pk_var);
+        if (it == in[0].aligned.end() || it->second != op.dataset) {
+          return Violation(op, "pk $" + op.pk_var +
+                                   " is not partition-aligned with dataset " +
+                                   op.dataset);
+        }
+        out = in[0];
+        std::set<std::string> b2(out.vars.begin(), out.vars.end());
+        SIMDB_RETURN_IF_ERROR(Bind(op, out.vars, b2, op.out_var));
+        out.aligned[op.out_var] = op.dataset;
+        return out;
+      }
+    }
+    return Status::Internal("plan verifier: unreachable LOp kind");
+  }
+
+  const storage::Catalog* catalog_;
+  std::unordered_map<const LOp*, NodeInfo> memo_;
+  std::unordered_set<const LOp*> on_stack_;
+};
+
+}  // namespace
+
+Status PlanVerifier::Verify(const algebricks::LOpPtr& root,
+                            const storage::Catalog* catalog) {
+  if (root == nullptr) return Status::PlanError("plan verifier: null plan");
+  Checker checker(catalog);
+  return checker.Visit(root).status();
+}
+
+}  // namespace simdb::analysis

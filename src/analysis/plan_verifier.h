@@ -1,0 +1,40 @@
+#ifndef SIMDB_ANALYSIS_PLAN_VERIFIER_H_
+#define SIMDB_ANALYSIS_PLAN_VERIFIER_H_
+
+#include "algebricks/lop.h"
+#include "common/result.h"
+#include "storage/catalog.h"
+
+namespace simdb::analysis {
+
+/// Static checker for logical plans. Verifies, for the whole DAG:
+///
+///   structure    - per-kind input arity, required fields present, no
+///                  null inputs/expressions, no cycles;
+///   variables    - every variable an expression uses is produced by exactly
+///                  one upstream binding (no dangling uses, no duplicate
+///                  bindings, disjoint join branches, union branches cover
+///                  the union schema);
+///   expressions  - well-formed shape per node kind and, for calls, a known
+///                  runtime function with matching arity;
+///   guards       - rewrite-rule preconditions that must hold in *every*
+///                  plan, e.g. an inverted-index jaccard search requires a
+///                  strictly positive threshold (the delta<=0 guard);
+///   properties   - logical partitioning/ordering properties: RANK needs a
+///                  gathered (globally ordered) input, PRIMARY-LOOKUP needs
+///                  a pk that is partition-aligned with its dataset (it only
+///                  probes the local partition);
+///   catalog      - when a catalog is supplied, referenced datasets and
+///                  indexes exist.
+///
+/// Returns OK or the first violation as a deterministic PlanError. The walk
+/// is DAG-aware: shared subplans are verified once.
+class PlanVerifier {
+ public:
+  static Status Verify(const algebricks::LOpPtr& root,
+                       const storage::Catalog* catalog = nullptr);
+};
+
+}  // namespace simdb::analysis
+
+#endif  // SIMDB_ANALYSIS_PLAN_VERIFIER_H_

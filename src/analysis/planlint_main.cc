@@ -1,0 +1,155 @@
+// simdb_planlint: standalone linter for logical plans and generated jobs.
+//
+//   simdb_planlint <plan.json>            lint a serialized logical plan
+//   simdb_planlint --job <plan.json>      also lower to a hyracks job and
+//                                         run the task-graph verifier
+//   simdb_planlint --aql <program.aql>    compile an AQL program with plan
+//                                         verification enabled (DDL is
+//                                         executed; the last query is
+//                                         compiled and verified)
+//
+// Options: --nodes N, --parts P (cluster topology for --job; default 1x2),
+// --dump (print the plan back as JSON after linting), --data-dir DIR
+// (scratch directory for --aql; default /tmp/simdb_planlint).
+// `-` reads the plan from stdin. Exit status: 0 clean, 1 violations found,
+// 2 usage/IO errors.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "algebricks/jobgen.h"
+#include "analysis/dag_verifier.h"
+#include "analysis/plan_serde.h"
+#include "analysis/plan_verifier.h"
+#include "core/query_processor.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: simdb_planlint [--job] [--nodes N] [--parts P] "
+               "[--dump] <plan.json|->\n"
+               "       simdb_planlint --aql <program.aql> [--data-dir DIR]\n";
+  return 2;
+}
+
+bool ReadInput(const std::string& path, std::string* out) {
+  if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    *out = buf.str();
+    return true;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "simdb_planlint: cannot read " << path << "\n";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+int LintAql(const std::string& path, const std::string& data_dir) {
+  std::string program;
+  if (!ReadInput(path, &program)) return 2;
+  simdb::core::EngineOptions options;
+  options.data_dir = data_dir;
+  options.verify_plans = true;
+  simdb::core::QueryProcessor engine(std::move(options));
+  simdb::Result<std::string> plan = engine.Explain(program);
+  if (!plan.ok()) {
+    std::cerr << plan.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << plan.value();
+  std::cout << "plan verified: ok\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool lower_job = false;
+  bool dump = false;
+  std::string aql_path;
+  std::string data_dir = "/tmp/simdb_planlint";
+  int nodes = 1;
+  int parts = 2;
+  std::string plan_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--job") {
+      lower_job = true;
+    } else if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--aql") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      aql_path = v;
+    } else if (arg == "--data-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      data_dir = v;
+    } else if (arg == "--nodes") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      nodes = std::atoi(v);
+    } else if (arg == "--parts") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      parts = std::atoi(v);
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return Usage();
+    } else if (plan_path.empty()) {
+      plan_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (!aql_path.empty()) return LintAql(aql_path, data_dir);
+  if (plan_path.empty() || nodes < 1 || parts < 1) return Usage();
+
+  std::string text;
+  if (!ReadInput(plan_path, &text)) return 2;
+
+  simdb::Result<simdb::algebricks::LOpPtr> plan =
+      simdb::analysis::PlanFromJson(text);
+  if (!plan.ok()) {
+    std::cerr << plan.status().ToString() << "\n";
+    return 1;
+  }
+
+  simdb::Status verified = simdb::analysis::PlanVerifier::Verify(plan.value());
+  if (!verified.ok()) {
+    std::cerr << verified.ToString() << "\n";
+    return 1;
+  }
+
+  if (lower_job) {
+    simdb::hyracks::Job job;
+    simdb::algebricks::JobGenerator jobgen;
+    simdb::Status lowered = jobgen.Generate(plan.value(), &job);
+    if (!lowered.ok()) {
+      std::cerr << lowered.ToString() << "\n";
+      return 1;
+    }
+    simdb::hyracks::ClusterTopology topology{nodes, parts};
+    simdb::Status dag = simdb::analysis::DagVerifier::Verify(job, topology);
+    if (!dag.ok()) {
+      std::cerr << dag.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  if (dump) std::cout << simdb::analysis::PlanToJson(plan.value()) << "\n";
+  std::cout << "plan verified: ok\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+#ifndef SIMDB_ANALYSIS_RULE_CONTRACT_H_
+#define SIMDB_ANALYSIS_RULE_CONTRACT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebricks/rules.h"
+#include "common/result.h"
+#include "storage/catalog.h"
+
+namespace simdb::analysis {
+
+/// PlanCheckHook that enforces each rewrite rule's declared `RuleContract`
+/// after every application and runs the full `PlanVerifier` on the rewritten
+/// plan. Install into `OptContext::check_hook` (done by the engine when
+/// `EngineOptions::verify_plans` is set).
+///
+/// On a violation the returned PlanError names the offending rule, states the
+/// broken contract clause, includes the seed plan (the plan before the rule
+/// fired), and a minimized line diff between the before and after plans.
+class RuleContractChecker : public algebricks::PlanCheckHook {
+ public:
+  explicit RuleContractChecker(const storage::Catalog* catalog)
+      : catalog_(catalog) {}
+
+  void BeforeApply(const algebricks::RewriteRule& rule,
+                   const algebricks::LOpPtr& op,
+                   const algebricks::LOpPtr& root) override;
+  Status AfterApply(const algebricks::RewriteRule& rule,
+                    const algebricks::LOpPtr& op,
+                    const algebricks::LOpPtr& root, bool fired) override;
+  Status AfterGlobalRewrite(const std::string& name,
+                            const algebricks::LOpPtr& root) override;
+
+ private:
+  Status Violation(const std::string& rule, const std::string& clause,
+                   const algebricks::LOpPtr& root) const;
+  /// Re-renders the plan and the shared-node snapshot if the plan changed
+  /// since the last call (a rule fired or a different root was passed).
+  /// Non-firing attempts reuse the cache, which keeps the per-attempt cost
+  /// proportional to the matched subtree, not the whole plan.
+  void RefreshPlanSnapshot(const algebricks::LOpPtr& root);
+  /// Bitmask of the operator kinds present in the subtree under `op`,
+  /// memoized per plan generation (the memo is dropped whenever a rule
+  /// fires).
+  uint32_t KindMask(const algebricks::LOp* op);
+
+  const storage::Catalog* catalog_;
+
+  // Whole-plan snapshot, valid until a rule fires (see RefreshPlanSnapshot).
+  // The root is held as an owning pointer so a later plan can never alias
+  // the snapshot's address after the original root is freed.
+  bool snapshot_valid_ = false;
+  algebricks::LOpPtr snapshot_root_;
+  /// Rendering of every shared (multi-parent) node of the whole plan, to
+  /// detect in-place mutation of a reused subplan. The keys are owning
+  /// pointers so a rewrite that unlinks a shared subtree cannot leave the
+  /// snapshot dangling.
+  std::map<algebricks::LOpPtr, std::string> shared_before_;
+  std::string root_before_;
+  /// Per-edge memos, valid for the current plan generation only: the plan is
+  /// immutable between fires, so revisits of the same edge (other rules,
+  /// later passes) reuse them instead of re-walking the subtree.
+  std::unordered_map<const algebricks::LOp*,
+                     std::optional<std::set<std::string>>>
+      out_vars_memo_;
+  std::unordered_map<const algebricks::LOp*, uint32_t> kind_mask_memo_;
+
+  // Per-attempt snapshot taken by BeforeApply, consumed by AfterApply.
+  bool armed_ = false;
+  const algebricks::LOp* op_before_ = nullptr;
+  algebricks::LOpKind kind_before_{};
+  std::vector<const algebricks::LOp*> input_ptrs_before_;
+  const std::optional<std::set<std::string>>* out_vars_before_ = nullptr;
+  uint32_t kinds_before_mask_ = 0;
+};
+
+/// Minimized line diff between two plan renderings: strips the common prefix
+/// and suffix lines and shows the differing middle as `- old` / `+ new`.
+std::string MinimizedPlanDiff(const std::string& before,
+                              const std::string& after);
+
+}  // namespace simdb::analysis
+
+#endif  // SIMDB_ANALYSIS_RULE_CONTRACT_H_

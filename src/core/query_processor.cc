@@ -2,6 +2,9 @@
 
 #include <cctype>
 
+#include "analysis/dag_verifier.h"
+#include "analysis/plan_verifier.h"
+#include "analysis/rule_contract.h"
 #include "common/stopwatch.h"
 #include "core/rules_similarity.h"
 #include "core/three_stage.h"
@@ -18,6 +21,10 @@ QueryProcessor::QueryProcessor(EngineOptions options)
       catalog_(options_.data_dir, options_.lsm),
       pool_(std::make_unique<ThreadPool>(options_.num_threads)) {
   opt_.catalog = &catalog_;
+  if (options_.verify_plans) {
+    check_hook_ = std::make_unique<analysis::RuleContractChecker>(&catalog_);
+    opt_.check_hook = check_hook_.get();
+  }
 }
 
 Result<storage::Dataset*> QueryProcessor::CreateDataset(
@@ -94,6 +101,9 @@ Status QueryProcessor::RunQuery(const aql::AExprPtr& query,
   SIMDB_ASSIGN_OR_RETURN(aql::TranslationResult tr,
                          translator.TranslateQuery(query));
   compile.translate_seconds = phase.ElapsedSeconds();
+  if (options_.verify_plans) {
+    SIMDB_RETURN_IF_ERROR(analysis::PlanVerifier::Verify(tr.plan, &catalog_));
+  }
 
   phase.Restart();
   double aqlplus_before = opt_.aqlplus_seconds;
@@ -101,12 +111,19 @@ Status QueryProcessor::RunQuery(const aql::AExprPtr& query,
   SIMDB_RETURN_IF_ERROR(OptimizePlan(tr.plan));
   compile.optimize_seconds = phase.ElapsedSeconds();
   compile.aqlplus_seconds = opt_.aqlplus_seconds - aqlplus_before;
+  if (options_.verify_plans) {
+    SIMDB_RETURN_IF_ERROR(analysis::PlanVerifier::Verify(tr.plan, &catalog_));
+  }
 
   phase.Restart();
   hyracks::Job job;
   algebricks::JobGenerator jobgen;
   SIMDB_RETURN_IF_ERROR(jobgen.Generate(tr.plan, &job));
   compile.jobgen_seconds = phase.ElapsedSeconds();
+  if (options_.verify_plans) {
+    SIMDB_RETURN_IF_ERROR(
+        analysis::DagVerifier::Verify(job, options_.topology));
+  }
   compile.total_seconds = total.ElapsedSeconds();
 
   hyracks::ExecStats exec_stats;
@@ -268,6 +285,10 @@ Status QueryProcessor::ExecuteStatement(const aql::Statement& stmt,
                              translator.TranslateQuery(stmt.body));
       size_t fired_before = opt_.fired_rules.size();
       SIMDB_RETURN_IF_ERROR(OptimizePlan(tr.plan));
+      if (options_.verify_plans) {
+        SIMDB_RETURN_IF_ERROR(
+            analysis::PlanVerifier::Verify(tr.plan, &catalog_));
+      }
       if (result != nullptr) {
         result->rows = {adm::Value::String(tr.plan->ToString())};
         result->logical_plan = tr.plan->ToString();
@@ -348,6 +369,9 @@ Result<std::string> QueryProcessor::Explain(std::string_view aql) {
   SIMDB_ASSIGN_OR_RETURN(aql::TranslationResult tr,
                          translator.TranslateQuery(*query));
   SIMDB_RETURN_IF_ERROR(OptimizePlan(tr.plan));
+  if (options_.verify_plans) {
+    SIMDB_RETURN_IF_ERROR(analysis::PlanVerifier::Verify(tr.plan, &catalog_));
+  }
   return tr.plan->ToString();
 }
 

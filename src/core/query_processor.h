@@ -32,6 +32,12 @@ struct EngineOptions {
   /// Dataflow runtime: dependency-scheduled task graph (default) or the
   /// legacy stage-sequential loop. The two are answer-identical.
   hyracks::ExecutorKind executor = hyracks::ExecutorKind::kScheduler;
+  /// Static verification of every compiled query: the plan verifier runs on
+  /// the translated and optimized logical plans, every rewrite-rule
+  /// application is checked against the rule's declared contract, and the
+  /// generated job passes the task-graph verifier before execution. Off by
+  /// default (zero cost); on in tests and the differential fuzz harness.
+  bool verify_plans = false;
 };
 
 /// Compilation timings, including the AQL+ overhead the paper reports in
@@ -113,6 +119,10 @@ class QueryProcessor {
   Result<adm::Value> EvalConstantAst(const aql::AExprPtr& expr);
   Status RunQuery(const aql::AExprPtr& query, QueryResult* result);
   Status OptimizePlan(algebricks::LOpPtr& plan);
+
+  /// Verifies each optimizer step in verify mode (null otherwise); owned
+  /// here, installed into `opt_.check_hook`.
+  std::unique_ptr<algebricks::PlanCheckHook> check_hook_;
 
   EngineOptions options_;
   storage::Catalog catalog_;

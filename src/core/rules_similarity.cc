@@ -19,6 +19,7 @@ using algebricks::LOpKind;
 using algebricks::LOpPtr;
 using algebricks::OptContext;
 using algebricks::RewriteRule;
+using algebricks::RuleContract;
 
 namespace {
 
@@ -64,6 +65,14 @@ Result<LExprPtr> RewriteSimEq(const LExprPtr& expr, const OptContext& ctx,
 class SimilaritySugarRule : public RewriteRule {
  public:
   std::string name() const override { return "similarity-sugar"; }
+
+  RuleContract contract() const override {
+    RuleContract c;
+    c.expression_only = true;
+    // Desugaring `~=` is the same rewrite for every parent of a shared node.
+    c.shared_mutation_safe = true;
+    return c;
+  }
 
   Result<bool> Apply(LOpPtr& op, OptContext& ctx) override {
     bool changed = false;
@@ -130,6 +139,14 @@ LExprPtr RewriteToCheckVariant(const LExprPtr& expr, bool* changed) {
 class UseCheckVariantRule : public RewriteRule {
  public:
   std::string name() const override { return "use-check-variants"; }
+
+  RuleContract contract() const override {
+    RuleContract c;
+    c.expression_only = true;
+    // Swapping in the cheaper check variant preserves every parent's output.
+    c.shared_mutation_safe = true;
+    return c;
+  }
 
   Result<bool> Apply(LOpPtr& op, OptContext&) override {
     if (op->kind != LOpKind::kSelect && op->kind != LOpKind::kJoin) {
@@ -204,6 +221,17 @@ LExprPtr CornerTExpr(const LExprPtr& key, int gram_len, int k) {
 class IndexSelectRule : public RewriteRule {
  public:
   std::string name() const override { return "introduce-similarity-select-index"; }
+
+  RuleContract contract() const override {
+    RuleContract c;
+    c.needs_catalog = true;
+    c.may_introduce = {LOpKind::kConstantTuple, LOpKind::kIndexSearch,
+                       LOpKind::kBtreeSearch,   LOpKind::kLocalSort,
+                       LOpKind::kPrimaryLookup, LOpKind::kSelect,
+                       LOpKind::kAssign,        LOpKind::kProject,
+                       LOpKind::kUnionAll};
+    return c;
+  }
 
   Result<bool> Apply(LOpPtr& op, OptContext& ctx) override {
     if (!ctx.enable_index_select || ctx.catalog == nullptr) return false;
@@ -301,6 +329,17 @@ class IndexSelectRule : public RewriteRule {
 class IndexJoinRule : public RewriteRule {
  public:
   std::string name() const override { return "introduce-similarity-index-join"; }
+
+  RuleContract contract() const override {
+    RuleContract c;
+    c.needs_catalog = true;
+    c.may_introduce = {LOpKind::kDataScan,      LOpKind::kIndexSearch,
+                       LOpKind::kLocalSort,     LOpKind::kPrimaryLookup,
+                       LOpKind::kSelect,        LOpKind::kAssign,
+                       LOpKind::kProject,       LOpKind::kJoin,
+                       LOpKind::kUnionAll};
+    return c;
+  }
 
   Result<bool> Apply(LOpPtr& op, OptContext& ctx) override {
     if (!ctx.enable_index_join || ctx.catalog == nullptr) return false;

@@ -16,6 +16,7 @@ using algebricks::LOpKind;
 using algebricks::LOpPtr;
 using algebricks::OptContext;
 using algebricks::RewriteRule;
+using algebricks::RuleContract;
 
 namespace {
 
@@ -153,6 +154,20 @@ namespace {
 class ThreeStageJoinRule : public RewriteRule {
  public:
   std::string name() const override { return "three-stage-similarity-join"; }
+
+  RuleContract contract() const override {
+    RuleContract c;
+    c.needs_catalog = true;
+    // The instantiated AQL+ template is a full translated subplan: it may
+    // contain any relational operator the translator emits.
+    c.may_introduce = {LOpKind::kDataScan, LOpKind::kSelect,
+                       LOpKind::kAssign,   LOpKind::kJoin,
+                       LOpKind::kGroupBy,  LOpKind::kOrderBy,
+                       LOpKind::kUnnest,   LOpKind::kProject,
+                       LOpKind::kLimit,    LOpKind::kRank,
+                       LOpKind::kUnionAll, LOpKind::kConstantTuple};
+    return c;
+  }
 
   Result<bool> Apply(LOpPtr& op, OptContext& ctx) override {
     if (!ctx.enable_three_stage_join) return false;

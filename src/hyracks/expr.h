@@ -131,6 +131,9 @@ class RecordConstructorExpr : public Expr {
 
   std::string ToString() const override;
 
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<ExprPtr>& exprs() const { return exprs_; }
+
  private:
   std::vector<std::string> names_;
   std::vector<ExprPtr> exprs_;
@@ -153,6 +156,8 @@ class ListConstructorExpr : public Expr {
   }
 
   std::string ToString() const override;
+
+  const std::vector<ExprPtr>& exprs() const { return exprs_; }
 
  private:
   std::vector<ExprPtr> exprs_;

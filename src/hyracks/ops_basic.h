@@ -20,6 +20,7 @@ class SelectOp : public PartitionOperator {
   Result<Rows> ExecutePartition(ExecContext& ctx, int p,
                                 const std::vector<const Rows*>& inputs)
       override;
+  const ExprPtr& predicate() const { return predicate_; }
 
  private:
   ExprPtr predicate_;
@@ -34,6 +35,7 @@ class AssignOp : public PartitionOperator {
   Result<Rows> ExecutePartition(ExecContext& ctx, int p,
                                 const std::vector<const Rows*>& inputs)
       override;
+  const std::vector<ExprPtr>& exprs() const { return exprs_; }
 
  private:
   std::vector<ExprPtr> exprs_;
@@ -48,6 +50,7 @@ class ProjectOp : public PartitionOperator {
   Result<Rows> ExecutePartition(ExecContext& ctx, int p,
                                 const std::vector<const Rows*>& inputs)
       override;
+  const std::vector<int>& columns() const { return keep_; }
 
  private:
   std::vector<int> keep_;
@@ -66,6 +69,7 @@ class SortOp : public PartitionOperator {
   Result<Rows> ExecutePartition(ExecContext& ctx, int p,
                                 const std::vector<const Rows*>& inputs)
       override;
+  const std::vector<SortKey>& keys() const { return keys_; }
 
  private:
   std::vector<SortKey> keys_;
@@ -84,6 +88,8 @@ class UnnestOp : public PartitionOperator {
   Result<Rows> ExecutePartition(ExecContext& ctx, int p,
                                 const std::vector<const Rows*>& inputs)
       override;
+  const ExprPtr& list_expr() const { return list_expr_; }
+  bool with_position() const { return with_position_; }
 
  private:
   ExprPtr list_expr_;

@@ -73,6 +73,7 @@ class HashExchangeOp : public ExchangeOperator {
                                 const PartitionedRows& in,
                                 const Routing& routing, PartitionedRows* steal,
                                 OpStats* stats) override;
+  const std::vector<int>& key_columns() const { return key_columns_; }
 
  private:
   std::vector<int> key_columns_;
@@ -110,6 +111,7 @@ class MergeGatherOp : public ExchangeOperator {
                                 const PartitionedRows& in,
                                 const Routing& routing, PartitionedRows* steal,
                                 OpStats* stats) override;
+  const std::vector<SortKey>& keys() const { return keys_; }
 
  private:
   std::vector<SortKey> keys_;

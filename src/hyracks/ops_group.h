@@ -30,6 +30,8 @@ class HashGroupOp : public PartitionOperator {
   Result<Rows> ExecutePartition(ExecContext& ctx, int p,
                                 const std::vector<const Rows*>& inputs)
       override;
+  const std::vector<ExprPtr>& key_exprs() const { return key_exprs_; }
+  const std::vector<AggSpec>& aggs() const { return aggs_; }
 
  private:
   std::vector<ExprPtr> key_exprs_;

@@ -41,6 +41,9 @@ class InvertedIndexSearchOp : public PartitionOperator {
   Result<Rows> ExecutePartition(ExecContext& ctx, int p,
                                 const std::vector<const Rows*>& inputs)
       override;
+  const std::string& dataset() const { return dataset_; }
+  const ExprPtr& key_expr() const { return key_expr_; }
+  const SimSearchSpec& spec() const { return spec_; }
 
  private:
   std::string dataset_;
@@ -66,6 +69,8 @@ class BtreeSearchOp : public PartitionOperator {
   Result<Rows> ExecutePartition(ExecContext& ctx, int p,
                                 const std::vector<const Rows*>& inputs)
       override;
+  const std::string& dataset() const { return dataset_; }
+  const ExprPtr& key_expr() const { return key_expr_; }
 
  private:
   std::string dataset_;

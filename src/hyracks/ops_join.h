@@ -25,6 +25,9 @@ class HashJoinOp : public PartitionOperator {
   Result<Rows> ExecutePartition(ExecContext& ctx, int p,
                                 const std::vector<const Rows*>& inputs)
       override;
+  const std::vector<int>& left_keys() const { return left_keys_; }
+  const std::vector<int>& right_keys() const { return right_keys_; }
+  const ExprPtr& residual() const { return residual_; }
 
  private:
   std::vector<int> left_keys_;
@@ -46,6 +49,7 @@ class NestedLoopJoinOp : public PartitionOperator {
   Result<Rows> ExecutePartition(ExecContext& ctx, int p,
                                 const std::vector<const Rows*>& inputs)
       override;
+  const ExprPtr& predicate() const { return predicate_; }
 
  private:
   ExprPtr predicate_;

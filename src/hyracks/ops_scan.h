@@ -23,6 +23,7 @@ class DataScanOp : public PartitionOperator {
   Result<Rows> ExecutePartition(ExecContext& ctx, int p,
                                 const std::vector<const Rows*>& inputs)
       override;
+  const std::string& dataset() const { return dataset_; }
 
  private:
   std::string dataset_;
@@ -59,6 +60,8 @@ class PrimaryLookupOp : public PartitionOperator {
   Result<Rows> ExecutePartition(ExecContext& ctx, int p,
                                 const std::vector<const Rows*>& inputs)
       override;
+  const std::string& dataset() const { return dataset_; }
+  int pk_column() const { return pk_column_; }
 
  private:
   std::string dataset_;

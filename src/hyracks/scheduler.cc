@@ -91,12 +91,9 @@ class SchedulerRun {
     producer_.assign(static_cast<size_t>(n),
                      std::vector<int>(static_cast<size_t>(parts_), -1));
 
-    // Total consumer edges per node, for the exchange steal decision: tuples
-    // may be moved only when the exchange is the input's sole consumer.
-    std::vector<int> consumer_edges(static_cast<size_t>(n), 0);
-    for (const auto& jn : jnodes) {
-      for (int in : jn.inputs) ++consumer_edges[static_cast<size_t>(in)];
-    }
+    // Tuples may be moved out of an exchange's input only when the exchange
+    // is the input's sole consumer.
+    std::vector<bool> planned_steals = Scheduler::PlannedSteals(job_);
 
     for (int i = 0; i < n; ++i) {
       const Job::Node& jn = jnodes[static_cast<size_t>(i)];
@@ -149,7 +146,7 @@ class SchedulerRun {
           continue;
         }
         int in = jn.inputs[0];
-        nr.steal = consumer_edges[static_cast<size_t>(in)] == 1;
+        nr.steal = planned_steals[static_cast<size_t>(i)];
         nr.dest_stats.resize(static_cast<size_t>(parts_));
         nr.build_seconds.assign(static_cast<size_t>(parts_), 0.0);
         nr.stats.partition_seconds.assign(static_cast<size_t>(parts_), 0.0);
@@ -460,6 +457,23 @@ class SchedulerRun {
 
 Result<PartitionedRows> Scheduler::Run(const Job& job, ExecContext& ctx) {
   return SchedulerRun(job, ctx).Go();
+}
+
+std::vector<bool> Scheduler::PlannedSteals(const Job& job) {
+  const auto& jnodes = job.nodes();
+  size_t n = jnodes.size();
+  std::vector<int> consumer_edges(n, 0);
+  for (const auto& jn : jnodes) {
+    for (int in : jn.inputs) ++consumer_edges[static_cast<size_t>(in)];
+  }
+  std::vector<bool> steals(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    const Job::Node& jn = jnodes[i];
+    if (dynamic_cast<const ExchangeOperator*>(jn.op.get()) == nullptr) continue;
+    if (jn.inputs.size() != 1) continue;
+    steals[i] = consumer_edges[static_cast<size_t>(jn.inputs[0])] == 1;
+  }
+  return steals;
 }
 
 }  // namespace simdb::hyracks

@@ -29,6 +29,12 @@ namespace simdb::hyracks {
 class Scheduler {
  public:
   static Result<PartitionedRows> Run(const Job& job, ExecContext& ctx);
+
+  /// The tuple-steal plan Run will use: steals[i] is true iff node i is an
+  /// exchange whose single input has exactly one consumer edge. Exposed so
+  /// the DAG verifier can check steal legality against the same decision the
+  /// scheduler executes.
+  static std::vector<bool> PlannedSteals(const Job& job);
 };
 
 }  // namespace simdb::hyracks

@@ -50,6 +50,10 @@ Result<std::unique_ptr<QueryProcessor>> BuildEngine(
   options.data_dir = dir;
   options.topology = topology;
   options.num_threads = 2;
+  // Every fuzz compilation doubles as a verifier workload: rule contracts,
+  // logical-plan invariants, and task-graph well-formedness are checked on
+  // each seed; violations surface as query failures with --replay repros.
+  options.verify_plans = true;
   auto engine = std::make_unique<QueryProcessor>(options);
   SIMDB_RETURN_IF_ERROR(engine->Execute(c.ddl));
   for (adm::Value& record : MakeRecords(c, num_records)) {
