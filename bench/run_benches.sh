@@ -21,7 +21,9 @@ KERNELS_BIN="$BUILD/bench/bench_kernels"
 SCHEDULER_BIN="$BUILD/bench/bench_scheduler"
 VERIFY_BIN="$BUILD/bench/bench_verify_overhead"
 FIG22_BIN="$BUILD/bench/bench_fig22_selection"
-for bin in "$KERNELS_BIN" "$SCHEDULER_BIN" "$VERIFY_BIN" "$FIG22_BIN"; do
+PROFILE_BIN="$BUILD/bench/bench_profile"
+for bin in "$KERNELS_BIN" "$SCHEDULER_BIN" "$VERIFY_BIN" "$FIG22_BIN" \
+           "$PROFILE_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "missing benchmark binary: $bin (build the tree first)" >&2
     exit 1
@@ -50,12 +52,19 @@ echo "== bench_verify_overhead =="
 echo "== bench_fig22_selection =="
 "$FIG22_BIN" | tee "$TMP/fig22.txt"
 
+echo "== bench_profile =="
+PROFILE_FLAGS=(--json "$TMP/profile.json")
+if [[ "$QUICK" == "1" ]]; then
+  PROFILE_FLAGS+=(--quick)
+fi
+"$PROFILE_BIN" "${PROFILE_FLAGS[@]}"
+
 python3 - "$TMP/kernels.json" "$TMP/scheduler.json" "$TMP/verify.json" \
-  "$TMP/fig22.txt" "$OUT" "$QUICK" <<'PY'
+  "$TMP/fig22.txt" "$TMP/profile.json" "$OUT" "$QUICK" <<'PY'
 import json, sys
 
-(kernels_path, scheduler_path, verify_path, fig22_path, out_path,
- quick) = sys.argv[1:7]
+(kernels_path, scheduler_path, verify_path, fig22_path, profile_path,
+ out_path, quick) = sys.argv[1:8]
 with open(kernels_path) as f:
     kernels = json.load(f)
 with open(scheduler_path) as f:
@@ -64,6 +73,8 @@ with open(verify_path) as f:
     verify = json.load(f)
 with open(fig22_path) as f:
     fig22_lines = [line.rstrip("\n") for line in f]
+with open(profile_path) as f:
+    query_profile = json.load(f)
 
 merged = {
     "generated_by": "bench/run_benches.sh",
@@ -72,6 +83,7 @@ merged = {
     "bench_scheduler": scheduler,
     "bench_verify_overhead": verify,
     "bench_fig22_selection": {"raw": fig22_lines},
+    "query_profile": query_profile,
 }
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Two-way diff of emitted metric names against docs/OBSERVABILITY.md.
+
+Usage: check_metric_catalogue.py <profile.json> [docs/OBSERVABILITY.md]
+
+<profile.json> is bench_profile --json output (or the query_profile
+section of BENCH_kernels.json). Emitted names are every per-operator
+counter plus every global-registry counter/histogram name. Documented
+names are the backticked dotted names in the catalogue tables of
+OBSERVABILITY.md; `<CONNECTOR>` rows expand against the four exchange
+connector names.
+
+Fails (exit 1) on an emitted-but-undocumented name OR a
+documented-but-never-emitted name, so the catalogue can neither lag the
+code nor carry dead rows.
+"""
+import json
+import re
+import sys
+
+CONNECTORS = ["HASH-EXCHANGE", "BROADCAST-EXCHANGE", "GATHER", "MERGE-GATHER"]
+NAME_RE = re.compile(r"`([a-z]+\.[A-Za-z0-9_.<>-]+)`")
+
+
+def emitted_names(profile):
+    names = set()
+    for query in profile.get("queries", []):
+        for op in query["profile"]["operators"]:
+            names.update(op["counters"].keys())
+    metrics = profile.get("metrics", {})
+    names.update(metrics.get("counters", {}).keys())
+    names.update(metrics.get("histograms", {}).keys())
+    return names
+
+
+def documented_names(markdown):
+    """Backticked dotted names from table rows, placeholders expanded."""
+    names = set()
+    for line in markdown.splitlines():
+        if not line.lstrip().startswith("|"):
+            continue
+        for name in NAME_RE.findall(line):
+            if "<CONNECTOR>" in name:
+                names.update(name.replace("<CONNECTOR>", c)
+                             for c in CONNECTORS)
+            else:
+                names.add(name)
+    return names
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        profile = json.load(f)
+    docs_path = sys.argv[2] if len(sys.argv) == 3 else "docs/OBSERVABILITY.md"
+    with open(docs_path) as f:
+        documented = documented_names(f.read())
+    emitted = emitted_names(profile)
+
+    undocumented = sorted(emitted - documented)
+    dead = sorted(documented - emitted)
+    if undocumented:
+        print(f"emitted but not documented in {docs_path}:")
+        for name in undocumented:
+            print(f"  {name}")
+    if dead:
+        print(f"documented in {docs_path} but never emitted by the workload:")
+        for name in dead:
+            print(f"  {name}")
+    if undocumented or dead:
+        sys.exit(1)
+    print(f"ok: {len(emitted)} metric names match the catalogue")
+
+
+if __name__ == "__main__":
+    main()

@@ -104,6 +104,11 @@ MakespanReport ComputeMakespan(const hyracks::ExecStats& stats,
   return report;
 }
 
+double ModeledNetworkSeconds(uint64_t remote_bytes, int nodes,
+                             const NetworkModel& net) {
+  return NetworkSeconds(remote_bytes, std::max(1, nodes), net);
+}
+
 std::string FormatMakespan(const MakespanReport& report) {
   char buf[160];
   if (report.has_critical_path) {

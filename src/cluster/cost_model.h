@@ -54,6 +54,13 @@ MakespanReport ComputeMakespan(const hyracks::ExecStats& stats,
                                const hyracks::ClusterTopology& topology,
                                const NetworkModel& net = {});
 
+/// Modeled seconds to push `remote_bytes` through the per-node NICs — the
+/// exact figure both makespan variants charge an exchange. Exposed so the
+/// observability layer can emit the same modeled network time as trace spans
+/// next to the measured compute spans.
+double ModeledNetworkSeconds(uint64_t remote_bytes, int nodes,
+                             const NetworkModel& net = {});
+
 /// One-line rendering for bench output.
 std::string FormatMakespan(const MakespanReport& report);
 

@@ -9,12 +9,44 @@
 #include "core/rules_similarity.h"
 #include "core/three_stage.h"
 #include "hyracks/functions.h"
+#include "observability/metrics.h"
 #include "storage/file_util.h"
 
 namespace simdb::core {
 
 using algebricks::LOpPtr;
 using algebricks::RuleSet;
+
+namespace {
+
+bool IsExchangeName(const std::string& name) {
+  return name == "HASH-EXCHANGE" || name == "BROADCAST-EXCHANGE" ||
+         name == "GATHER" || name == "MERGE-GATHER";
+}
+
+/// Rolls one query's profile into the process-wide registry so bench
+/// binaries and the fuzz harness can snapshot cumulative figures.
+void RollupMetrics(const obs::QueryProfile& profile) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("query.profiled_count")->Increment();
+  reg.GetHistogram("query.exec_micros")
+      ->Observe(static_cast<uint64_t>(profile.wall_seconds * 1e6));
+  for (const obs::OperatorProfile& op : profile.operators) {
+    for (const auto& [name, value] : op.counters) {
+      reg.GetCounter(name)->Add(value);
+    }
+    if (IsExchangeName(op.name)) {
+      reg.GetCounter("exchange." + op.name + ".local_bytes")
+          ->Add(op.local_bytes);
+      reg.GetCounter("exchange." + op.name + ".remote_bytes")
+          ->Add(op.remote_bytes);
+      reg.GetCounter("exchange." + op.name + ".remote_transfers")
+          ->Add(op.remote_transfers);
+    }
+  }
+}
+
+}  // namespace
 
 QueryProcessor::QueryProcessor(EngineOptions options)
     : options_(std::move(options)),
@@ -135,8 +167,22 @@ Status QueryProcessor::RunQuery(const aql::AExprPtr& query,
   ctx.t_occurrence_algorithm = options_.t_occurrence_algorithm;
   ctx.posting_cache_enabled = options_.posting_cache_enabled;
   ctx.executor = options_.executor;
+  std::unique_ptr<obs::TraceCollector> collector;
+  if (options_.profile_queries) {
+    collector = std::make_unique<obs::TraceCollector>();
+    ctx.trace = collector.get();
+  }
   SIMDB_ASSIGN_OR_RETURN(hyracks::PartitionedRows rows,
                          hyracks::Executor::Run(job, ctx));
+
+  std::shared_ptr<const obs::QueryProfile> profile;
+  if (collector != nullptr) {
+    uint64_t dropped = collector->dropped();
+    auto built = std::make_shared<obs::QueryProfile>(obs::BuildQueryProfile(
+        exec_stats, options_.topology, collector->Drain(), dropped));
+    RollupMetrics(*built);
+    profile = std::move(built);
+  }
 
   if (result != nullptr) {
     result->rows.clear();
@@ -153,6 +199,7 @@ Status QueryProcessor::RunQuery(const aql::AExprPtr& query,
     }
     result->exec = std::move(exec_stats);
     result->compile = compile;
+    result->profile = std::move(profile);
     result->logical_plan = tr.plan->ToString();
     result->fired_rules.assign(opt_.fired_rules.begin() + fired_before,
                                opt_.fired_rules.end());

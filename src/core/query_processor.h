@@ -13,6 +13,7 @@
 #include "aql/translator.h"
 #include "common/thread_pool.h"
 #include "hyracks/exec.h"
+#include "observability/profile.h"
 #include "similarity/similarity_function.h"
 #include "storage/catalog.h"
 
@@ -38,6 +39,12 @@ struct EngineOptions {
   /// generated job passes the task-graph verifier before execution. Off by
   /// default (zero cost); on in tests and the differential fuzz harness.
   bool verify_plans = false;
+  /// Attach a QueryProfile (per-operator times/rows/bytes/counters, task
+  /// spans, Chrome-trace export) to every query result and roll the figures
+  /// into obs::MetricsRegistry::Global(). Off by default; when off the
+  /// runtime takes a single never-taken branch per task (verified < 2%
+  /// overhead by bench_profile / the observability test).
+  bool profile_queries = false;
 };
 
 /// Compilation timings, including the AQL+ overhead the paper reports in
@@ -58,6 +65,9 @@ struct QueryResult {
   CompileStats compile;
   std::string logical_plan;  // optimized plan (explain)
   std::vector<std::string> fired_rules;
+  /// Populated when EngineOptions::profile_queries is on; null otherwise.
+  /// Shared so results stay cheap to copy.
+  std::shared_ptr<const obs::QueryProfile> profile;
 };
 
 /// The end-to-end engine facade: owns the catalog, session settings, the
@@ -102,6 +112,13 @@ class QueryProcessor {
   /// the differential fuzz harness runs both per execution variant.
   void set_executor(hyracks::ExecutorKind executor) {
     options_.executor = executor;
+  }
+
+  /// Toggles query profiling for subsequent queries (see
+  /// EngineOptions::profile_queries). Profiling must not change answers —
+  /// it only observes.
+  void set_profile_queries(bool enabled) {
+    options_.profile_queries = enabled;
   }
 
   /// Programmatic data path used by generators and benches (bypasses AQL).

@@ -1,5 +1,6 @@
 #include "hyracks/exec.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 
@@ -7,8 +8,38 @@
 #include "common/stopwatch.h"
 #include "hyracks/ops_exchange.h"
 #include "hyracks/scheduler.h"
+#include "observability/trace.h"
 
 namespace simdb::hyracks {
+
+void MergeCounterSink(OpStats& stats, const OpCounterSink& sink) {
+  for (const auto& [name, delta] : sink.entries) {
+    auto pos = std::lower_bound(
+        stats.counters.begin(), stats.counters.end(), name,
+        [](const std::pair<std::string, uint64_t>& e, const char* n) {
+          return e.first < n;
+        });
+    if (pos != stats.counters.end() && pos->first == name) {
+      pos->second += delta;
+    } else {
+      stats.counters.emplace(pos, name, delta);
+    }
+  }
+}
+
+std::vector<int> ComputeStages(const Job& job) {
+  const auto& nodes = job.nodes();
+  std::vector<int> stages(nodes.size(), 0);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    int s = 0;
+    for (int in : nodes[i].inputs) {
+      int bump = nodes[static_cast<size_t>(in)].op->partition_local() ? 0 : 1;
+      s = std::max(s, stages[static_cast<size_t>(in)] + bump);
+    }
+    stages[i] = s;
+  }
+  return stages;
+}
 
 Status RunPerPartition(ExecContext& ctx, int num_partitions, OpStats* stats,
                        const std::function<Status(int)>& fn) {
@@ -82,6 +113,11 @@ Result<PartitionedRows> PartitionOperator::Execute(
     }
   }
   PartitionedRows out(parts);
+  // Profiling gives every partition task a private counter sink (merged in
+  // partition order below) and records a span; the off path is untouched.
+  const bool profiling = ctx.trace != nullptr;
+  std::vector<OpCounterSink> sinks;
+  if (profiling) sinks.resize(parts);
   SIMDB_RETURN_IF_ERROR(RunPerPartition(
       ctx, static_cast<int>(parts), stats, [&](int p) -> Status {
         std::vector<const Rows*> slice;
@@ -89,10 +125,33 @@ Result<PartitionedRows> PartitionOperator::Execute(
         for (const PartitionedRows* in : inputs) {
           slice.push_back(&(*in)[static_cast<size_t>(p)]);
         }
+        if (!profiling) {
+          SIMDB_ASSIGN_OR_RETURN(out[static_cast<size_t>(p)],
+                                 ExecutePartition(ctx, p, slice));
+          return Status::OK();
+        }
+        ExecContext task_ctx = ctx;
+        task_ctx.counters = &sinks[static_cast<size_t>(p)];
+        int64_t start = ctx.trace->NowMicros();
         SIMDB_ASSIGN_OR_RETURN(out[static_cast<size_t>(p)],
-                               ExecutePartition(ctx, p, slice));
+                               ExecutePartition(task_ctx, p, slice));
+        obs::TraceEvent ev;
+        ev.category = "task";
+        ev.name = name();
+        ev.start_us = start;
+        ev.dur_us = ctx.trace->NowMicros() - start;
+        ev.pid = ctx.topology.NodeOfPartition(p);
+        ev.tid = p % ctx.topology.partitions_per_node;
+        ev.args = {{"node", stats != nullptr ? stats->node_id : -1},
+                   {"partition", p},
+                   {"rows",
+                    static_cast<int64_t>(out[static_cast<size_t>(p)].size())}};
+        ctx.trace->Record(std::move(ev));
         return Status::OK();
       }));
+  if (profiling && stats != nullptr) {
+    for (const OpCounterSink& sink : sinks) MergeCounterSink(*stats, sink);
+  }
   return out;
 }
 
@@ -145,6 +204,7 @@ Result<PartitionedRows> Executor::RunStageSequential(const Job& job,
   ++refcount[static_cast<size_t>(job.root())];
 
   Stopwatch sw;
+  std::vector<int> stages = ComputeStages(job);
   std::vector<PartitionedRows> outputs(nodes.size());
   for (size_t i = 0; i < nodes.size(); ++i) {
     std::vector<const PartitionedRows*> inputs;
@@ -157,6 +217,8 @@ Result<PartitionedRows> Executor::RunStageSequential(const Job& job,
     op_stats.node_id = static_cast<int>(i);
     op_stats.input_ops = nodes[i].inputs;
     op_stats.barrier = !nodes[i].op->partition_local();
+    op_stats.stage = stages[i];
+    for (const PartitionedRows* in : inputs) op_stats.rows_in += RowsCount(*in);
     // An exchange that is the sole remaining consumer of its input may move
     // tuples out of it instead of copying (the input is released right after
     // anyway). The root's extra refcount keeps the final answer unstolen.
@@ -166,10 +228,26 @@ Result<PartitionedRows> Executor::RunStageSequential(const Job& job,
         refcount[static_cast<size_t>(nodes[i].inputs[0])] == 1) {
       steal = &outputs[static_cast<size_t>(nodes[i].inputs[0])];
     }
+    // Barrier non-exchange operators (RANK-ASSIGN, LIMIT) run whole-node;
+    // give them one span here. Partition-local operators get per-partition
+    // spans inside the PartitionOperator adapter, exchanges inside
+    // RunExchange.
+    const bool barrier_span = ctx.trace != nullptr && op_stats.barrier &&
+                              exchange == nullptr;
+    int64_t span_start = barrier_span ? ctx.trace->NowMicros() : 0;
     Result<PartitionedRows> executed =
         exchange != nullptr
             ? RunExchange(ctx, *exchange, inputs, steal, &op_stats)
             : nodes[i].op->Execute(ctx, inputs, &op_stats);
+    if (barrier_span) {
+      obs::TraceEvent ev;
+      ev.category = "task";
+      ev.name = op_stats.name;
+      ev.start_us = span_start;
+      ev.dur_us = ctx.trace->NowMicros() - span_start;
+      ev.args = {{"node", static_cast<int64_t>(i)}};
+      ctx.trace->Record(std::move(ev));
+    }
     if (!executed.ok()) {
       // Keep the partial stats trail and identify the failing node: error
       // reports stay deterministic and attributable instead of dropping the
@@ -189,6 +267,10 @@ Result<PartitionedRows> Executor::RunStageSequential(const Job& job,
                               " produced wrong partition count");
     }
     op_stats.rows_out = RowsCount(outputs[i]);
+    op_stats.partition_rows.reserve(outputs[i].size());
+    for (const Rows& part : outputs[i]) {
+      op_stats.partition_rows.push_back(part.size());
+    }
     if (ctx.stats != nullptr) ctx.stats->ops.push_back(std::move(op_stats));
     // Release inputs that are no longer needed.
     for (int in : nodes[i].inputs) {

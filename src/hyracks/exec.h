@@ -12,6 +12,10 @@
 #include "storage/catalog.h"
 #include "storage/inverted_index.h"
 
+namespace simdb::obs {
+class TraceCollector;
+}  // namespace simdb::obs
+
 namespace simdb::hyracks {
 
 /// Shape of the simulated shared-nothing cluster: partitions are laid out
@@ -22,6 +26,18 @@ struct ClusterTopology {
 
   int total_partitions() const { return num_nodes * partitions_per_node; }
   int NodeOfPartition(int p) const { return p / partitions_per_node; }
+};
+
+/// Sink for operator-specific profiling counters (posting-cache hits, join
+/// build rows, ...). Each task gets a private sink, so Add needs no
+/// synchronization; the executor merges sinks by summing per name, which is
+/// order-independent and therefore deterministic under any interleaving.
+/// Names are static-lifetime literals — the catalogue in
+/// docs/OBSERVABILITY.md is checked against them in CI.
+struct OpCounterSink {
+  std::vector<std::pair<const char*, uint64_t>> entries;
+
+  void Add(const char* name, uint64_t delta) { entries.emplace_back(name, delta); }
 };
 
 /// Per-operator execution counters; the cluster cost model composes these
@@ -36,17 +52,33 @@ struct OpStats {
   /// True for pipeline barriers (exchanges and whole-node operators): every
   /// input partition must be complete before any output partition exists.
   bool barrier = false;
+  /// Pipeline stage: the number of barrier operators on the longest path
+  /// from any source to this node (sources are stage 0). Set by both
+  /// executors via ComputeStages.
+  int stage = 0;
   /// Measured compute seconds for each partition's work. For exchanges this
   /// is the per-destination build time (plus routing time spread evenly).
   std::vector<double> partition_seconds;
   uint64_t rows_out = 0;
+  /// Total rows consumed across all inputs and partitions.
+  uint64_t rows_in = 0;
+  /// Rows produced by each output partition (skew diagnosis). Same length
+  /// as partition_seconds.
+  std::vector<uint64_t> partition_rows;
   /// Exchange traffic (zero for non-exchange operators). Accounted per
   /// destination and merged in destination order, so the counters are
   /// identical under any thread-pool size.
   uint64_t local_bytes = 0;
   uint64_t remote_bytes = 0;
   uint64_t remote_transfers = 0;
+  /// Operator-specific counters (name -> summed value), sorted by name.
+  /// Populated only when profiling is enabled (ctx.trace != nullptr).
+  std::vector<std::pair<std::string, uint64_t>> counters;
 };
+
+/// Folds per-task counter sinks into `stats.counters`: sums per name, sorted
+/// by name. Deterministic regardless of the order sinks are merged in.
+void MergeCounterSink(OpStats& stats, const OpCounterSink& sink);
 
 struct ExecStats {
   std::vector<OpStats> ops;
@@ -86,7 +118,22 @@ struct ExecContext {
   /// differential fuzz harness).
   bool posting_cache_enabled = true;
   ExecutorKind executor = ExecutorKind::kScheduler;
+  /// Non-null enables query profiling: executors record per-task spans here
+  /// and operators emit their specific counters. Null (the default) is the
+  /// zero-overhead path — operators test this single pointer and skip all
+  /// counter work.
+  obs::TraceCollector* trace = nullptr;
+  /// Per-task counter sink, valid only for the duration of the current
+  /// partition task. Set by the executors (on a per-task copy of the
+  /// context) when profiling; operators write through it via CountOp.
+  OpCounterSink* counters = nullptr;
 };
+
+/// Adds `delta` to the named operator counter when profiling is on; a single
+/// predicted-not-taken branch when off.
+inline void CountOp(ExecContext& ctx, const char* name, uint64_t delta) {
+  if (ctx.counters != nullptr) ctx.counters->Add(name, delta);
+}
 
 /// A physical operator. Operators consume fully materialized partitioned
 /// inputs and produce partitioned output; partition-local operators
@@ -192,6 +239,13 @@ class Executor {
 /// "node N (NAME): [partition P: ]message". Shared with the scheduler so
 /// error strings are byte-identical across executors and pool sizes.
 Status WrapNodeError(int node, const std::string& op_name, const Status& s);
+
+/// Pipeline stage per job node: stage(n) = max over inputs i of
+/// (stage(i) + barrier(i)), with sources at stage 0. Barriers count on the
+/// *producing* side, so the operators consuming an exchange's output are one
+/// stage later than the ones feeding it — matching the paper's stage-1/2/3
+/// narrative for the three-stage similarity join.
+std::vector<int> ComputeStages(const Job& job);
 
 }  // namespace simdb::hyracks
 

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/stopwatch.h"
+#include "observability/trace.h"
 
 namespace simdb::hyracks {
 
@@ -66,10 +67,23 @@ Result<PartitionedRows> RunExchange(
   int parts = static_cast<int>(in.size());
   if (parts == 0) return PartitionedRows();
 
+  const bool profiling = ctx.trace != nullptr;
+  const int node_id = stats != nullptr ? stats->node_id : -1;
+  const int stage = stats != nullptr ? stats->stage : 0;
   Stopwatch route_sw;
+  int64_t route_start = profiling ? ctx.trace->NowMicros() : 0;
   SIMDB_ASSIGN_OR_RETURN(ExchangeOperator::Routing routing,
                          op.Route(ctx, in));
   double route_seconds = route_sw.ElapsedSeconds();
+  if (profiling) {
+    obs::TraceEvent ev;
+    ev.category = "exchange";
+    ev.name = op.name() + ":route";
+    ev.start_us = route_start;
+    ev.dur_us = ctx.trace->NowMicros() - route_start;
+    ev.args = {{"node", node_id}, {"stage", stage}};
+    ctx.trace->Record(std::move(ev));
+  }
 
   // Destination builds run in parallel; each accounts its own traffic into a
   // private sink. Merging in destination order keeps the counters identical
@@ -78,10 +92,27 @@ Result<PartitionedRows> RunExchange(
   std::vector<OpStats> dest_stats(static_cast<size_t>(parts));
   SIMDB_RETURN_IF_ERROR(
       RunPerPartition(ctx, parts, stats, [&](int dst) -> Status {
+        int64_t start = profiling ? ctx.trace->NowMicros() : 0;
         SIMDB_ASSIGN_OR_RETURN(
             out[static_cast<size_t>(dst)],
             op.BuildDestination(ctx, dst, in, routing, steal,
                                 &dest_stats[static_cast<size_t>(dst)]));
+        if (profiling) {
+          obs::TraceEvent ev;
+          ev.category = "exchange";
+          ev.name = op.name() + ":build";
+          ev.start_us = start;
+          ev.dur_us = ctx.trace->NowMicros() - start;
+          ev.pid = ctx.topology.NodeOfPartition(dst);
+          ev.tid = dst % ctx.topology.partitions_per_node;
+          ev.args = {
+              {"node", node_id},
+              {"partition", dst},
+              {"stage", stage},
+              {"rows",
+               static_cast<int64_t>(out[static_cast<size_t>(dst)].size())}};
+          ctx.trace->Record(std::move(ev));
+        }
         return Status::OK();
       }));
   if (stats != nullptr) {
@@ -92,9 +123,15 @@ Result<PartitionedRows> RunExchange(
       stats->remote_transfers += d.remote_transfers;
     }
     // Routing runs over the sources once; spread its cost evenly the way the
-    // cluster would (each source partition routes its own rows).
-    double spread = route_seconds / parts;
-    for (double& s : stats->partition_seconds) s += spread;
+    // cluster would (each source partition routes its own rows). Implicit-
+    // routing exchanges (broadcast, gather, merge-gather) computed no per-row
+    // destinations, so their idle destinations are not charged: a
+    // merge-gather's whole merge belongs to the destination-0 worker that
+    // steals the tuples, never to the victims it steals from.
+    if (!routing.destinations.empty()) {
+      double spread = route_seconds / parts;
+      for (double& s : stats->partition_seconds) s += spread;
+    }
   }
   return out;
 }

@@ -9,9 +9,11 @@ namespace simdb::hyracks {
 using adm::Value;
 
 Result<Rows> HashJoinOp::ExecutePartition(
-    ExecContext&, int, const std::vector<const Rows*>& inputs) {
+    ExecContext& ctx, int, const std::vector<const Rows*>& inputs) {
   const Rows& left = *inputs[0];
   const Rows& right = *inputs[1];
+  uint64_t probe_matches = 0;
+  uint64_t residual_dropped = 0;
   // Build on the right side.
   std::unordered_map<std::string, std::vector<const Tuple*>> table;
   for (const Tuple& row : right) {
@@ -47,22 +49,33 @@ Result<Rows> HashJoinOp::ExecutePartition(
     auto it = table.find(storage::EncodeKey(keys));
     if (it == table.end()) continue;
     for (const Tuple* rrow : it->second) {
+      ++probe_matches;
       Tuple combined = lrow;
       combined.insert(combined.end(), rrow->begin(), rrow->end());
       if (residual_ != nullptr) {
         SIMDB_ASSIGN_OR_RETURN(Value keep, residual_->Eval(combined));
-        if (!keep.is_boolean() || !keep.AsBoolean()) continue;
+        if (!keep.is_boolean() || !keep.AsBoolean()) {
+          ++residual_dropped;
+          continue;
+        }
       }
       rows.push_back(std::move(combined));
     }
+  }
+  if (ctx.counters != nullptr) {
+    CountOp(ctx, "join.build_rows", right.size());
+    CountOp(ctx, "join.probe_rows", left.size());
+    CountOp(ctx, "join.matches", probe_matches);
+    CountOp(ctx, "join.residual_dropped", residual_dropped);
   }
   return rows;
 }
 
 Result<Rows> NestedLoopJoinOp::ExecutePartition(
-    ExecContext&, int, const std::vector<const Rows*>& inputs) {
+    ExecContext& ctx, int, const std::vector<const Rows*>& inputs) {
   const Rows& left = *inputs[0];
   const Rows& right = *inputs[1];
+  uint64_t matches = 0;
   Rows rows;
   for (const Tuple& lrow : left) {
     for (const Tuple& rrow : right) {
@@ -70,9 +83,14 @@ Result<Rows> NestedLoopJoinOp::ExecutePartition(
       combined.insert(combined.end(), rrow.begin(), rrow.end());
       SIMDB_ASSIGN_OR_RETURN(Value keep, predicate_->Eval(combined));
       if (keep.is_boolean() && keep.AsBoolean()) {
+        ++matches;
         rows.push_back(std::move(combined));
       }
     }
+  }
+  if (ctx.counters != nullptr) {
+    CountOp(ctx, "nljoin.pairs", left.size() * right.size());
+    CountOp(ctx, "nljoin.matches", matches);
   }
   return rows;
 }

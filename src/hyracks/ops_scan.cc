@@ -51,18 +51,26 @@ Status PrimaryLookupOp::Prepare(ExecContext& ctx) {
 }
 
 Result<Rows> PrimaryLookupOp::ExecutePartition(
-    ExecContext&, int p, const std::vector<const Rows*>& inputs) {
+    ExecContext& ctx, int p, const std::vector<const Rows*>& inputs) {
+  uint64_t probes = 0;
+  uint64_t hits = 0;
   Rows rows;
   for (const Tuple& row : *inputs[0]) {
     const Value& pk = row[static_cast<size_t>(pk_column_)];
     if (!pk.is_int64()) {
       return Status::TypeError("PRIMARY-LOOKUP pk must be int64");
     }
+    ++probes;
     SIMDB_ASSIGN_OR_RETURN(auto record, ds_->GetByPkInPartition(p, pk.AsInt64()));
     if (!record.has_value()) continue;
+    ++hits;
     Tuple extended = row;
     extended.push_back(std::move(*record));
     rows.push_back(std::move(extended));
+  }
+  if (ctx.counters != nullptr) {
+    CountOp(ctx, "lookup.probes", probes);
+    CountOp(ctx, "lookup.hits", hits);
   }
   return rows;
 }

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "hyracks/ops_exchange.h"
+#include "observability/trace.h"
 
 namespace simdb::hyracks {
 
@@ -94,6 +95,7 @@ class SchedulerRun {
     // Tuples may be moved out of an exchange's input only when the exchange
     // is the input's sole consumer.
     std::vector<bool> planned_steals = Scheduler::PlannedSteals(job_);
+    std::vector<int> stages = ComputeStages(job_);
 
     for (int i = 0; i < n; ++i) {
       const Job::Node& jn = jnodes[static_cast<size_t>(i)];
@@ -105,6 +107,8 @@ class SchedulerRun {
       nr.stats.node_id = i;
       nr.stats.input_ops = jn.inputs;
       nr.stats.barrier = !op->partition_local();
+      nr.stats.stage = stages[static_cast<size_t>(i)];
+      nr.stats.partition_rows.assign(static_cast<size_t>(parts_), 0);
 
       bool input_dead = false;
       for (int in : jn.inputs) {
@@ -240,18 +244,46 @@ class SchedulerRun {
         auto* op = static_cast<PartitionOperator*>(jn.op.get());
         std::vector<const Rows*> slice;
         slice.reserve(jn.inputs.size());
+        uint64_t rows_in = 0;
         for (int in : jn.inputs) {
-          slice.push_back(
-              &outputs_[static_cast<size_t>(in)][static_cast<size_t>(t.p)]);
+          const Rows& part =
+              outputs_[static_cast<size_t>(in)][static_cast<size_t>(t.p)];
+          rows_in += part.size();
+          slice.push_back(&part);
         }
+        // Profiling runs the task against a private context copy whose
+        // counter sink belongs to this task alone; the sink is merged under
+        // the scheduler mutex (per-name sums, order-independent).
+        const bool profiling = ctx_.trace != nullptr;
+        OpCounterSink sink;
+        ExecContext task_ctx = ctx_;
+        if (profiling) task_ctx.counters = &sink;
+        int64_t start = profiling ? ctx_.trace->NowMicros() : 0;
         Stopwatch sw;
-        Result<Rows> r = op->ExecutePartition(ctx_, t.p, slice);
+        Result<Rows> r = op->ExecutePartition(task_ctx, t.p, slice);
         double secs = sw.ElapsedSeconds();
+        if (profiling && r.ok()) {
+          obs::TraceEvent ev;
+          ev.category = "task";
+          ev.name = nr.stats.name;
+          ev.start_us = start;
+          ev.dur_us = ctx_.trace->NowMicros() - start;
+          ev.pid = ctx_.topology.NodeOfPartition(t.p);
+          ev.tid = t.p % ctx_.topology.partitions_per_node;
+          ev.args = {{"node", t.node},
+                     {"partition", t.p},
+                     {"stage", nr.stats.stage},
+                     {"rows", static_cast<int64_t>(r.value().size())}};
+          ctx_.trace->Record(std::move(ev));
+        }
         std::unique_lock<std::mutex> lock(mu_);
         nr.any_ran = true;
         nr.stats.partition_seconds[static_cast<size_t>(t.p)] = secs;
+        nr.stats.rows_in += rows_in;
+        if (profiling) MergeCounterSink(nr.stats, sink);
         if (r.ok()) {
           nr.stats.rows_out += r.value().size();
+          nr.stats.partition_rows[static_cast<size_t>(t.p)] = r.value().size();
           outputs_[static_cast<size_t>(t.node)][static_cast<size_t>(t.p)] =
               std::move(r).value();
           CompleteLocked(tid, /*bad=*/false);
@@ -264,13 +296,26 @@ class SchedulerRun {
       }
       case TaskKind::kRoute: {
         auto* op = static_cast<ExchangeOperator*>(jn.op.get());
+        const PartitionedRows& in = outputs_[static_cast<size_t>(jn.inputs[0])];
+        uint64_t rows_in = RowsCount(in);
+        const bool profiling = ctx_.trace != nullptr;
+        int64_t start = profiling ? ctx_.trace->NowMicros() : 0;
         Stopwatch sw;
-        Result<ExchangeOperator::Routing> r =
-            op->Route(ctx_, outputs_[static_cast<size_t>(jn.inputs[0])]);
+        Result<ExchangeOperator::Routing> r = op->Route(ctx_, in);
         double secs = sw.ElapsedSeconds();
+        if (profiling && r.ok()) {
+          obs::TraceEvent ev;
+          ev.category = "exchange";
+          ev.name = nr.stats.name + ":route";
+          ev.start_us = start;
+          ev.dur_us = ctx_.trace->NowMicros() - start;
+          ev.args = {{"node", t.node}, {"stage", nr.stats.stage}};
+          ctx_.trace->Record(std::move(ev));
+        }
         std::unique_lock<std::mutex> lock(mu_);
         nr.any_ran = true;
         nr.route_seconds = secs;
+        nr.stats.rows_in = rows_in;
         if (r.ok()) {
           nr.routing = std::move(r).value();
           CompleteLocked(tid, /*bad=*/false);
@@ -286,16 +331,33 @@ class SchedulerRun {
         PartitionedRows* steal =
             nr.steal ? &outputs_[static_cast<size_t>(jn.inputs[0])] : nullptr;
         OpStats dstats;
+        const bool profiling = ctx_.trace != nullptr;
+        int64_t start = profiling ? ctx_.trace->NowMicros() : 0;
         Stopwatch sw;
         Result<Rows> r =
             op->BuildDestination(ctx_, t.p, in, nr.routing, steal, &dstats);
         double secs = sw.ElapsedSeconds();
+        if (profiling && r.ok()) {
+          obs::TraceEvent ev;
+          ev.category = "exchange";
+          ev.name = nr.stats.name + ":build";
+          ev.start_us = start;
+          ev.dur_us = ctx_.trace->NowMicros() - start;
+          ev.pid = ctx_.topology.NodeOfPartition(t.p);
+          ev.tid = t.p % ctx_.topology.partitions_per_node;
+          ev.args = {{"node", t.node},
+                     {"partition", t.p},
+                     {"stage", nr.stats.stage},
+                     {"rows", static_cast<int64_t>(r.value().size())}};
+          ctx_.trace->Record(std::move(ev));
+        }
         std::unique_lock<std::mutex> lock(mu_);
         nr.any_ran = true;
         nr.build_seconds[static_cast<size_t>(t.p)] = secs;
         if (r.ok()) {
           nr.dest_stats[static_cast<size_t>(t.p)] = std::move(dstats);
           nr.stats.rows_out += r.value().size();
+          nr.stats.partition_rows[static_cast<size_t>(t.p)] = r.value().size();
           outputs_[static_cast<size_t>(t.node)][static_cast<size_t>(t.p)] =
               std::move(r).value();
           CompleteLocked(tid, /*bad=*/false);
@@ -309,12 +371,27 @@ class SchedulerRun {
       case TaskKind::kBarrier: {
         std::vector<const PartitionedRows*> ins;
         ins.reserve(jn.inputs.size());
+        uint64_t rows_in = 0;
         for (int in : jn.inputs) {
-          ins.push_back(&outputs_[static_cast<size_t>(in)]);
+          const PartitionedRows& pr = outputs_[static_cast<size_t>(in)];
+          rows_in += RowsCount(pr);
+          ins.push_back(&pr);
         }
         // The barrier owns all of its node's stats slots; no other task of
         // this node exists, so writing them pre-lock is safe.
+        nr.stats.rows_in = rows_in;
+        const bool profiling = ctx_.trace != nullptr;
+        int64_t start = profiling ? ctx_.trace->NowMicros() : 0;
         Result<PartitionedRows> r = jn.op->Execute(ctx_, ins, &nr.stats);
+        if (profiling && r.ok()) {
+          obs::TraceEvent ev;
+          ev.category = "task";
+          ev.name = nr.stats.name;
+          ev.start_us = start;
+          ev.dur_us = ctx_.trace->NowMicros() - start;
+          ev.args = {{"node", t.node}, {"stage", nr.stats.stage}};
+          ctx_.trace->Record(std::move(ev));
+        }
         std::unique_lock<std::mutex> lock(mu_);
         nr.any_ran = true;
         if (!r.ok()) {
@@ -333,6 +410,10 @@ class SchedulerRun {
           return;
         }
         nr.stats.rows_out = RowsCount(out);
+        for (int p = 0; p < parts_; ++p) {
+          nr.stats.partition_rows[static_cast<size_t>(p)] =
+              out[static_cast<size_t>(p)].size();
+        }
         outputs_[static_cast<size_t>(t.node)] = std::move(out);
         CompleteLocked(tid, /*bad=*/false);
         return;
@@ -411,7 +492,14 @@ class SchedulerRun {
         if (nr.is_exchange) {
           // Merge per-destination traffic in destination order; spread the
           // one-shot routing cost evenly (each source routes its own rows).
-          double spread = nr.route_seconds / parts_;
+          // Implicit-routing exchanges (broadcast, gather, merge-gather)
+          // computed no per-row destinations: charging their Route() time to
+          // destinations that did no work would misattribute it — e.g. a
+          // merge-gather whose entire merge belongs to the stealing
+          // destination-0 worker, not to the idle victims.
+          double spread = nr.routing.destinations.empty()
+                              ? 0.0
+                              : nr.route_seconds / parts_;
           for (int d = 0; d < parts_; ++d) {
             const OpStats& ds = nr.dest_stats[static_cast<size_t>(d)];
             nr.stats.local_bytes += ds.local_bytes;

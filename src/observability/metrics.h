@@ -1,0 +1,93 @@
+#ifndef SIMDB_OBSERVABILITY_METRICS_H_
+#define SIMDB_OBSERVABILITY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simdb::obs {
+
+/// A monotonically increasing counter. Thread-safe; relaxed atomics — the
+/// counters feed reports, not synchronization.
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time view of a Histogram.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  /// buckets[i] counts observations v with 2^(i-1) <= v < 2^i (bucket 0
+  /// counts v == 0). Trailing empty buckets are trimmed.
+  std::vector<uint64_t> buckets;
+
+  double mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+};
+
+/// A log2-bucketed histogram of non-negative integer observations
+/// (typically microseconds or byte counts). Thread-safe, lock-free.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Observe(uint64_t value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// A registry of named counters and histograms. Get* returns a stable
+/// pointer, creating the metric on first use; lookups take a mutex (callers
+/// are expected to cache the pointer on hot paths). The process-wide
+/// instance (`Global()`) is what bench binaries and the fuzz harness
+/// snapshot; per-query figures flow through QueryProfile instead.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  struct Snapshot {
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, HistogramSnapshot> histograms;
+  };
+  Snapshot Snap() const;
+
+  /// {"counters": {name: value, ...}, "histograms": {name: {count, sum,
+  /// min, max, mean}, ...}} — stable name order (std::map).
+  std::string ToJson() const;
+
+  /// Zeroes every registered metric (names stay registered). Test/bench
+  /// isolation helper.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace simdb::obs
+
+#endif  // SIMDB_OBSERVABILITY_METRICS_H_

@@ -1,0 +1,336 @@
+#include "observability/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace simdb::obs {
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// JSON string literal with escaping — operator names embed expression
+/// renderings that may contain quotes/backslashes.
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string FmtMs(double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  return buf;
+}
+
+std::string FmtPct(double fraction) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%4.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string FmtBytes(uint64_t bytes) {
+  char buf[40];
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else if (bytes < 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                  static_cast<double>(bytes) / 1024);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(bytes) / (1024 * 1024));
+  }
+  return buf;
+}
+
+int64_t ArgValue(const TraceEvent& e, const char* key, int64_t fallback) {
+  for (const auto& [k, v] : e.args) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+QueryProfile BuildQueryProfile(const hyracks::ExecStats& stats,
+                               const hyracks::ClusterTopology& topology,
+                               std::vector<TraceEvent> events,
+                               uint64_t trace_dropped,
+                               const cluster::NetworkModel& net) {
+  QueryProfile profile;
+  profile.wall_seconds = stats.wall_seconds;
+  profile.trace_dropped = trace_dropped;
+
+  cluster::MakespanReport report =
+      cluster::ComputeMakespan(stats, topology, net);
+  profile.makespan_seconds = report.total_seconds();
+  profile.compute_seconds = report.compute_seconds;
+  profile.network_seconds = report.network_seconds;
+
+  profile.operators.reserve(stats.ops.size());
+  for (const hyracks::OpStats& op : stats.ops) {
+    OperatorProfile p;
+    p.name = op.name;
+    p.node_id = op.node_id;
+    p.input_ops = op.input_ops;
+    p.barrier = op.barrier;
+    p.stage = op.stage;
+    for (double s : op.partition_seconds) {
+      p.seconds += s;
+      p.max_partition_seconds = std::max(p.max_partition_seconds, s);
+    }
+    if (!op.partition_seconds.empty() && p.seconds > 0) {
+      double mean = p.seconds / static_cast<double>(op.partition_seconds.size());
+      p.skew = p.max_partition_seconds / mean;
+    }
+    p.rows_in = op.rows_in;
+    p.rows_out = op.rows_out;
+    p.partition_rows = op.partition_rows;
+    p.local_bytes = op.local_bytes;
+    p.remote_bytes = op.remote_bytes;
+    p.remote_transfers = op.remote_transfers;
+    p.network_seconds = cluster::ModeledNetworkSeconds(
+        op.remote_bytes, topology.num_nodes, net);
+    p.counters = op.counters;
+    profile.operators.push_back(std::move(p));
+  }
+
+  // The cluster simulator's network charge, rendered as spans on a synthetic
+  // "modeled network" track (pid -1): one span per exchange that moved
+  // remote bytes, starting when the last measured span of that exchange
+  // ended.
+  std::vector<TraceEvent> net_events;
+  for (const OperatorProfile& p : profile.operators) {
+    if (p.remote_bytes == 0 || p.network_seconds <= 0) continue;
+    int64_t start = 0;
+    for (const TraceEvent& e : events) {
+      if (ArgValue(e, "node", -1) == p.node_id) {
+        start = std::max(start, e.start_us + e.dur_us);
+      }
+    }
+    TraceEvent ev;
+    ev.category = "network";
+    ev.name = p.name + ":net";
+    ev.start_us = start;
+    ev.dur_us = static_cast<int64_t>(p.network_seconds * 1e6);
+    ev.pid = -1;
+    ev.tid = 0;
+    ev.args = {{"node", p.node_id},
+               {"remote_bytes", static_cast<int64_t>(p.remote_bytes)}};
+    net_events.push_back(std::move(ev));
+  }
+  events.insert(events.end(), net_events.begin(), net_events.end());
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+  profile.events = std::move(events);
+  return profile;
+}
+
+std::vector<StageProfile> QueryProfile::Stages() const {
+  std::map<int, StageProfile> by_stage;
+  for (const OperatorProfile& op : operators) {
+    StageProfile& s = by_stage[op.stage];
+    s.stage = op.stage;
+    ++s.num_ops;
+    s.seconds += op.seconds;
+    s.network_seconds += op.network_seconds;
+    s.rows_out += op.rows_out;
+  }
+  std::vector<StageProfile> out;
+  out.reserve(by_stage.size());
+  for (auto& [stage, s] : by_stage) out.push_back(s);
+  return out;
+}
+
+std::string QueryProfile::RenderTree() const {
+  double total = 0;
+  for (const OperatorProfile& op : operators) total += op.seconds;
+
+  std::string out = "QUERY PROFILE  wall " + FmtMs(wall_seconds) +
+                    "  compute " + FmtMs(total) + "  modeled makespan " +
+                    FmtMs(makespan_seconds) + " (network " +
+                    FmtMs(network_seconds) + ")\n";
+  if (trace_dropped > 0) {
+    out += "  !! " + std::to_string(trace_dropped) +
+           " trace events dropped (ring overflow)\n";
+  }
+
+  // Render the operator DAG from its roots (nodes no other operator
+  // consumes), children = input_ops. A node feeding several consumers is
+  // expanded once; later visits print a stub.
+  std::unordered_map<int, size_t> by_node;
+  std::unordered_set<int> consumed;
+  for (size_t i = 0; i < operators.size(); ++i) {
+    if (operators[i].node_id >= 0) by_node[operators[i].node_id] = i;
+    for (int in : operators[i].input_ops) consumed.insert(in);
+  }
+  std::unordered_set<int> expanded;
+
+  // Recursive lambda over (index, childhood prefix, own branch glyph).
+  std::function<void(size_t, const std::string&, const std::string&)> render =
+      [&](size_t i, const std::string& prefix, const std::string& branch) {
+        const OperatorProfile& op = operators[i];
+        double share = total > 0 ? op.seconds / total : 0;
+        std::string line = prefix + branch;
+        line += "[" + FmtPct(share) + "] " + FmtMs(op.seconds) + "  ";
+        if (op.node_id >= 0) line += std::to_string(op.node_id) + ":";
+        line += op.name + "  stage " + std::to_string(op.stage);
+        line += "  rows " + std::to_string(op.rows_in) + "->" +
+                std::to_string(op.rows_out);
+        if (op.skew > 1.05) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "  skew %.2fx", op.skew);
+          line += buf;
+        }
+        if (op.local_bytes > 0 || op.remote_bytes > 0) {
+          line += "  local " + FmtBytes(op.local_bytes) + " remote " +
+                  FmtBytes(op.remote_bytes);
+        }
+        if (!op.partition_rows.empty() && op.partition_rows.size() <= 8) {
+          line += "  parts [";
+          for (size_t p = 0; p < op.partition_rows.size(); ++p) {
+            if (p > 0) line += " ";
+            line += std::to_string(op.partition_rows[p]);
+          }
+          line += "]";
+        }
+        if (!op.counters.empty()) {
+          line += "  {";
+          for (size_t c = 0; c < op.counters.size(); ++c) {
+            if (c > 0) line += ", ";
+            line += op.counters[c].first + "=" +
+                    std::to_string(op.counters[c].second);
+          }
+          line += "}";
+        }
+        out += line + "\n";
+
+        if (op.node_id >= 0) expanded.insert(op.node_id);
+        std::string child_prefix = prefix;
+        if (branch == "├─ ") {
+          child_prefix += "│  ";
+        } else if (branch == "└─ ") {
+          child_prefix += "   ";
+        }
+        for (size_t c = 0; c < op.input_ops.size(); ++c) {
+          int in = op.input_ops[c];
+          bool last = c + 1 == op.input_ops.size();
+          std::string glyph = last ? "└─ " : "├─ ";
+          auto it = by_node.find(in);
+          if (it == by_node.end()) {
+            out += child_prefix + glyph + "node " + std::to_string(in) +
+                   " (no stats)\n";
+            continue;
+          }
+          if (expanded.count(in) != 0) {
+            out += child_prefix + glyph + "node " + std::to_string(in) + ":" +
+                   operators[it->second].name + " (shared, shown above)\n";
+            continue;
+          }
+          render(it->second, child_prefix, glyph);
+        }
+      };
+
+  // Roots in descending node order (the job root renders first).
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < operators.size(); ++i) {
+    if (operators[i].node_id < 0 || consumed.count(operators[i].node_id) == 0) {
+      roots.push_back(i);
+    }
+  }
+  std::reverse(roots.begin(), roots.end());
+  for (size_t r : roots) render(r, "", "");
+
+  out += "stages:\n";
+  for (const StageProfile& s : Stages()) {
+    out += "  stage " + std::to_string(s.stage) + ": " +
+           std::to_string(s.num_ops) + " op(s)  compute " + FmtMs(s.seconds) +
+           "  network " + FmtMs(s.network_seconds) + "  rows out " +
+           std::to_string(s.rows_out) + "\n";
+  }
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out = "{";
+  out += "\"wall_seconds\": " + FmtDouble(wall_seconds);
+  out += ", \"makespan_seconds\": " + FmtDouble(makespan_seconds);
+  out += ", \"compute_seconds\": " + FmtDouble(compute_seconds);
+  out += ", \"network_seconds\": " + FmtDouble(network_seconds);
+  out += ", \"trace_dropped\": " + std::to_string(trace_dropped);
+  out += ", \"operators\": [";
+  for (size_t i = 0; i < operators.size(); ++i) {
+    const OperatorProfile& op = operators[i];
+    if (i > 0) out += ", ";
+    out += "{\"node\": " + std::to_string(op.node_id);
+    out += ", \"name\": " + JsonQuote(op.name);
+    out += ", \"stage\": " + std::to_string(op.stage);
+    out += ", \"barrier\": " + std::string(op.barrier ? "true" : "false");
+    out += ", \"seconds\": " + FmtDouble(op.seconds);
+    out += ", \"max_partition_seconds\": " + FmtDouble(op.max_partition_seconds);
+    out += ", \"skew\": " + FmtDouble(op.skew);
+    out += ", \"rows_in\": " + std::to_string(op.rows_in);
+    out += ", \"rows_out\": " + std::to_string(op.rows_out);
+    out += ", \"partition_rows\": [";
+    for (size_t p = 0; p < op.partition_rows.size(); ++p) {
+      if (p > 0) out += ", ";
+      out += std::to_string(op.partition_rows[p]);
+    }
+    out += "], \"local_bytes\": " + std::to_string(op.local_bytes);
+    out += ", \"remote_bytes\": " + std::to_string(op.remote_bytes);
+    out += ", \"remote_transfers\": " + std::to_string(op.remote_transfers);
+    out += ", \"network_seconds\": " + FmtDouble(op.network_seconds);
+    out += ", \"counters\": {";
+    for (size_t c = 0; c < op.counters.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += JsonQuote(op.counters[c].first) + ": " +
+             std::to_string(op.counters[c].second);
+    }
+    out += "}}";
+  }
+  out += "], \"stages\": [";
+  std::vector<StageProfile> stages = Stages();
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"stage\": " + std::to_string(stages[i].stage);
+    out += ", \"num_ops\": " + std::to_string(stages[i].num_ops);
+    out += ", \"seconds\": " + FmtDouble(stages[i].seconds);
+    out += ", \"network_seconds\": " + FmtDouble(stages[i].network_seconds);
+    out += ", \"rows_out\": " + std::to_string(stages[i].rows_out) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status QueryProfile::ExportTrace(const std::string& path) const {
+  return WriteChromeTrace(path, events);
+}
+
+}  // namespace simdb::obs

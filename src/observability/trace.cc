@@ -1,0 +1,176 @@
+#include "observability/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace simdb::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_collector_id{1};
+
+struct ThreadRingCache {
+  uint64_t collector_id = 0;
+  void* ring = nullptr;
+};
+
+thread_local ThreadRingCache t_ring_cache;
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector(size_t per_thread_capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(per_thread_capacity == 0 ? 1 : per_thread_capacity),
+      id_(g_next_collector_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceCollector::~TraceCollector() = default;
+
+TraceCollector::Ring* TraceCollector::RingForThisThread() {
+  // The cache is keyed on the collector's process-unique id, not its
+  // address: a new collector can reuse a destroyed one's address, but never
+  // its id, so a stale cache entry can't alias across collectors.
+  if (t_ring_cache.collector_id == id_) {
+    return static_cast<Ring*>(t_ring_cache.ring);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(std::make_unique<Ring>(capacity_));
+  Ring* ring = rings_.back().get();
+  t_ring_cache = {id_, ring};
+  return ring;
+}
+
+void TraceCollector::Record(TraceEvent event) {
+  Ring* ring = RingForThisThread();
+  if (ring->next >= ring->slots.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring->slots[ring->next % ring->slots.size()] = std::move(event);
+  ++ring->next;
+}
+
+std::vector<TraceEvent> TraceCollector::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  for (auto& ring : rings_) {
+    size_t n = std::min(ring->next, ring->slots.size());
+    // Oldest-first: when the ring wrapped, the oldest surviving slot is
+    // the one `next` would overwrite.
+    size_t start = ring->next > ring->slots.size()
+                       ? ring->next % ring->slots.size()
+                       : 0;
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(ring->slots[(start + i) % ring->slots.size()]));
+    }
+    ring->next = 0;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     return a.tid < b.tid;
+                   });
+  return out;
+}
+
+std::string ToChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  // Process/thread naming metadata so chrome://tracing labels rows as
+  // "node N" / "partition P" instead of bare integers.
+  std::set<int> pids;
+  std::set<std::pair<int, int>> lanes;
+  for (const TraceEvent& e : events) {
+    pids.insert(e.pid);
+    lanes.insert({e.pid, e.tid});
+  }
+  for (int pid : pids) {
+    if (!first) out += ", ";
+    first = false;
+    // pid -1 is the synthetic "modeled network" track (see profile.h).
+    std::string label =
+        pid < 0 ? "modeled network" : "node " + std::to_string(pid);
+    out += "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " +
+           std::to_string(pid) + ", \"tid\": 0, \"args\": {\"name\": \"" +
+           label + "\"}}";
+  }
+  for (const auto& [pid, tid] : lanes) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " +
+           std::to_string(pid) + ", \"tid\": " + std::to_string(tid) +
+           ", \"args\": {\"name\": \"partition " + std::to_string(tid) +
+           "\"}}";
+  }
+  for (const TraceEvent& e : events) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"ph\": \"X\", \"name\": \"";
+    AppendJsonEscaped(out, e.name);
+    out += "\", \"cat\": \"";
+    AppendJsonEscaped(out, e.category);
+    out += "\", \"ts\": " + std::to_string(e.start_us) +
+           ", \"dur\": " + std::to_string(e.dur_us) +
+           ", \"pid\": " + std::to_string(e.pid) +
+           ", \"tid\": " + std::to_string(e.tid);
+    if (!e.args.empty()) {
+      out += ", \"args\": {";
+      bool first_arg = true;
+      for (const auto& [key, value] : e.args) {
+        if (!first_arg) out += ", ";
+        first_arg = false;
+        out += "\"";
+        AppendJsonEscaped(out, key);
+        out += "\": " + std::to_string(value);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "], \"displayTimeUnit\": \"ms\"}";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  std::string json = ToChromeTraceJson(events);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file for writing: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IOError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace simdb::obs

@@ -226,7 +226,11 @@ Result<std::vector<int64_t>> InvertedIndex::SearchTOccurrence(
     while (i < gathered.size()) {
       size_t j = i + 1;
       while (j < gathered.size() && gathered[j] == gathered[i]) ++j;
-      if (j - i >= static_cast<size_t>(t)) result.push_back(gathered[i]);
+      if (j - i >= static_cast<size_t>(t)) {
+        result.push_back(gathered[i]);
+      } else {
+        ++local.keys_pruned;
+      }
       i = j;
     }
   } else {
@@ -247,7 +251,11 @@ Result<std::vector<int64_t>> InvertedIndex::SearchTOccurrence(
           heap.push({(*lists[li])[pos[li]], li});
         }
       }
-      if (count >= t) result.push_back(pk);
+      if (count >= t) {
+        result.push_back(pk);
+      } else {
+        ++local.keys_pruned;
+      }
     }
   }
 
@@ -256,6 +264,7 @@ Result<std::vector<int64_t>> InvertedIndex::SearchTOccurrence(
     stats->lists_probed += local.lists_probed;
     stats->postings_read += local.postings_read;
     stats->candidates += local.candidates;
+    stats->keys_pruned += local.keys_pruned;
     stats->cache_hits += local.cache_hits;
     stats->cache_misses += local.cache_misses;
   }

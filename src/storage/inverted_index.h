@@ -27,6 +27,9 @@ struct InvertedSearchStats {
   uint64_t lists_probed = 0;
   uint64_t postings_read = 0;
   uint64_t candidates = 0;
+  /// Distinct keys whose occurrence count fell below the T threshold — the
+  /// candidates the T-occurrence filter pruned.
+  uint64_t keys_pruned = 0;
   /// Posting-list cache behaviour: hits served from decoded lists, misses
   /// decoded from the LSM. Probes for tokens unknown to the dictionary touch
   /// neither (they are proven empty without storage access).

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "hyracks/exec.h"
 #include "hyracks/expr.h"
@@ -88,10 +89,14 @@ std::vector<std::string> SummarizeOps(const ExecStats& stats) {
     std::string s = std::to_string(op.node_id) + " " + op.name + " in=[";
     for (int in : op.input_ops) s += std::to_string(in) + ",";
     s += "] barrier=" + std::to_string(op.barrier) +
+         " stage=" + std::to_string(op.stage) +
+         " rows_in=" + std::to_string(op.rows_in) +
          " rows=" + std::to_string(op.rows_out) +
          " local=" + std::to_string(op.local_bytes) +
          " remote=" + std::to_string(op.remote_bytes) +
-         " transfers=" + std::to_string(op.remote_transfers);
+         " transfers=" + std::to_string(op.remote_transfers) + " parts=[";
+    for (uint64_t r : op.partition_rows) s += std::to_string(r) + ",";
+    s += "]";
     out.push_back(std::move(s));
   }
   return out;
@@ -327,6 +332,60 @@ TEST(SchedulerTest, SharedInputIsNotCorruptedByExchangeStealing) {
       ASSERT_TRUE(o.status.ok()) << o.status.ToString();
       EXPECT_EQ(o.rows, base.rows) << "pool " << pool;
       EXPECT_EQ(o.ops, base.ops) << "pool " << pool;
+    }
+  }
+}
+
+/// Merge gather whose one-shot Route() burns measurable wall time. Routing
+/// stays implicit (empty table), like the real MergeGatherOp.
+class SlowRouteMergeGatherOp : public MergeGatherOp {
+ public:
+  using MergeGatherOp::MergeGatherOp;
+  std::string name() const override { return "SLOW-MERGE-GATHER"; }
+  Result<Routing> Route(ExecContext& ctx, const PartitionedRows& in) override {
+    Stopwatch sw;
+    while (sw.ElapsedSeconds() < 0.1) {
+    }
+    return ExchangeOperator::Route(ctx, in);
+  }
+};
+
+TEST(SchedulerTest, MergeGatherRouteTimeNotChargedToIdleDestinations) {
+  // Regression: implicit-routing exchanges (gather, merge-gather, broadcast)
+  // used to spread the one-shot Route() cost evenly over every destination
+  // partition, so a merge-gather that steals all tuples into destination 0
+  // charged idle victims 1/parts of the route time each. With a 100 ms burn
+  // and 4 partitions the old even spread puts ~25 ms on each victim; the
+  // fixed accounting leaves them at build-only cost (microseconds).
+  Job job;
+  int src = job.Add(std::make_unique<IntSourceOp>(40), {}, RowSchema({"v"}));
+  job.Add(std::make_unique<SlowRouteMergeGatherOp>(
+              std::vector<SortKey>{{0, true}}),
+          {src}, RowSchema({"v"}));
+  for (ExecutorKind kind : kKinds) {
+    for (size_t pool : {size_t{0}, size_t{2}}) {
+      std::unique_ptr<ThreadPool> tp;
+      if (pool > 0) tp = std::make_unique<ThreadPool>(pool);
+      ExecStats stats;
+      ExecContext ctx;
+      ctx.pool = tp.get();
+      ctx.topology = {2, 2};
+      ctx.stats = &stats;
+      ctx.executor = kind;
+      Result<PartitionedRows> out = Executor::Run(job, ctx);
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      const OpStats* mg = nullptr;
+      for (const OpStats& op : stats.ops) {
+        if (op.name == "SLOW-MERGE-GATHER") mg = &op;
+      }
+      ASSERT_NE(mg, nullptr);
+      EXPECT_EQ(mg->partition_rows, (std::vector<uint64_t>{160, 0, 0, 0}));
+      ASSERT_EQ(mg->partition_seconds.size(), 4u);
+      for (int p = 1; p < 4; ++p) {
+        EXPECT_LT(mg->partition_seconds[p], 0.010)
+            << "victim partition " << p << " charged route time (executor "
+            << static_cast<int>(kind) << ", pool " << pool << ")";
+      }
     }
   }
 }
