@@ -22,8 +22,9 @@ SCHEDULER_BIN="$BUILD/bench/bench_scheduler"
 VERIFY_BIN="$BUILD/bench/bench_verify_overhead"
 FIG22_BIN="$BUILD/bench/bench_fig22_selection"
 PROFILE_BIN="$BUILD/bench/bench_profile"
+SERVING_BIN="$BUILD/bench/bench_serving"
 for bin in "$KERNELS_BIN" "$SCHEDULER_BIN" "$VERIFY_BIN" "$FIG22_BIN" \
-           "$PROFILE_BIN"; do
+           "$PROFILE_BIN" "$SERVING_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "missing benchmark binary: $bin (build the tree first)" >&2
     exit 1
@@ -59,12 +60,20 @@ if [[ "$QUICK" == "1" ]]; then
 fi
 "$PROFILE_BIN" "${PROFILE_FLAGS[@]}"
 
+echo "== bench_serving =="
+SERVING_FLAGS=(--json "$TMP/serving.json")
+if [[ "$QUICK" == "1" ]]; then
+  SERVING_FLAGS+=(--quick)
+fi
+"$SERVING_BIN" "${SERVING_FLAGS[@]}"
+
 python3 - "$TMP/kernels.json" "$TMP/scheduler.json" "$TMP/verify.json" \
-  "$TMP/fig22.txt" "$TMP/profile.json" "$OUT" "$QUICK" <<'PY'
+  "$TMP/fig22.txt" "$TMP/profile.json" "$TMP/serving.json" "$OUT" \
+  "$QUICK" <<'PY'
 import json, sys
 
 (kernels_path, scheduler_path, verify_path, fig22_path, profile_path,
- out_path, quick) = sys.argv[1:8]
+ serving_path, out_path, quick) = sys.argv[1:9]
 with open(kernels_path) as f:
     kernels = json.load(f)
 with open(scheduler_path) as f:
@@ -75,6 +84,8 @@ with open(fig22_path) as f:
     fig22_lines = [line.rstrip("\n") for line in f]
 with open(profile_path) as f:
     query_profile = json.load(f)
+with open(serving_path) as f:
+    serving = json.load(f)
 
 merged = {
     "generated_by": "bench/run_benches.sh",
@@ -84,6 +95,7 @@ merged = {
     "bench_verify_overhead": verify,
     "bench_fig22_selection": {"raw": fig22_lines},
     "query_profile": query_profile,
+    "bench_serving": serving,
 }
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)

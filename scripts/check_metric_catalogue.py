@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
-"""Two-way diff of emitted metric names against docs/OBSERVABILITY.md.
+"""Two-way diff of emitted metric names against a metric catalogue.
 
-Usage: check_metric_catalogue.py <profile.json> [docs/OBSERVABILITY.md]
+Usage: check_metric_catalogue.py [--prefix P] <metrics.json> [catalogue.md]
 
-<profile.json> is bench_profile --json output (or the query_profile
-section of BENCH_kernels.json). Emitted names are every per-operator
-counter plus every global-registry counter/histogram name. Documented
-names are the backticked dotted names in the catalogue tables of
-OBSERVABILITY.md; `<CONNECTOR>` rows expand against the four exchange
-connector names.
+<metrics.json> is bench_profile --json or bench_serving --json output (or
+the corresponding section of BENCH_kernels.json). Emitted names are every
+per-operator counter plus every global-registry counter/histogram name.
+Documented names are the backticked dotted names in the catalogue tables
+of the markdown file (default docs/OBSERVABILITY.md); `<CONNECTOR>` rows
+expand against the four exchange connector names.
+
+--prefix restricts both sides of the diff to names starting with P, so a
+namespaced catalogue (e.g. the `serving.` table in docs/SERVING.md) can be
+checked against a workload that also emits metrics documented elsewhere.
 
 Fails (exit 1) on an emitted-but-undocumented name OR a
 documented-but-never-emitted name, so the catalogue can neither lag the
@@ -49,14 +53,24 @@ def documented_names(markdown):
 
 
 def main():
-    if len(sys.argv) not in (2, 3):
+    args = sys.argv[1:]
+    prefix = ""
+    if args and args[0] == "--prefix":
+        if len(args) < 2:
+            sys.exit(__doc__)
+        prefix = args[1]
+        args = args[2:]
+    if len(args) not in (1, 2):
         sys.exit(__doc__)
-    with open(sys.argv[1]) as f:
+    with open(args[0]) as f:
         profile = json.load(f)
-    docs_path = sys.argv[2] if len(sys.argv) == 3 else "docs/OBSERVABILITY.md"
+    docs_path = args[1] if len(args) == 2 else "docs/OBSERVABILITY.md"
     with open(docs_path) as f:
         documented = documented_names(f.read())
     emitted = emitted_names(profile)
+    if prefix:
+        documented = {n for n in documented if n.startswith(prefix)}
+        emitted = {n for n in emitted if n.startswith(prefix)}
 
     undocumented = sorted(emitted - documented)
     dead = sorted(documented - emitted)

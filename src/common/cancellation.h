@@ -1,0 +1,78 @@
+#ifndef SIMDB_COMMON_CANCELLATION_H_
+#define SIMDB_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace simdb {
+
+/// Cooperative cancellation handle shared between a query's client (who may
+/// call RequestCancel at any time) and the runtime (which polls Check at
+/// task boundaries). Cancellation is cooperative: a task that has already
+/// started runs to completion; everything not yet started is skipped, so the
+/// scheduler still drains its graph and releases partial outputs.
+///
+/// A token optionally carries a deadline (steady clock). Deadline expiry and
+/// client cancellation report distinct status codes (kDeadlineExceeded vs
+/// kCancelled); when both apply, the client's explicit cancel wins.
+///
+/// Thread-safe; all operations are lock-free atomics.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Client-initiated cancellation. Idempotent.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Arms the deadline at `seconds` from now (<= 0 disarms). Steady-clock
+  /// based, so wall-clock adjustments cannot fire or starve it.
+  void SetDeadlineAfter(double seconds) {
+    if (seconds <= 0) {
+      deadline_micros_.store(0, std::memory_order_release);
+      return;
+    }
+    deadline_micros_.store(
+        NowMicros() + static_cast<int64_t>(seconds * 1e6),
+        std::memory_order_release);
+  }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  bool deadline_expired() const {
+    int64_t d = deadline_micros_.load(std::memory_order_acquire);
+    return d != 0 && NowMicros() >= d;
+  }
+
+  /// OK while the query may keep running; Cancelled / DeadlineExceeded once
+  /// it must stop. The runtime polls this before starting each task.
+  Status Check() const {
+    if (cancel_requested()) return Status::Cancelled("query cancelled");
+    if (deadline_expired()) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static int64_t NowMicros() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  /// Steady-clock micros; 0 = no deadline.
+  std::atomic<int64_t> deadline_micros_{0};
+};
+
+}  // namespace simdb
+
+#endif  // SIMDB_COMMON_CANCELLATION_H_

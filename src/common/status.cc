@@ -26,6 +26,14 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "TypeError";
     case StatusCode::kPlanError:
       return "PlanError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

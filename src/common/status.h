@@ -22,6 +22,12 @@ enum class StatusCode {
   kParseError,
   kTypeError,
   kPlanError,
+  // Serving-layer codes: each rejection/termination class is distinct so
+  // clients (and the admission tests) can tell them apart programmatically.
+  kCancelled,          // client-initiated cooperative cancellation
+  kDeadlineExceeded,   // query deadline hit (queued or mid-execution)
+  kResourceExhausted,  // per-query memory/task quota refused or tripped
+  kOverloaded,         // admission rejected: bounded wait queue is full
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -71,6 +77,18 @@ class Status {
   }
   static Status PlanError(std::string msg) {
     return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -37,23 +37,36 @@ void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
     for (auto& t : tasks) t();
     return;
   }
+  // Per-batch completion state: the caller waits for exactly its own tasks,
+  // so concurrent RunAll batches from different queries never observe each
+  // other. shared_ptr keeps the state alive until the last task finished
+  // even if a spurious wakeup races the caller out first.
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = tasks.size();
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& t : tasks) {
-      queue_.push_back(std::move(t));
-      ++in_flight_;
+      queue_.push_back([batch, fn = std::move(t)] {
+        fn();
+        std::lock_guard<std::mutex> lock(batch->mu);
+        if (--batch->remaining == 0) batch->cv.notify_all();
+      });
     }
   }
   work_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0 && queue_.empty(); });
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&] { return batch->remaining == 0; });
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
-    ++in_flight_;
   }
   work_cv_.notify_one();
 }
@@ -73,11 +86,6 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-    }
-    done_cv_.notify_all();
   }
 }
 

@@ -29,6 +29,9 @@ class ThreadPool {
   /// finished. Tasks must not throw; they communicate failure out of band.
   /// Safe to call from inside a pool worker: the batch then runs inline on
   /// the calling thread instead of deadlocking the pool on its own queue.
+  /// Completion is tracked per batch, so concurrent RunAll callers (several
+  /// queries sharing the engine pool) wait only for their own tasks — one
+  /// query's long batch cannot strand another's wait.
   void RunAll(std::vector<std::function<void()>> tasks);
 
   /// Enqueues one task and returns immediately. Completion tracking is the
@@ -45,9 +48,7 @@ class ThreadPool {
   std::vector<std::thread> threads_;
   std::mutex mu_;
   std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
   std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;
   bool shutdown_ = false;
 };
 

@@ -1,6 +1,9 @@
 #include "core/query_processor.h"
 
 #include <cctype>
+#include <functional>
+#include <mutex>
+#include <unordered_set>
 
 #include "analysis/dag_verifier.h"
 #include "analysis/plan_verifier.h"
@@ -46,6 +49,30 @@ void RollupMetrics(const obs::QueryProfile& profile) {
   }
 }
 
+/// Pre-execution admission estimate: bytes the optimized plan's dataset
+/// scans will produce (records x kAdmissionBytesPerRecord). Shared subplans
+/// are counted once — they are materialized once. Deliberately coarse: its
+/// only job is to refuse obviously hopeless queries before any task runs.
+int64_t EstimateScanBytes(const algebricks::LOpPtr& root,
+                          storage::Catalog* catalog) {
+  std::unordered_set<const algebricks::LOp*> seen;
+  int64_t bytes = 0;
+  std::function<void(const algebricks::LOpPtr&)> walk =
+      [&](const algebricks::LOpPtr& op) {
+        if (op == nullptr || !seen.insert(op.get()).second) return;
+        if (op->kind == algebricks::LOpKind::kDataScan) {
+          storage::Dataset* ds = catalog->Find(op->dataset);
+          if (ds != nullptr) {
+            bytes +=
+                ds->record_count() * QueryProcessor::kAdmissionBytesPerRecord;
+          }
+        }
+        for (const algebricks::LOpPtr& in : op->inputs) walk(in);
+      };
+  walk(root);
+  return bytes;
+}
+
 }  // namespace
 
 QueryProcessor::QueryProcessor(EngineOptions options)
@@ -61,6 +88,7 @@ QueryProcessor::QueryProcessor(EngineOptions options)
 
 Result<storage::Dataset*> QueryProcessor::CreateDataset(
     const std::string& name, const std::string& pk_field) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   storage::DatasetSpec spec;
   spec.name = name;
   spec.pk_field = pk_field;
@@ -69,6 +97,7 @@ Result<storage::Dataset*> QueryProcessor::CreateDataset(
 }
 
 Status QueryProcessor::Insert(const std::string& dataset, adm::Value record) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   storage::Dataset* ds = catalog_.Find(dataset);
   if (ds == nullptr) return Status::NotFound("dataset " + dataset);
   SIMDB_ASSIGN_OR_RETURN(int64_t pk, ds->Insert(std::move(record)));
@@ -91,7 +120,8 @@ void QueryProcessor::RegisterSimilarityUdf(similarity::SimilarityFunction fn) {
   similarity::SimilarityFunctionRegistry::Global().Register(std::move(fn));
 }
 
-Status QueryProcessor::OptimizePlan(LOpPtr& plan) {
+Status QueryProcessor::OptimizePlan(LOpPtr& plan,
+                                    algebricks::OptContext& opt) {
   RuleSet normalize;
   normalize.name = "normalize";
   normalize.rules = {
@@ -115,16 +145,18 @@ Status QueryProcessor::OptimizePlan(LOpPtr& plan) {
   finalize.name = "finalize";
   finalize.rules = {MakeUseCheckVariantRule()};
   finalize.max_iterations = 1;
-  SIMDB_RETURN_IF_ERROR(ApplyRuleSet(plan, normalize, opt_).status());
-  SIMDB_RETURN_IF_ERROR(ApplyRuleSet(plan, similarity_set, opt_).status());
-  SIMDB_RETURN_IF_ERROR(ApplyRuleSet(plan, normalize, opt_).status());
-  SIMDB_RETURN_IF_ERROR(ApplyCountListifyRewrite(plan, opt_).status());
-  SIMDB_RETURN_IF_ERROR(ApplyRuleSet(plan, finalize, opt_).status());
+  SIMDB_RETURN_IF_ERROR(ApplyRuleSet(plan, normalize, opt).status());
+  SIMDB_RETURN_IF_ERROR(ApplyRuleSet(plan, similarity_set, opt).status());
+  SIMDB_RETURN_IF_ERROR(ApplyRuleSet(plan, normalize, opt).status());
+  SIMDB_RETURN_IF_ERROR(ApplyCountListifyRewrite(plan, opt).status());
+  SIMDB_RETURN_IF_ERROR(ApplyRuleSet(plan, finalize, opt).status());
   return Status::OK();
 }
 
 Status QueryProcessor::RunQuery(const aql::AExprPtr& query,
-                                QueryResult* result) {
+                                QueryResult* result,
+                                algebricks::OptContext& opt,
+                                const QueryGovernor* gov) {
   CompileStats compile;
   Stopwatch total;
 
@@ -138,13 +170,27 @@ Status QueryProcessor::RunQuery(const aql::AExprPtr& query,
   }
 
   phase.Restart();
-  double aqlplus_before = opt_.aqlplus_seconds;
-  size_t fired_before = opt_.fired_rules.size();
-  SIMDB_RETURN_IF_ERROR(OptimizePlan(tr.plan));
+  double aqlplus_before = opt.aqlplus_seconds;
+  size_t fired_before = opt.fired_rules.size();
+  SIMDB_RETURN_IF_ERROR(OptimizePlan(tr.plan, opt));
   compile.optimize_seconds = phase.ElapsedSeconds();
-  compile.aqlplus_seconds = opt_.aqlplus_seconds - aqlplus_before;
+  compile.aqlplus_seconds = opt.aqlplus_seconds - aqlplus_before;
   if (options_.verify_plans) {
     SIMDB_RETURN_IF_ERROR(analysis::PlanVerifier::Verify(tr.plan, &catalog_));
+  }
+
+  // Admission control: refuse a query whose scanned input alone cannot fit
+  // the memory quota, before generating or running any task.
+  if (gov != nullptr && gov->budget != nullptr &&
+      gov->budget->max_memory_bytes() > 0) {
+    int64_t est = EstimateScanBytes(tr.plan, &catalog_);
+    if (est > gov->budget->max_memory_bytes()) {
+      return Status::ResourceExhausted(
+          "admission: estimated " + std::to_string(est) +
+          " bytes of scanned input exceeds the " +
+          std::to_string(gov->budget->max_memory_bytes()) +
+          "-byte memory quota");
+    }
   }
 
   phase.Restart();
@@ -167,13 +213,23 @@ Status QueryProcessor::RunQuery(const aql::AExprPtr& query,
   ctx.t_occurrence_algorithm = options_.t_occurrence_algorithm;
   ctx.posting_cache_enabled = options_.posting_cache_enabled;
   ctx.executor = options_.executor;
+  if (gov != nullptr) {
+    ctx.cancel = gov->cancel;
+    ctx.budget = gov->budget;
+  }
   std::unique_ptr<obs::TraceCollector> collector;
   if (options_.profile_queries) {
     collector = std::make_unique<obs::TraceCollector>();
     ctx.trace = collector.get();
   }
-  SIMDB_ASSIGN_OR_RETURN(hyracks::PartitionedRows rows,
-                         hyracks::Executor::Run(job, ctx));
+  Result<hyracks::PartitionedRows> run = hyracks::Executor::Run(job, ctx);
+  if (!run.ok()) {
+    // Hand the execution stats back even on failure: the cancellation tests
+    // assert the graph drained (executed + skipped == total) from here.
+    if (result != nullptr) result->exec = std::move(exec_stats);
+    return run.status();
+  }
+  hyracks::PartitionedRows rows = std::move(run).value();
 
   std::shared_ptr<const obs::QueryProfile> profile;
   if (collector != nullptr) {
@@ -201,20 +257,36 @@ Status QueryProcessor::RunQuery(const aql::AExprPtr& query,
     result->compile = compile;
     result->profile = std::move(profile);
     result->logical_plan = tr.plan->ToString();
-    result->fired_rules.assign(opt_.fired_rules.begin() + fired_before,
-                               opt_.fired_rules.end());
+    result->fired_rules.assign(opt.fired_rules.begin() + fired_before,
+                               opt.fired_rules.end());
   }
   return Status::OK();
 }
 
 Status QueryProcessor::ExecuteStatement(const aql::Statement& stmt,
-                                        QueryResult* result) {
+                                        QueryResult* result,
+                                        algebricks::OptContext& opt,
+                                        const QueryGovernor* gov,
+                                        bool concurrent) {
+  if (concurrent) {
+    switch (stmt.kind) {
+      case aql::Statement::Kind::kUseDataverse:
+      case aql::Statement::Kind::kSet:
+      case aql::Statement::Kind::kExplain:
+      case aql::Statement::Kind::kQuery:
+        break;  // read-only / per-call session state
+      default:
+        return Status::InvalidArgument(
+            "DDL/mutation statements are not allowed on a concurrent "
+            "session; use the exclusive Execute path");
+    }
+  }
   switch (stmt.kind) {
     case aql::Statement::Kind::kUseDataverse:
       return Status::OK();  // single-dataverse engine
     case aql::Statement::Kind::kSet: {
       if (stmt.name == "simfunction") {
-        opt_.sim_function_alias = stmt.set_value;
+        opt.sim_function_alias = stmt.set_value;
         return Status::OK();
       }
       if (stmt.name == "simthreshold") {
@@ -223,7 +295,7 @@ Status QueryProcessor::ExecuteStatement(const aql::Statement& stmt,
         if (end == stmt.set_value.c_str()) {
           return Status::ParseError("bad simthreshold");
         }
-        opt_.sim_threshold = v;
+        opt.sim_threshold = v;
         return Status::OK();
       }
       return Status::OK();  // unknown settings are accepted and ignored
@@ -298,7 +370,7 @@ Status QueryProcessor::ExecuteStatement(const aql::Statement& stmt,
       query->kind = aql::AExpr::Kind::kSubquery;
       query->subquery = std::move(flwor);
       QueryResult pks;
-      SIMDB_RETURN_IF_ERROR(RunQuery(query, &pks));
+      SIMDB_RETURN_IF_ERROR(RunQuery(query, &pks, opt, gov));
       for (const adm::Value& pk : pks.rows) {
         if (!pk.is_int64()) return Status::TypeError("non-int64 primary key");
         SIMDB_RETURN_IF_ERROR(ds->Delete(pk.AsInt64()));
@@ -330,8 +402,8 @@ Status QueryProcessor::ExecuteStatement(const aql::Statement& stmt,
       aql::Translator translator({}, &functions_);
       SIMDB_ASSIGN_OR_RETURN(aql::TranslationResult tr,
                              translator.TranslateQuery(stmt.body));
-      size_t fired_before = opt_.fired_rules.size();
-      SIMDB_RETURN_IF_ERROR(OptimizePlan(tr.plan));
+      size_t fired_before = opt.fired_rules.size();
+      SIMDB_RETURN_IF_ERROR(OptimizePlan(tr.plan, opt));
       if (options_.verify_plans) {
         SIMDB_RETURN_IF_ERROR(
             analysis::PlanVerifier::Verify(tr.plan, &catalog_));
@@ -339,13 +411,13 @@ Status QueryProcessor::ExecuteStatement(const aql::Statement& stmt,
       if (result != nullptr) {
         result->rows = {adm::Value::String(tr.plan->ToString())};
         result->logical_plan = tr.plan->ToString();
-        result->fired_rules.assign(opt_.fired_rules.begin() + fired_before,
-                                   opt_.fired_rules.end());
+        result->fired_rules.assign(opt.fired_rules.begin() + fired_before,
+                                   opt.fired_rules.end());
       }
       return Status::OK();
     }
     case aql::Statement::Kind::kQuery:
-      return RunQuery(stmt.body, result);
+      return RunQuery(stmt.body, result, opt, gov);
   }
   return Status::Internal("unreachable statement kind");
 }
@@ -394,8 +466,36 @@ Status QueryProcessor::Execute(std::string_view aql, QueryResult* result) {
   Stopwatch parse;
   SIMDB_ASSIGN_OR_RETURN(aql::Program program, aql::ParseProgram(aql));
   double parse_seconds = parse.ElapsedSeconds();
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   for (const aql::Statement& stmt : program.statements) {
-    SIMDB_RETURN_IF_ERROR(ExecuteStatement(stmt, result));
+    SIMDB_RETURN_IF_ERROR(
+        ExecuteStatement(stmt, result, opt_, nullptr, /*concurrent=*/false));
+  }
+  if (result != nullptr) result->compile.parse_seconds = parse_seconds;
+  return Status::OK();
+}
+
+Status QueryProcessor::ExecuteConcurrent(std::string_view aql,
+                                         const QueryGovernor& gov,
+                                         QueryResult* result) {
+  Stopwatch parse;
+  SIMDB_ASSIGN_OR_RETURN(aql::Program program, aql::ParseProgram(aql));
+  double parse_seconds = parse.ElapsedSeconds();
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  // Per-query optimizer context: a copy of the engine's session defaults
+  // that this query's `set` statements mutate privately. In verify mode the
+  // (stateful) contract checker is likewise a per-query instance.
+  algebricks::OptContext opt = opt_;
+  std::unique_ptr<analysis::RuleContractChecker> checker;
+  if (options_.verify_plans) {
+    checker = std::make_unique<analysis::RuleContractChecker>(&catalog_);
+    opt.check_hook = checker.get();
+  } else {
+    opt.check_hook = nullptr;
+  }
+  for (const aql::Statement& stmt : program.statements) {
+    SIMDB_RETURN_IF_ERROR(
+        ExecuteStatement(stmt, result, opt, &gov, /*concurrent=*/true));
   }
   if (result != nullptr) result->compile.parse_seconds = parse_seconds;
   return Status::OK();
@@ -403,19 +503,21 @@ Status QueryProcessor::Execute(std::string_view aql, QueryResult* result) {
 
 Result<std::string> QueryProcessor::Explain(std::string_view aql) {
   SIMDB_ASSIGN_OR_RETURN(aql::Program program, aql::ParseProgram(aql));
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   const aql::AExprPtr* query = nullptr;
   for (const aql::Statement& stmt : program.statements) {
     if (stmt.kind == aql::Statement::Kind::kQuery) {
       query = &stmt.body;
     } else {
-      SIMDB_RETURN_IF_ERROR(ExecuteStatement(stmt, nullptr));
+      SIMDB_RETURN_IF_ERROR(ExecuteStatement(stmt, nullptr, opt_, nullptr,
+                                             /*concurrent=*/false));
     }
   }
   if (query == nullptr) return Status::InvalidArgument("no query to explain");
   aql::Translator translator({}, &functions_);
   SIMDB_ASSIGN_OR_RETURN(aql::TranslationResult tr,
                          translator.TranslateQuery(*query));
-  SIMDB_RETURN_IF_ERROR(OptimizePlan(tr.plan));
+  SIMDB_RETURN_IF_ERROR(OptimizePlan(tr.plan, opt_));
   if (options_.verify_plans) {
     SIMDB_RETURN_IF_ERROR(analysis::PlanVerifier::Verify(tr.plan, &catalog_));
   }

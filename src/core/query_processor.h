@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,7 +12,9 @@
 #include "algebricks/rules.h"
 #include "aql/parser.h"
 #include "aql/translator.h"
+#include "common/cancellation.h"
 #include "common/thread_pool.h"
+#include "hyracks/budget.h"
 #include "hyracks/exec.h"
 #include "observability/profile.h"
 #include "similarity/similarity_function.h"
@@ -58,6 +61,15 @@ struct CompileStats {
   double total_seconds = 0;
 };
 
+/// Per-query serving controls threaded from the serving layer down into the
+/// executors. Both pointers are owned by the caller (the serving layer's
+/// QueryTicket) and must outlive the query. Null members disable the
+/// corresponding control.
+struct QueryGovernor {
+  const CancellationToken* cancel = nullptr;
+  hyracks::ResourceBudget* budget = nullptr;
+};
+
 /// Everything a query run produces.
 struct QueryResult {
   std::vector<adm::Value> rows;
@@ -80,7 +92,27 @@ class QueryProcessor {
 
   /// Executes a full AQL program (set/DDL statements and queries). The last
   /// query statement's output is stored into `*result` when non-null.
+  /// Takes the engine's state lock exclusively: DDL and data mutation are
+  /// serialized against every concurrent query.
   Status Execute(std::string_view aql, QueryResult* result = nullptr);
+
+  /// Executes a read-only AQL program (use/set/explain/query statements)
+  /// concurrently with other ExecuteConcurrent callers. Session `set`
+  /// statements apply to a per-call copy of the optimizer context, so
+  /// concurrent callers cannot observe each other's settings — the engine
+  /// keeps no mutable per-query state. DDL and mutation statements are
+  /// rejected with InvalidArgument (route them through Execute). `gov`
+  /// carries the query's cancellation token and resource budget; when a
+  /// memory quota is set, a pre-execution admission estimate (scanned
+  /// records x kAdmissionBytesPerRecord) refuses hopeless queries with
+  /// ResourceExhausted before any task runs.
+  Status ExecuteConcurrent(std::string_view aql, const QueryGovernor& gov,
+                           QueryResult* result = nullptr);
+
+  /// Bytes-per-record constant behind the admission estimate: deliberately
+  /// coarse (a scan's output is at least this much) and documented so tests
+  /// can size quotas above/below the refusal threshold.
+  static constexpr int64_t kAdmissionBytesPerRecord = 128;
 
   /// Compiles (but does not run) the last query in `aql`; returns the
   /// optimized logical plan rendering.
@@ -131,19 +163,31 @@ class QueryProcessor {
   void RegisterSimilarityUdf(similarity::SimilarityFunction fn);
 
  private:
-  Status ExecuteStatement(const aql::Statement& stmt, QueryResult* result);
+  /// All compilation/execution paths take the optimizer context explicitly:
+  /// the legacy single-session path passes the member `opt_` (under the
+  /// exclusive lock), the concurrent path passes a per-query copy, so query
+  /// compilation never races on shared mutable state. `gov` may be null.
+  Status ExecuteStatement(const aql::Statement& stmt, QueryResult* result,
+                          algebricks::OptContext& opt,
+                          const QueryGovernor* gov, bool concurrent);
   /// Evaluates a constant AST expression (insert payloads).
   Result<adm::Value> EvalConstantAst(const aql::AExprPtr& expr);
-  Status RunQuery(const aql::AExprPtr& query, QueryResult* result);
-  Status OptimizePlan(algebricks::LOpPtr& plan);
+  Status RunQuery(const aql::AExprPtr& query, QueryResult* result,
+                  algebricks::OptContext& opt, const QueryGovernor* gov);
+  Status OptimizePlan(algebricks::LOpPtr& plan, algebricks::OptContext& opt);
 
   /// Verifies each optimizer step in verify mode (null otherwise); owned
-  /// here, installed into `opt_.check_hook`.
+  /// here, installed into `opt_.check_hook`. Concurrent queries install a
+  /// per-query checker instead (the checker is stateful).
   std::unique_ptr<algebricks::PlanCheckHook> check_hook_;
 
   EngineOptions options_;
   storage::Catalog catalog_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Guards engine state: concurrent queries hold it shared for their whole
+  /// run; Execute / CreateDataset / Insert / RegisterSimilarityUdf hold it
+  /// exclusively (DDL, data mutation, session settings, option toggles).
+  mutable std::shared_mutex state_mu_;
   algebricks::OptContext opt_;
   std::map<std::string, aql::Translator::FunctionDefAst> functions_;
 };

@@ -206,7 +206,42 @@ Result<PartitionedRows> Executor::RunStageSequential(const Job& job,
   Stopwatch sw;
   std::vector<int> stages = ComputeStages(job);
   std::vector<PartitionedRows> outputs(nodes.size());
+  // Serving accounting at node granularity (this executor has no finer
+  // tasks): bytes charged per live node output, and executed/skipped node
+  // counts so executed + skipped == total holds here too.
+  std::vector<int64_t> charged(nodes.size(), 0);
+  uint64_t executed_nodes = 0;
+  auto cleanup = [&] {
+    if (ctx.budget != nullptr) {
+      for (int64_t& c : charged) {
+        if (c != 0) {
+          ctx.budget->ReleaseMemory(c);
+          c = 0;
+        }
+      }
+    }
+    if (ctx.stats != nullptr) {
+      ctx.stats->tasks_total += nodes.size();
+      ctx.stats->tasks_executed += executed_nodes;
+      ctx.stats->tasks_skipped += nodes.size() - executed_nodes;
+    }
+  };
   for (size_t i = 0; i < nodes.size(); ++i) {
+    // Cooperative serving checks, node-at-a-time (coarser than the
+    // scheduler's per-task polls, but the same client-visible statuses).
+    if (ctx.cancel != nullptr || ctx.budget != nullptr) {
+      Status admit =
+          ctx.cancel != nullptr ? ctx.cancel->Check() : Status::OK();
+      if (admit.ok() && ctx.budget != nullptr) admit = ctx.budget->ChargeTask();
+      if (!admit.ok()) {
+        cleanup();
+        if (ctx.stats != nullptr) {
+          ctx.stats->has_task_dag = true;
+          ctx.stats->wall_seconds += sw.ElapsedSeconds();
+        }
+        return admit;
+      }
+    }
     std::vector<const PartitionedRows*> inputs;
     inputs.reserve(nodes[i].inputs.size());
     for (int in : nodes[i].inputs) {
@@ -248,10 +283,12 @@ Result<PartitionedRows> Executor::RunStageSequential(const Job& job,
       ev.args = {{"node", static_cast<int64_t>(i)}};
       ctx.trace->Record(std::move(ev));
     }
+    ++executed_nodes;
     if (!executed.ok()) {
       // Keep the partial stats trail and identify the failing node: error
       // reports stay deterministic and attributable instead of dropping the
       // per-partition context on the floor.
+      cleanup();
       if (ctx.stats != nullptr) {
         ctx.stats->has_task_dag = true;
         ctx.stats->ops.push_back(std::move(op_stats));
@@ -263,8 +300,26 @@ Result<PartitionedRows> Executor::RunStageSequential(const Job& job,
     outputs[i] = std::move(executed).value();
     // Normalize: every operator must emit exactly total_partitions parts.
     if (static_cast<int>(outputs[i].size()) != ctx.topology.total_partitions()) {
+      cleanup();
       return Status::Internal("operator " + nodes[i].op->name() +
                               " produced wrong partition count");
+    }
+    if (ctx.budget != nullptr) {
+      int64_t bytes = 0;
+      for (const Rows& part : outputs[i]) {
+        for (const Tuple& t : part) bytes += static_cast<int64_t>(TupleBytes(t));
+      }
+      Status s = ctx.budget->ChargeMemory(bytes);
+      if (!s.ok()) {
+        cleanup();
+        if (ctx.stats != nullptr) {
+          ctx.stats->has_task_dag = true;
+          ctx.stats->ops.push_back(std::move(op_stats));
+          ctx.stats->wall_seconds += sw.ElapsedSeconds();
+        }
+        return s;
+      }
+      charged[i] = bytes;
     }
     op_stats.rows_out = RowsCount(outputs[i]);
     op_stats.partition_rows.reserve(outputs[i].size());
@@ -276,9 +331,14 @@ Result<PartitionedRows> Executor::RunStageSequential(const Job& job,
     for (int in : nodes[i].inputs) {
       if (--refcount[static_cast<size_t>(in)] == 0) {
         outputs[static_cast<size_t>(in)] = PartitionedRows();
+        if (ctx.budget != nullptr && charged[static_cast<size_t>(in)] != 0) {
+          ctx.budget->ReleaseMemory(charged[static_cast<size_t>(in)]);
+          charged[static_cast<size_t>(in)] = 0;
+        }
       }
     }
   }
+  cleanup();
   if (ctx.stats != nullptr) {
     ctx.stats->has_task_dag = true;
     ctx.stats->wall_seconds += sw.ElapsedSeconds();

@@ -6,8 +6,10 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "hyracks/budget.h"
 #include "hyracks/tuple.h"
 #include "storage/catalog.h"
 #include "storage/inverted_index.h"
@@ -86,6 +88,13 @@ struct ExecStats {
   /// True when `ops` carries node/input DAG info (set by both executors);
   /// enables the cost model's critical-path makespan.
   bool has_task_dag = false;
+  /// Task accounting (task-graph scheduler; the stage-sequential executor
+  /// counts whole nodes). Every planned task is either executed or skipped —
+  /// executed + skipped == total proves the graph drained, which is what the
+  /// cancellation tests assert: no task is left behind after a cancel.
+  uint64_t tasks_total = 0;
+  uint64_t tasks_executed = 0;
+  uint64_t tasks_skipped = 0;
 
   uint64_t TotalRemoteBytes() const {
     uint64_t total = 0;
@@ -127,6 +136,14 @@ struct ExecContext {
   /// partition task. Set by the executors (on a per-task copy of the
   /// context) when profiling; operators write through it via CountOp.
   OpCounterSink* counters = nullptr;
+  /// Cooperative cancellation: when non-null, both executors poll it before
+  /// starting each task (scheduler) / node (stage-sequential). Tasks already
+  /// running finish; everything else is skipped, partial outputs released.
+  /// Null (the default) is the zero-overhead single-query path.
+  const CancellationToken* cancel = nullptr;
+  /// Per-query resource quotas (memory held in live intermediate partitions,
+  /// task count). Null (the default) disables all accounting.
+  ResourceBudget* budget = nullptr;
 };
 
 /// Adds `delta` to the named operator counter when profiling is on; a single

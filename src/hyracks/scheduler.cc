@@ -65,6 +65,15 @@ class SchedulerRun {
     return Finalize(sw.ElapsedSeconds());
   }
 
+  /// Bytes a task's output will occupy while held by the scheduler; only
+  /// computed when a budget is attached (the unbudgeted path never walks
+  /// tuples).
+  static int64_t RowsApproxBytes(const Rows& rows) {
+    int64_t bytes = 0;
+    for (const Tuple& t : rows) bytes += static_cast<int64_t>(TupleBytes(t));
+    return bytes;
+  }
+
  private:
   int AddTask(TaskKind kind, int node, int p) {
     int id = static_cast<int>(tasks_.size());
@@ -91,6 +100,10 @@ class SchedulerRun {
                      std::vector<int>(static_cast<size_t>(parts_), 0));
     producer_.assign(static_cast<size_t>(n),
                      std::vector<int>(static_cast<size_t>(parts_), -1));
+    if (ctx_.budget != nullptr) {
+      charged_.assign(static_cast<size_t>(n),
+                      std::vector<int64_t>(static_cast<size_t>(parts_), 0));
+    }
 
     // Tuples may be moved out of an exchange's input only when the exchange
     // is the input's sole consumer.
@@ -232,6 +245,38 @@ class SchedulerRun {
     nr.unwrapped = unwrapped;
   }
 
+  /// Cooperative serving checks at task start: cancellation/deadline, then
+  /// the task quota. A tripped check records an unwrapped failure (the
+  /// client sees the plain "query cancelled" / quota status, not a node
+  /// prefix) and skips the task — the graph still drains, downstream tasks
+  /// are skipped transitively, and partial outputs are released on the way.
+  bool AdmitTaskOrSkip(int tid, Task& t) {
+    Status s = Status::OK();
+    if (ctx_.cancel != nullptr) s = ctx_.cancel->Check();
+    if (s.ok() && ctx_.budget != nullptr) s = ctx_.budget->ChargeTask();
+    if (s.ok()) return true;
+    std::unique_lock<std::mutex> lock(mu_);
+    ++tasks_skipped_;
+    RecordFailure(t.node, t.p, std::move(s), /*unwrapped=*/true);
+    CompleteLocked(tid, /*bad=*/true);
+    return false;
+  }
+
+  /// Charges `bytes` for (node, p) against the budget. On refusal records a
+  /// ResourceExhausted failure for the task and completes it as bad (the
+  /// output is dropped, not stored). Mutex held.
+  bool ChargeOutputLocked(int tid, int node, int p, int64_t bytes) {
+    if (ctx_.budget == nullptr) return true;
+    Status s = ctx_.budget->ChargeMemory(bytes);
+    if (s.ok()) {
+      charged_[static_cast<size_t>(node)][static_cast<size_t>(p)] = bytes;
+      return true;
+    }
+    RecordFailure(node, p, std::move(s), /*unwrapped=*/true);
+    CompleteLocked(tid, /*bad=*/true);
+    return false;
+  }
+
   /// Runs one task, records its outcome, and wakes dependents. Called from
   /// pool workers (or inline); everything after the operator call happens
   /// under the scheduler mutex, which also publishes outputs to dependents.
@@ -239,6 +284,7 @@ class SchedulerRun {
     Task& t = tasks_[static_cast<size_t>(tid)];
     const Job::Node& jn = job_.nodes()[static_cast<size_t>(t.node)];
     NodeRun& nr = nodes_[static_cast<size_t>(t.node)];
+    if (!AdmitTaskOrSkip(tid, t)) return;
     switch (t.kind) {
       case TaskKind::kLocal: {
         auto* op = static_cast<PartitionOperator*>(jn.op.get());
@@ -276,7 +322,10 @@ class SchedulerRun {
                      {"rows", static_cast<int64_t>(r.value().size())}};
           ctx_.trace->Record(std::move(ev));
         }
+        int64_t out_bytes =
+            (ctx_.budget != nullptr && r.ok()) ? RowsApproxBytes(r.value()) : 0;
         std::unique_lock<std::mutex> lock(mu_);
+        ++tasks_executed_;
         nr.any_ran = true;
         nr.stats.partition_seconds[static_cast<size_t>(t.p)] = secs;
         nr.stats.rows_in += rows_in;
@@ -284,6 +333,7 @@ class SchedulerRun {
         if (r.ok()) {
           nr.stats.rows_out += r.value().size();
           nr.stats.partition_rows[static_cast<size_t>(t.p)] = r.value().size();
+          if (!ChargeOutputLocked(tid, t.node, t.p, out_bytes)) return;
           outputs_[static_cast<size_t>(t.node)][static_cast<size_t>(t.p)] =
               std::move(r).value();
           CompleteLocked(tid, /*bad=*/false);
@@ -313,6 +363,7 @@ class SchedulerRun {
           ctx_.trace->Record(std::move(ev));
         }
         std::unique_lock<std::mutex> lock(mu_);
+        ++tasks_executed_;
         nr.any_ran = true;
         nr.route_seconds = secs;
         nr.stats.rows_in = rows_in;
@@ -351,13 +402,17 @@ class SchedulerRun {
                      {"rows", static_cast<int64_t>(r.value().size())}};
           ctx_.trace->Record(std::move(ev));
         }
+        int64_t out_bytes =
+            (ctx_.budget != nullptr && r.ok()) ? RowsApproxBytes(r.value()) : 0;
         std::unique_lock<std::mutex> lock(mu_);
+        ++tasks_executed_;
         nr.any_ran = true;
         nr.build_seconds[static_cast<size_t>(t.p)] = secs;
         if (r.ok()) {
           nr.dest_stats[static_cast<size_t>(t.p)] = std::move(dstats);
           nr.stats.rows_out += r.value().size();
           nr.stats.partition_rows[static_cast<size_t>(t.p)] = r.value().size();
+          if (!ChargeOutputLocked(tid, t.node, t.p, out_bytes)) return;
           outputs_[static_cast<size_t>(t.node)][static_cast<size_t>(t.p)] =
               std::move(r).value();
           CompleteLocked(tid, /*bad=*/false);
@@ -393,6 +448,7 @@ class SchedulerRun {
           ctx_.trace->Record(std::move(ev));
         }
         std::unique_lock<std::mutex> lock(mu_);
+        ++tasks_executed_;
         nr.any_ran = true;
         if (!r.ok()) {
           RecordFailure(t.node, -1, r.status(), /*unwrapped=*/false);
@@ -413,6 +469,15 @@ class SchedulerRun {
         for (int p = 0; p < parts_; ++p) {
           nr.stats.partition_rows[static_cast<size_t>(p)] =
               out[static_cast<size_t>(p)].size();
+        }
+        if (ctx_.budget != nullptr) {
+          for (int p = 0; p < parts_; ++p) {
+            if (!ChargeOutputLocked(
+                    tid, t.node, p,
+                    RowsApproxBytes(out[static_cast<size_t>(p)]))) {
+              return;  // partial charges are released via DecRef / Finalize
+            }
+          }
         }
         outputs_[static_cast<size_t>(t.node)] = std::move(out);
         CompleteLocked(tid, /*bad=*/false);
@@ -442,6 +507,7 @@ class SchedulerRun {
         dep.dep_failed |= was_bad;
         if (--dep.pending == 0) {
           if (dep.dep_failed) {
+            ++tasks_skipped_;
             events.emplace_back(d, true);  // skipped, never executed
           } else {
             LaunchLocked(d);
@@ -480,11 +546,36 @@ class SchedulerRun {
     int& rc = refcount_[static_cast<size_t>(node)][static_cast<size_t>(p)];
     if (--rc == 0) {
       outputs_[static_cast<size_t>(node)][static_cast<size_t>(p)] = Rows();
+      if (ctx_.budget != nullptr) {
+        int64_t& c = charged_[static_cast<size_t>(node)][static_cast<size_t>(p)];
+        if (c != 0) {
+          ctx_.budget->ReleaseMemory(c);
+          c = 0;
+        }
+      }
     }
   }
 
   Result<PartitionedRows> Finalize(double wall_seconds) {
     int n = static_cast<int>(job_.nodes().size());
+    // Return every outstanding memory charge (the root's output, anything a
+    // failed/cancelled run left behind): after this the query holds zero
+    // budget bytes whether it succeeded, failed, or was cancelled.
+    if (ctx_.budget != nullptr) {
+      for (auto& per_node : charged_) {
+        for (int64_t& c : per_node) {
+          if (c != 0) {
+            ctx_.budget->ReleaseMemory(c);
+            c = 0;
+          }
+        }
+      }
+    }
+    if (ctx_.stats != nullptr) {
+      ctx_.stats->tasks_total += tasks_.size();
+      ctx_.stats->tasks_executed += tasks_executed_;
+      ctx_.stats->tasks_skipped += tasks_skipped_;
+    }
     if (ctx_.stats != nullptr) {
       for (int i = 0; i < n; ++i) {
         NodeRun& nr = nodes_[static_cast<size_t>(i)];
@@ -533,6 +624,11 @@ class SchedulerRun {
   std::vector<PartitionedRows> outputs_;
   std::vector<std::vector<int>> refcount_;  // [node][partition]
   std::vector<std::vector<int>> producer_;  // task producing (node, partition)
+  /// [node][partition] bytes charged to the budget for a stored output;
+  /// sized only when ctx_.budget != nullptr.
+  std::vector<std::vector<int64_t>> charged_;
+  uint64_t tasks_executed_ = 0;
+  uint64_t tasks_skipped_ = 0;
 
   std::mutex mu_;
   std::condition_variable done_cv_;

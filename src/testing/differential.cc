@@ -1,9 +1,12 @@
 #include "testing/differential.h"
 
 #include <algorithm>
+#include <cctype>
 #include <memory>
+#include <utility>
 
 #include "core/query_processor.h"
+#include "serving/query_engine.h"
 #include "storage/file_util.h"
 
 namespace simdb::testing {
@@ -117,6 +120,24 @@ int MinimizeRecords(const FuzzCase& c, const Mismatch& m,
   storage::RemoveAll(scratch + "/min_a");
   storage::RemoveAll(scratch + "/min_b");
   return best;
+}
+
+/// Strips the digits from generated variable ids ($v<n>_x -> $v_x): they
+/// come from a process-global fresh-name counter, so the same query compiled
+/// twice names its variables differently while meaning the same plan.
+std::string NormalizeVarIds(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    out.push_back(text[i]);
+    if (text[i] == 'v' && i > 0 && text[i - 1] == '$') {
+      while (i + 1 < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        ++i;
+      }
+    }
+  }
+  return out;
 }
 
 std::string FormatMismatch(const FuzzCase& c, const Mismatch& m,
@@ -268,6 +289,135 @@ DifferentialReport RunDifferential(const FuzzCase& c,
     }
     first_combination = false;
   }
+  return report;
+}
+
+DifferentialReport RunConcurrentDifferential(
+    const FuzzCase& c, const ConcurrentDifferentialOptions& options) {
+  DifferentialReport report;
+  auto fail = [&](std::string message) {
+    report.ok = false;
+    report.failure = std::move(message);
+    return report;
+  };
+  auto describe = [&](const std::string& detail) {
+    return "SIMDB_FUZZ_CONCURRENT_FAILURE " + DescribeFuzzCase(c) + "\n  " +
+           detail + "\n  repro: fuzz_equivalence_test --replay " +
+           std::to_string(c.seed);
+  };
+
+  storage::RemoveAll(options.scratch_dir);
+  EngineOptions engine_options;
+  engine_options.data_dir = options.scratch_dir;
+  engine_options.topology = options.topology;
+  engine_options.num_threads = 2;
+  engine_options.verify_plans = true;
+  serving::ServingOptions serving_options;
+  serving_options.max_concurrent = options.max_in_flight;
+  // Queue everything up front so max_in_flight queries genuinely overlap;
+  // the queue must never shed in this harness.
+  serving_options.max_queue =
+      c.queries.size() * static_cast<size_t>(options.repeats) + 8;
+  serving::QueryEngine engine(engine_options, serving_options);
+
+  Status setup = engine.processor().Execute(c.ddl);
+  if (setup.ok()) {
+    for (adm::Value& record : MakeRecords(c, c.num_records)) {
+      setup = engine.processor().Insert("D", std::move(record));
+      if (!setup.ok()) break;
+    }
+  }
+  if (!setup.ok()) {
+    storage::RemoveAll(options.scratch_dir);
+    return fail(describe("engine build failed: " + setup.ToString()));
+  }
+
+  // Sequential expectations through the exclusive single-query path, on the
+  // same engine configuration the concurrent path will use.
+  struct Expected {
+    bool ok = false;
+    std::vector<std::string> rows;
+    std::string error;
+  };
+  std::vector<Expected> expected(c.queries.size());
+  for (size_t qi = 0; qi < c.queries.size(); ++qi) {
+    Result<std::vector<std::string>> rows =
+        RunNormalized(engine.processor(), c.queries[qi].aql);
+    if (rows.ok()) {
+      expected[qi].ok = true;
+      expected[qi].rows = std::move(*rows);
+    } else {
+      expected[qi].error = NormalizeVarIds(rows.status().ToString());
+    }
+  }
+
+  // Submit every (query x repeat) before awaiting anything.
+  std::vector<std::pair<size_t, std::shared_ptr<serving::QueryTicket>>>
+      tickets;
+  tickets.reserve(c.queries.size() * static_cast<size_t>(options.repeats));
+  for (int rep = 0; rep < options.repeats; ++rep) {
+    for (size_t qi = 0; qi < c.queries.size(); ++qi) {
+      Result<std::shared_ptr<serving::QueryTicket>> ticket =
+          engine.Submit(c.queries[qi].aql + ";");
+      if (!ticket.ok()) {
+        engine.Shutdown();
+        storage::RemoveAll(options.scratch_dir);
+        return fail(describe("query[" + c.queries[qi].label +
+                             "] refused at submit: " +
+                             ticket.status().ToString()));
+      }
+      tickets.emplace_back(qi, std::move(ticket).value());
+    }
+  }
+
+  for (const auto& [qi, ticket] : tickets) {
+    const FuzzQuery& query = c.queries[qi];
+    const Status& status = ticket->Wait();
+    ++report.comparisons;
+    if (expected[qi].ok) {
+      if (!status.ok()) {
+        engine.Shutdown();
+        storage::RemoveAll(options.scratch_dir);
+        return fail(describe(
+            "query[" + query.label + "]: " + query.aql +
+            "\n  concurrent run failed where the sequential run succeeded: " +
+            status.ToString()));
+      }
+      std::vector<std::string> rows;
+      rows.reserve(ticket->result().rows.size());
+      for (const adm::Value& row : ticket->result().rows) {
+        rows.push_back(row.ToJson());
+      }
+      std::sort(rows.begin(), rows.end());
+      if (rows != expected[qi].rows) {
+        std::string detail =
+            "query[" + query.label + "]: " + query.aql + "\n  sequential: " +
+            std::to_string(expected[qi].rows.size()) +
+            " rows, concurrent: " + std::to_string(rows.size()) + " rows";
+        std::string missing = FirstOnlyIn(expected[qi].rows, rows);
+        std::string extra = FirstOnlyIn(rows, expected[qi].rows);
+        if (!missing.empty()) detail += "\n  first missing row: " + missing;
+        if (!extra.empty()) detail += "\n  first extra row:   " + extra;
+        engine.Shutdown();
+        storage::RemoveAll(options.scratch_dir);
+        return fail(describe(detail));
+      }
+    } else {
+      std::string error = NormalizeVarIds(status.ToString());
+      if (status.ok() || error != expected[qi].error) {
+        engine.Shutdown();
+        storage::RemoveAll(options.scratch_dir);
+        return fail(describe(
+            "query[" + query.label + "]: " + query.aql +
+            "\n  sequential error: " + expected[qi].error +
+            "\n  concurrent outcome: " +
+            (status.ok() ? "success" : error)));
+      }
+    }
+  }
+
+  engine.Shutdown();
+  storage::RemoveAll(options.scratch_dir);
   return report;
 }
 

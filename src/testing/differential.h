@@ -73,6 +73,25 @@ struct DifferentialReport {
 DifferentialReport RunDifferential(const FuzzCase& c,
                                    const DifferentialOptions& options = {});
 
+struct ConcurrentDifferentialOptions {
+  std::string scratch_dir = "/tmp/simdb_fuzz_concurrent";
+  hyracks::ClusterTopology topology = {2, 2};
+  /// Serving-engine concurrency: how many queries execute at once.
+  int max_in_flight = 4;
+  /// How many times each query of the case is submitted concurrently.
+  int repeats = 2;
+};
+
+/// Differential check for the concurrent serving path: every query of `c` is
+/// first executed on the exclusive single-query path (the expectation), then
+/// submitted `repeats` times through a serving::QueryEngine with
+/// `max_in_flight` queries executing at once. Every concurrent execution
+/// must be bit-identical to its sequential run — same sorted result rows on
+/// success, and the same error (normalized for generated variable ids) on
+/// failure, no matter how executions interleave.
+DifferentialReport RunConcurrentDifferential(
+    const FuzzCase& c, const ConcurrentDifferentialOptions& options = {});
+
 }  // namespace simdb::testing
 
 #endif  // SIMDB_TESTING_DIFFERENTIAL_H_

@@ -51,12 +51,42 @@ void RunSeed(uint64_t seed) {
   }
 }
 
+/// Concurrent serving must be invisible to results: the same seed's queries
+/// are executed once sequentially and then pushed through a 4-in-flight
+/// serving engine, and every concurrent execution must be bit-identical —
+/// including failing queries, which must fail with the sequential error.
+void RunSeedConcurrent(uint64_t seed) {
+  FuzzCase c = MakeFuzzCase(seed);
+  ConcurrentDifferentialOptions options;
+  options.scratch_dir = ScratchDir(seed) + "_concurrent";
+  DifferentialReport report = RunConcurrentDifferential(c, options);
+  EXPECT_TRUE(report.ok) << report.failure;
+  if (report.ok) {
+    EXPECT_EQ(report.comparisons,
+              static_cast<int>(c.queries.size()) * options.repeats)
+        << DescribeFuzzCase(c);
+  }
+}
+
 class FuzzEquivalence : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzEquivalence, AllVariantsAgree) { RunSeed(GetParam()); }
 
+class ConcurrentEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConcurrentEquivalence, MatchesSequential) {
+  RunSeedConcurrent(GetParam());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     FixedSeeds, FuzzEquivalence,
+    ::testing::Range<uint64_t>(1, kFixedSeedCount + 1),
+    [](const ::testing::TestParamInfo<uint64_t>& info) {
+      return "seed" + std::to_string(info.param);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    FixedSeeds, ConcurrentEquivalence,
     ::testing::Range<uint64_t>(1, kFixedSeedCount + 1),
     [](const ::testing::TestParamInfo<uint64_t>& info) {
       return "seed" + std::to_string(info.param);
@@ -69,6 +99,7 @@ TEST(FuzzEquivalenceExtra, RequestedSeeds) {
   for (uint64_t seed : g_extra_seeds) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     RunSeed(seed);
+    RunSeedConcurrent(seed);
   }
 }
 
