@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "similarity/edit_distance.h"
 #include "similarity/jaccard.h"
+#include "similarity/simd_kernels.h"
 #include "similarity/tokenizer.h"
 #include "storage/file_util.h"
 #include "storage/inverted_index.h"
@@ -128,6 +129,133 @@ void BM_JaccardCheckIds(benchmark::State& state) {
 }
 BENCHMARK(BM_JaccardCheckIds)->Arg(8)->Arg(64);
 
+// ---------------------------------------------------------------------------
+// Batch/SIMD kernels (runtime-dispatched; compare against the scalar
+// per-pair baselines above).
+// ---------------------------------------------------------------------------
+
+void BM_JaccardCheckIdsSimd(benchmark::State& state) {
+  Random rng(2);
+  storage::TokenDictionary dict;
+  auto a = EncodeIds(dict, RandomTokens(rng, static_cast<size_t>(state.range(0))));
+  auto b = EncodeIds(dict, RandomTokens(rng, static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simd::JaccardCheckSortedIds(a.data(), a.size(), b.data(), b.size(), 0.9));
+  }
+}
+BENCHMARK(BM_JaccardCheckIdsSimd)->Arg(8)->Arg(64);
+
+/// Near-threshold verify workload: candidates that survived the length and
+/// T-occurrence filters share most of the probe's tokens, so verification
+/// has to merge deep into both lists before it can decide. Ids are
+/// occurrence-distinct (always unique within a list), exactly what the
+/// operators' TokenIdEncoder produces. Candidate i replaces d random probe
+/// ids with fresh ones in place (the lists stay sorted and unique), giving
+/// Jaccard (len-d)/(len+d) — a mix of accepts and rejects around 0.9.
+struct JaccardWorkload {
+  std::vector<uint32_t> probe;
+  std::vector<std::vector<uint32_t>> candidates;
+  std::vector<uint32_t> ids;        // candidates in CSR form
+  std::vector<size_t> offsets{0};
+};
+
+JaccardWorkload MakeJaccardWorkload(size_t len, size_t n) {
+  Random rng(2);
+  JaccardWorkload w;
+  for (size_t j = 0; j < len; ++j) {
+    w.probe.push_back(static_cast<uint32_t>(1000 * j));
+  }
+  const uint32_t max_d = static_cast<uint32_t>(len / 10 + 2);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<uint32_t> cand = w.probe;
+    const uint32_t d = rng.Uniform(max_d + 1);
+    for (uint32_t r = 0; r < d; ++r) {
+      const size_t p = rng.Uniform(static_cast<uint32_t>(len));
+      cand[p] = static_cast<uint32_t>(1000 * p + 1 + rng.Uniform(998));
+    }
+    w.ids.insert(w.ids.end(), cand.begin(), cand.end());
+    w.offsets.push_back(w.ids.size());
+    w.candidates.push_back(std::move(cand));
+  }
+  return w;
+}
+
+/// The PR 2 scalar kernel called once per pair over the near-threshold
+/// workload — the baseline the batch kernel's per-item time is compared
+/// against.
+void BM_JaccardCheckIdsScalarBatch(benchmark::State& state) {
+  JaccardWorkload w =
+      MakeJaccardWorkload(static_cast<size_t>(state.range(0)), 1024);
+  std::vector<double> out(w.candidates.size());
+  for (auto _ : state) {
+    for (size_t i = 0; i < w.candidates.size(); ++i) {
+      out[i] = similarity::JaccardCheckSortedIds(w.probe, w.candidates[i], 0.9);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(w.candidates.size()));
+}
+BENCHMARK(BM_JaccardCheckIdsScalarBatch)->Arg(8)->Arg(64);
+
+/// Verifies 1024 candidates per call through the CSR batch kernel — the
+/// shape the SELECT/JOIN batch paths produce. Per-item time against
+/// BM_JaccardCheckIdsScalarBatch is the batch-execution speedup.
+void BM_JaccardCheckIdsBatch(benchmark::State& state) {
+  JaccardWorkload w =
+      MakeJaccardWorkload(static_cast<size_t>(state.range(0)), 1024);
+  const size_t n = w.candidates.size();
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    simd::JaccardCheckBatch(w.probe.data(), w.probe.size(), w.ids.data(),
+                            w.offsets.data(), n, 0.9, out.data(),
+                            /*assume_unique=*/true);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_JaccardCheckIdsBatch)->Arg(8)->Arg(64);
+
+void BM_EditDistanceCheckMyers(benchmark::State& state) {
+  Random rng(1);
+  std::string a = RandomString(rng, static_cast<size_t>(state.range(0)));
+  std::string b = a;
+  b[0] = '#';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::EditDistanceCheck(a, b, 2));
+  }
+}
+BENCHMARK(BM_EditDistanceCheckMyers)->Arg(10)->Arg(40);
+
+/// Verifies 1024 candidate strings against one pattern per call (the
+/// NL-JOIN batch shape): the bit-parallel pattern is preprocessed once and
+/// equal-length candidates run four per AVX2 vector.
+void BM_EditDistanceCheckBatch(benchmark::State& state) {
+  Random rng(1);
+  const size_t n = 1024;
+  const size_t len = static_cast<size_t>(state.range(0));
+  std::string pattern = RandomString(rng, len);
+  std::vector<char> chars;
+  std::vector<size_t> offsets{0};
+  for (size_t i = 0; i < n; ++i) {
+    std::string cand = pattern;
+    cand[rng.Uniform(static_cast<uint32_t>(len))] = '#';
+    chars.insert(chars.end(), cand.begin(), cand.end());
+    offsets.push_back(chars.size());
+  }
+  std::vector<int> out(n);
+  simd::EditDistancePattern prepared(pattern);
+  for (auto _ : state) {
+    prepared.CheckBatch(chars.data(), offsets.data(), n, 2, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EditDistanceCheckBatch)->Arg(10)->Arg(40);
+
 /// Shared inverted index used by the T-occurrence benchmarks.
 class InvertedIndexFixture : public benchmark::Fixture {
  public:
@@ -174,6 +302,20 @@ BENCHMARK_DEFINE_F(InvertedIndexFixture, TOccurrenceHeapMerge)
   }
 }
 BENCHMARK_REGISTER_F(InvertedIndexFixture, TOccurrenceHeapMerge);
+
+// Batch path: occurrences counted in a dense per-slot counter array directly
+// over the cached posting arrays — no gather copy, no per-posting hashing.
+// Compare against TOccurrenceScanCount (the gather baseline).
+BENCHMARK_DEFINE_F(InvertedIndexFixture, TOccurrenceBatch)
+(benchmark::State& state) {
+  simd::TOccurrenceScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index_->SearchTOccurrence(
+        query_, 4, storage::TOccurrenceAlgorithm::kScanCount,
+        /*stats=*/nullptr, /*use_cache=*/true, &scratch));
+  }
+}
+BENCHMARK_REGISTER_F(InvertedIndexFixture, TOccurrenceBatch);
 
 // Cold path: every probe decodes its posting lists from the LSM instead of
 // hitting the decoded-list cache, isolating the cache's contribution.

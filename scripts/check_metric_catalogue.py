@@ -1,18 +1,24 @@
 #!/usr/bin/env python3
 """Two-way diff of emitted metric names against a metric catalogue.
 
-Usage: check_metric_catalogue.py [--prefix P] <metrics.json> [catalogue.md]
+Usage: check_metric_catalogue.py [--prefix P] [--expect-prefix P]...
+                                 <metrics.json> [catalogue.md...]
 
 <metrics.json> is bench_profile --json or bench_serving --json output (or
 the corresponding section of BENCH_kernels.json). Emitted names are every
 per-operator counter plus every global-registry counter/histogram name.
 Documented names are the backticked dotted names in the catalogue tables
-of the markdown file (default docs/OBSERVABILITY.md); `<CONNECTOR>` rows
-expand against the four exchange connector names.
+of the markdown files (default docs/OBSERVABILITY.md); `<CONNECTOR>` rows
+expand against the four exchange connector names. Several catalogue files
+may be given when the workload's counters are documented across documents.
 
 --prefix restricts both sides of the diff to names starting with P, so a
 namespaced catalogue (e.g. the `serving.` table in docs/SERVING.md) can be
 checked against a workload that also emits metrics documented elsewhere.
+
+--expect-prefix P (repeatable) asserts that the workload emitted at least
+one name starting with P — a liveness check that a subsystem's counters
+(e.g. `exec.batch.`) did not silently disappear from the profile.
 
 Fails (exit 1) on an emitted-but-undocumented name OR a
 documented-but-never-emitted name, so the catalogue can neither lag the
@@ -55,31 +61,55 @@ def documented_names(markdown):
 def main():
     args = sys.argv[1:]
     prefix = ""
-    if args and args[0] == "--prefix":
-        if len(args) < 2:
-            sys.exit(__doc__)
-        prefix = args[1]
-        args = args[2:]
-    if len(args) not in (1, 2):
+    expect_prefixes = []
+    positional = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--prefix":
+            if i + 1 >= len(args):
+                sys.exit(__doc__)
+            prefix = args[i + 1]
+            i += 2
+        elif args[i] == "--expect-prefix":
+            if i + 1 >= len(args):
+                sys.exit(__doc__)
+            expect_prefixes.append(args[i + 1])
+            i += 2
+        else:
+            positional.append(args[i])
+            i += 1
+    if not positional:
         sys.exit(__doc__)
-    with open(args[0]) as f:
+    with open(positional[0]) as f:
         profile = json.load(f)
-    docs_path = args[1] if len(args) == 2 else "docs/OBSERVABILITY.md"
-    with open(docs_path) as f:
-        documented = documented_names(f.read())
+    docs_paths = positional[1:] or ["docs/OBSERVABILITY.md"]
+    documented = set()
+    for path in docs_paths:
+        with open(path) as f:
+            documented |= documented_names(f.read())
     emitted = emitted_names(profile)
+
+    missing_prefixes = [p for p in expect_prefixes
+                        if not any(n.startswith(p) for n in emitted)]
+    if missing_prefixes:
+        print("no emitted metric starts with the expected prefix(es):")
+        for p in missing_prefixes:
+            print(f"  {p}")
+        sys.exit(1)
+
     if prefix:
         documented = {n for n in documented if n.startswith(prefix)}
         emitted = {n for n in emitted if n.startswith(prefix)}
 
+    docs_label = ", ".join(docs_paths)
     undocumented = sorted(emitted - documented)
     dead = sorted(documented - emitted)
     if undocumented:
-        print(f"emitted but not documented in {docs_path}:")
+        print(f"emitted but not documented in {docs_label}:")
         for name in undocumented:
             print(f"  {name}")
     if dead:
-        print(f"documented in {docs_path} but never emitted by the workload:")
+        print(f"documented in {docs_label} but never emitted by the workload:")
         for name in dead:
             print(f"  {name}")
     if undocumented or dead:

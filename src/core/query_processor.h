@@ -33,6 +33,12 @@ struct EngineOptions {
       storage::TOccurrenceAlgorithm::kScanCount;
   /// Serve inverted-index probes from the decoded posting-list cache.
   bool posting_cache_enabled = true;
+  /// Batch execution: hot similarity operators process rows in columnar
+  /// scratch batches through the runtime-dispatched SIMD kernels. Off forces
+  /// the tuple-at-a-time path everywhere; the two are answer-identical.
+  bool batch_execution = true;
+  /// Rows per columnar scratch batch on the batch path.
+  int batch_size = 1024;
   /// Dataflow runtime: dependency-scheduled task graph (default) or the
   /// legacy stage-sequential loop. The two are answer-identical.
   hyracks::ExecutorKind executor = hyracks::ExecutorKind::kScheduler;
@@ -138,6 +144,16 @@ class QueryProcessor {
   void set_posting_cache_enabled(bool enabled) {
     options_.posting_cache_enabled = enabled;
   }
+
+  /// Toggles the columnar/SIMD batch execution path for subsequent queries.
+  /// Batch and tuple execution must be answer-identical; the batch
+  /// differential fuzz seeds toggle this per execution variant.
+  void set_batch_execution(bool enabled) {
+    options_.batch_execution = enabled;
+  }
+
+  /// Rows per columnar scratch batch (batch path only).
+  void set_batch_size(int rows) { options_.batch_size = rows; }
 
   /// Switches the dataflow runtime for subsequent queries. The task-graph
   /// scheduler and the stage-sequential executor must be answer-identical;

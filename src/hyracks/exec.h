@@ -126,6 +126,15 @@ struct ExecContext {
   /// cached and uncached paths must be answer-identical (checked by the
   /// differential fuzz harness).
   bool posting_cache_enabled = true;
+  /// Batch execution: the hot similarity operators (inverted-index search,
+  /// select/join verification, similarity assign) process rows in fixed-size
+  /// columnar scratch batches over dense token ids and dispatch to the
+  /// simd:: kernels. Off forces the tuple-at-a-time path everywhere; the
+  /// two paths must be answer-identical (checked by the batch differential
+  /// fuzz seeds).
+  bool batch_execution = true;
+  /// Rows per columnar scratch batch on the batch path.
+  int batch_size = 1024;
   ExecutorKind executor = ExecutorKind::kScheduler;
   /// Non-null enables query profiling: executors record per-task spans here
   /// and operators emit their specific counters. Null (the default) is the

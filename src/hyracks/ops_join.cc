@@ -75,16 +75,133 @@ Result<Rows> NestedLoopJoinOp::ExecutePartition(
     ExecContext& ctx, int, const std::vector<const Rows*>& inputs) {
   const Rows& left = *inputs[0];
   const Rows& right = *inputs[1];
+  const size_t left_width = left.empty() ? 0 : left[0].size();
   uint64_t matches = 0;
+  BatchStats bs;
   Rows rows;
-  for (const Tuple& lrow : left) {
+
+  // The batch path needs arg_a to read only left columns and arg_b only
+  // right columns (checked against this partition's actual left width), so
+  // each side can be tokenized once instead of once per pair.
+  const bool use_batch =
+      ctx.batch_execution && batch_.has_value() && sides_pure_ &&
+      !left.empty() && !right.empty() &&
+      a_max_ < static_cast<int>(left_width) &&
+      b_min_ >= static_cast<int>(left_width) &&
+      b_max_ < static_cast<int>(left_width + right[0].size());
+  if (!use_batch) {
+    for (const Tuple& lrow : left) {
+      for (const Tuple& rrow : right) {
+        Tuple combined = lrow;
+        combined.insert(combined.end(), rrow.begin(), rrow.end());
+        SIMDB_ASSIGN_OR_RETURN(Value keep, predicate_->Eval(combined));
+        if (keep.is_boolean() && keep.AsBoolean()) {
+          ++matches;
+          rows.push_back(std::move(combined));
+        }
+      }
+    }
+    bs.fallback_rows = left.size() * right.size();
+    if (ctx.counters != nullptr) {
+      CountOp(ctx, "nljoin.pairs", left.size() * right.size());
+      CountOp(ctx, "nljoin.matches", matches);
+    }
+    bs.Emit(ctx);
+    return rows;
+  }
+
+  const SimBatchCall& call = *batch_;
+  const bool jaccard = call.kind == SimBatchCall::Kind::kJaccardCheck;
+  TokenIdEncoder encoder;
+
+  // Evaluate arg_a for the first left row before precomputing the right
+  // side: the tuple path touches arg_a(l0) first, then arg_b(r0..rn), then
+  // arg_a(l1)... — evaluating in that order keeps the first error (if any)
+  // identical to the tuple path's.
+  SIMDB_ASSIGN_OR_RETURN(Value va0, call.arg_a->Eval(left[0]));
+
+  // Precompute arg_b per right row over a left-width padded tuple (arg_b
+  // reads no left column, so the padding values are never touched). The CSR
+  // keeps one entry per right row — empty for unencodable rows, which are
+  // tracked separately in right_ok since an empty list is a valid encoding.
+  std::vector<char> right_ok(right.size(), 0);
+  std::vector<uint32_t> r_ids;
+  std::vector<char> r_chars;
+  std::vector<size_t> r_offsets{0};
+  std::vector<uint32_t> enc;
+  {
+    Tuple padded(left_width);
     for (const Tuple& rrow : right) {
-      Tuple combined = lrow;
-      combined.insert(combined.end(), rrow.begin(), rrow.end());
-      SIMDB_ASSIGN_OR_RETURN(Value keep, predicate_->Eval(combined));
-      if (keep.is_boolean() && keep.AsBoolean()) {
-        ++matches;
-        rows.push_back(std::move(combined));
+      padded.resize(left_width);
+      padded.insert(padded.end(), rrow.begin(), rrow.end());
+      SIMDB_ASSIGN_OR_RETURN(Value vb, call.arg_b->Eval(padded));
+      if (jaccard) {
+        if (encoder.EncodeValue(vb, &enc)) {
+          right_ok[r_offsets.size() - 1] = 1;
+          r_ids.insert(r_ids.end(), enc.begin(), enc.end());
+        }
+        r_offsets.push_back(r_ids.size());
+      } else {
+        if (vb.is_string()) {
+          right_ok[r_offsets.size() - 1] = 1;
+          const std::string& s = vb.AsString();
+          r_chars.insert(r_chars.end(), s.begin(), s.end());
+        }
+        r_offsets.push_back(r_chars.size());
+      }
+    }
+  }
+
+  std::vector<uint32_t> probe;
+  std::vector<double> jacc_out;
+  std::vector<int> ed_out;
+  for (size_t l = 0; l < left.size(); ++l) {
+    Value va;
+    if (l == 0) {
+      va = std::move(va0);
+    } else {
+      SIMDB_ASSIGN_OR_RETURN(va, call.arg_a->Eval(left[l]));
+    }
+    bool left_ok;
+    if (jaccard) {
+      left_ok = encoder.EncodeValue(va, &probe);
+      if (left_ok) {
+        ++bs.batches;
+        jacc_out.resize(right.size());
+        simd::JaccardCheckBatch(probe.data(), probe.size(), r_ids.data(),
+                                r_offsets.data(), right.size(),
+                                call.threshold, jacc_out.data(),
+                                /*assume_unique=*/true);
+      }
+    } else {
+      left_ok = va.is_string();
+      if (left_ok) {
+        ++bs.batches;
+        ed_out.resize(right.size());
+        simd::EditDistancePattern pattern(va.AsString());
+        pattern.CheckBatch(r_chars.data(), r_offsets.data(), right.size(),
+                           static_cast<int>(call.threshold), ed_out.data());
+      }
+    }
+    for (size_t j = 0; j < right.size(); ++j) {
+      if (left_ok && right_ok[j] != 0) {
+        ++bs.rows;
+        const bool keep = jaccard ? jacc_out[j] >= 0 : ed_out[j] >= 0;
+        if (keep) {
+          ++matches;
+          Tuple combined = left[l];
+          combined.insert(combined.end(), right[j].begin(), right[j].end());
+          rows.push_back(std::move(combined));
+        }
+      } else {
+        ++bs.fallback_rows;
+        Tuple combined = left[l];
+        combined.insert(combined.end(), right[j].begin(), right[j].end());
+        SIMDB_ASSIGN_OR_RETURN(Value keep, predicate_->Eval(combined));
+        if (keep.is_boolean() && keep.AsBoolean()) {
+          ++matches;
+          rows.push_back(std::move(combined));
+        }
       }
     }
   }
@@ -92,6 +209,7 @@ Result<Rows> NestedLoopJoinOp::ExecutePartition(
     CountOp(ctx, "nljoin.pairs", left.size() * right.size());
     CountOp(ctx, "nljoin.matches", matches);
   }
+  bs.Emit(ctx);
   return rows;
 }
 

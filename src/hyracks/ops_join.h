@@ -1,9 +1,11 @@
 #ifndef SIMDB_HYRACKS_OPS_JOIN_H_
 #define SIMDB_HYRACKS_OPS_JOIN_H_
 
+#include <climits>
 #include <string>
 #include <vector>
 
+#include "hyracks/batch.h"
 #include "hyracks/exec.h"
 #include "hyracks/expr.h"
 
@@ -38,10 +40,21 @@ class HashJoinOp : public PartitionOperator {
 /// Local per-partition nested-loop theta join: emits left×right pairs where
 /// `predicate` (over the combined tuple) holds. Broadcast one side first for
 /// a parallel NL join.
+///
+/// When the predicate is a recognized similarity check whose first argument
+/// reads only left columns and second argument only right columns, the batch
+/// path encodes/tokenizes each side once (instead of per pair) and verifies
+/// a whole right batch per left row through the SIMD kernels; pairs the
+/// encoder cannot handle fall back to the combined-tuple evaluator.
 class NestedLoopJoinOp : public PartitionOperator {
  public:
   explicit NestedLoopJoinOp(ExprPtr predicate)
-      : predicate_(std::move(predicate)) {}
+      : predicate_(std::move(predicate)), batch_(MatchSimCheckCall(predicate_)) {
+    if (batch_.has_value()) {
+      sides_pure_ = ColumnRange(batch_->arg_a.get(), &a_min_, &a_max_) &&
+                    ColumnRange(batch_->arg_b.get(), &b_min_, &b_max_);
+    }
+  }
   std::string name() const override {
     return "NL-JOIN(" + predicate_->ToString() + ")";
   }
@@ -53,6 +66,10 @@ class NestedLoopJoinOp : public PartitionOperator {
 
  private:
   ExprPtr predicate_;
+  std::optional<SimBatchCall> batch_;
+  bool sides_pure_ = false;
+  int a_min_ = INT_MAX, a_max_ = -1;
+  int b_min_ = INT_MAX, b_max_ = -1;
 };
 
 }  // namespace simdb::hyracks

@@ -34,6 +34,8 @@ CompositeKey PostingUpperBound(const std::string& token) {
 
 Status InvertedIndex::RebuildDictionary() {
   std::vector<std::pair<std::string, uint64_t>> counts;
+  pk_slot_.clear();
+  slot_pk_.clear();
   SIMDB_ASSIGN_OR_RETURN(auto it, lsm_->NewIterator());
   while (it->Valid()) {
     const CompositeKey& key = it->key();
@@ -44,11 +46,20 @@ Status InvertedIndex::RebuildDictionary() {
       } else {
         ++counts.back().second;
       }
+      // The same scan seeds the pk -> slot registry for batch counting.
+      RegisterPk(key[1].AsInt64());
     }
     SIMDB_RETURN_IF_ERROR(it->Next());
   }
   dict_.BuildFrequencyOrdered(std::move(counts));
   return Status::OK();
+}
+
+void InvertedIndex::RegisterPk(int64_t pk) {
+  auto [it, inserted] =
+      pk_slot_.emplace(pk, static_cast<uint32_t>(slot_pk_.size()));
+  (void)it;
+  if (inserted) slot_pk_.push_back(pk);
 }
 
 void InvertedIndex::InvalidateCache() {
@@ -74,7 +85,10 @@ Status InvertedIndex::Insert(const std::vector<std::string>& tokens,
     dict_.GetOrAssign(t);
     SIMDB_RETURN_IF_ERROR(lsm_->Put(PostingKey(t, pk), ""));
   }
-  if (!tokens.empty()) InvalidateCache();
+  if (!tokens.empty()) {
+    RegisterPk(pk);  // Remove keeps the slot (a harmless superset)
+    InvalidateCache();
+  }
   return Status::OK();
 }
 
@@ -106,25 +120,40 @@ Status InvertedIndex::BulkLoad(
   return RebuildDictionary();
 }
 
-Result<std::vector<int64_t>> InvertedIndex::DecodePostings(uint32_t id) const {
+Result<DecodedPostingList> InvertedIndex::DecodePostings(uint32_t id) const {
   const std::string& token = dict_.TokenOf(id);
-  std::vector<int64_t> pks;
+  DecodedPostingList list;
   CompositeKey lower = {Value::String(token)};
   CompositeKey upper = PostingUpperBound(token);
   SIMDB_ASSIGN_OR_RETURN(auto it, lsm_->NewIterator(&lower, &upper));
+  bool slots_ok = true;
   while (it->Valid()) {
     const CompositeKey& key = it->key();
-    if (key.size() == 2) pks.push_back(key[1].AsInt64());
+    if (key.size() == 2) {
+      const int64_t pk = key[1].AsInt64();
+      list.pks.push_back(pk);
+      if (slots_ok) {
+        auto slot = pk_slot_.find(pk);
+        if (slot == pk_slot_.end()) {
+          // Unregistered pk (should not happen): disable the slot view so
+          // searches fall back to the gather path instead of miscounting.
+          slots_ok = false;
+          list.slots.clear();
+        } else {
+          list.slots.push_back(slot->second);
+        }
+      }
+    }
     SIMDB_RETURN_IF_ERROR(it->Next());
   }
-  return pks;
+  return list;
 }
 
-Result<std::shared_ptr<const std::vector<int64_t>>>
-InvertedIndex::FetchPostings(const std::string& token, bool use_cache,
-                             InvertedSearchStats* stats) const {
-  static const std::shared_ptr<const std::vector<int64_t>> kEmpty =
-      std::make_shared<const std::vector<int64_t>>();
+Result<std::shared_ptr<const DecodedPostingList>> InvertedIndex::FetchDecoded(
+    const std::string& token, bool use_cache,
+    InvertedSearchStats* stats) const {
+  static const std::shared_ptr<const DecodedPostingList> kEmpty =
+      std::make_shared<const DecodedPostingList>();
   std::optional<uint32_t> id = dict_.Lookup(token);
   // Unknown to the dictionary == never stored: no LSM probe needed.
   if (!id.has_value()) return kEmpty;
@@ -137,20 +166,27 @@ InvertedIndex::FetchPostings(const std::string& token, bool use_cache,
     }
   }
   if (stats != nullptr) ++stats->cache_misses;
-  SIMDB_ASSIGN_OR_RETURN(std::vector<int64_t> decoded, DecodePostings(*id));
-  auto list =
-      std::make_shared<const std::vector<int64_t>>(std::move(decoded));
-  if (use_cache && list->size() <= cache_budget_postings_) {
+  SIMDB_ASSIGN_OR_RETURN(DecodedPostingList decoded, DecodePostings(*id));
+  auto list = std::make_shared<const DecodedPostingList>(std::move(decoded));
+  if (use_cache && list->pks.size() <= cache_budget_postings_) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto [it, inserted] = cache_.emplace(*id, list);
     (void)it;
     if (inserted) {
       cache_order_.push_back(*id);
-      cache_postings_ += list->size();
+      cache_postings_ += list->pks.size();
       EvictOverBudgetLocked();
     }
   }
   return list;
+}
+
+Result<std::shared_ptr<const std::vector<int64_t>>>
+InvertedIndex::FetchPostings(const std::string& token, bool use_cache,
+                             InvertedSearchStats* stats) const {
+  SIMDB_ASSIGN_OR_RETURN(auto list, FetchDecoded(token, use_cache, stats));
+  // Aliasing constructor: shares ownership of the decoded list, no copy.
+  return std::shared_ptr<const std::vector<int64_t>>(list, &list->pks);
 }
 
 void InvertedIndex::EvictOverBudgetLocked() const {
@@ -159,7 +195,7 @@ void InvertedIndex::EvictOverBudgetLocked() const {
     cache_order_.pop_front();
     auto vit = cache_.find(victim);
     if (vit != cache_.end()) {
-      cache_postings_ -= vit->second->size();
+      cache_postings_ -= vit->second->pks.size();
       cache_.erase(vit);
     }
   }
@@ -179,8 +215,8 @@ Result<std::vector<int64_t>> InvertedIndex::PostingList(
 
 Result<std::vector<int64_t>> InvertedIndex::SearchTOccurrence(
     const std::vector<std::string>& query_tokens, int t,
-    TOccurrenceAlgorithm algorithm, InvertedSearchStats* stats,
-    bool use_cache) const {
+    TOccurrenceAlgorithm algorithm, InvertedSearchStats* stats, bool use_cache,
+    simd::TOccurrenceScratch* scratch) const {
   if (t < 1) {
     return Status::InvalidArgument(
         "SearchTOccurrence requires t >= 1 (corner case must be handled by "
@@ -200,26 +236,57 @@ Result<std::vector<int64_t>> InvertedIndex::SearchTOccurrence(
   InvertedSearchStats local;
   std::vector<int64_t> result;
 
-  // Gather the decoded lists once (shared, usually from the cache).
-  std::vector<std::shared_ptr<const std::vector<int64_t>>> lists;
+  // Fetch the decoded lists once (shared, usually from the cache).
+  std::vector<std::shared_ptr<const DecodedPostingList>> lists;
   lists.reserve(distinct.size());
   size_t total_postings = 0;
   for (const std::string* q : distinct) {
-    SIMDB_ASSIGN_OR_RETURN(auto list, FetchPostings(*q, use_cache, &local));
+    SIMDB_ASSIGN_OR_RETURN(auto list, FetchDecoded(*q, use_cache, &local));
     ++local.lists_probed;
-    local.postings_read += list->size();
-    total_postings += list->size();
-    if (!list->empty()) lists.push_back(std::move(list));
+    local.postings_read += list->pks.size();
+    total_postings += list->pks.size();
+    if (!list->pks.empty()) lists.push_back(std::move(list));
   }
 
-  if (algorithm == TOccurrenceAlgorithm::kScanCount) {
+  // The counter-array path needs the slot view on every list and list
+  // counts that fit the uint16 counters.
+  bool slots_usable = scratch != nullptr && lists.size() <= 65535;
+  for (const auto& list : lists) {
+    if (!list->has_slots()) {
+      slots_usable = false;
+      break;
+    }
+  }
+
+  if (algorithm == TOccurrenceAlgorithm::kScanCount && slots_usable) {
+    // Batch path: count occurrences in a dense counter array indexed by
+    // candidate slot, reading the cached slot arrays in place (zero copy,
+    // zero hashing). Reset cost is proportional to slots touched.
+    scratch->EnsureSlots(slot_pk_.size());
+    std::vector<const uint32_t*> slot_lists;
+    std::vector<size_t> sizes;
+    slot_lists.reserve(lists.size());
+    sizes.reserve(lists.size());
+    for (const auto& list : lists) {
+      slot_lists.push_back(list->slots.data());
+      sizes.push_back(list->slots.size());
+    }
+    std::vector<uint32_t> hit_slots;
+    simd::TOccurrenceCount(slot_lists.data(), sizes.data(), slot_lists.size(),
+                           t, *scratch, &hit_slots, &local.keys_pruned);
+    result.reserve(hit_slots.size());
+    for (uint32_t s : hit_slots) result.push_back(slot_pk_[s]);
+    std::sort(result.begin(), result.end());
+  } else if (algorithm == TOccurrenceAlgorithm::kScanCount) {
     // ScanCount over integer pks: gather every posting into one flat array,
     // sort, and count equal runs. Cache-friendly and allocation-light
-    // compared to hashing each posting.
+    // compared to hashing each posting, but pays a copy of every posting
+    // read (accounted in bytes_copied).
     std::vector<int64_t> gathered;
     gathered.reserve(total_postings);
     for (const auto& list : lists) {
-      gathered.insert(gathered.end(), list->begin(), list->end());
+      gathered.insert(gathered.end(), list->pks.begin(), list->pks.end());
+      local.bytes_copied += list->pks.size() * sizeof(int64_t);
     }
     std::sort(gathered.begin(), gathered.end());
     size_t i = 0;
@@ -239,7 +306,9 @@ Result<std::vector<int64_t>> InvertedIndex::SearchTOccurrence(
     using Head = std::pair<int64_t, size_t>;  // (pk, list id)
     std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heap;
     std::vector<size_t> pos(lists.size(), 0);
-    for (size_t i = 0; i < lists.size(); ++i) heap.push({(*lists[i])[0], i});
+    for (size_t i = 0; i < lists.size(); ++i) {
+      heap.push({lists[i]->pks[0], i});
+    }
     while (!heap.empty()) {
       int64_t pk = heap.top().first;
       int count = 0;
@@ -247,8 +316,8 @@ Result<std::vector<int64_t>> InvertedIndex::SearchTOccurrence(
         auto [_, li] = heap.top();
         heap.pop();
         ++count;
-        if (++pos[li] < lists[li]->size()) {
-          heap.push({(*lists[li])[pos[li]], li});
+        if (++pos[li] < lists[li]->pks.size()) {
+          heap.push({lists[li]->pks[pos[li]], li});
         }
       }
       if (count >= t) {
@@ -267,6 +336,7 @@ Result<std::vector<int64_t>> InvertedIndex::SearchTOccurrence(
     stats->keys_pruned += local.keys_pruned;
     stats->cache_hits += local.cache_hits;
     stats->cache_misses += local.cache_misses;
+    stats->bytes_copied += local.bytes_copied;
   }
   return result;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "similarity/simd_kernels.h"
 #include "storage/lsm_index.h"
 #include "storage/token_dictionary.h"
 
@@ -35,6 +36,21 @@ struct InvertedSearchStats {
   /// neither (they are proven empty without storage access).
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Bytes memcpy'd out of decoded posting lists while answering the search.
+  /// The batch path counts occurrences directly over the cached dense-slot
+  /// arrays and keeps this at zero; only the legacy gather path (batch
+  /// execution off, or slot registry unavailable) copies postings.
+  uint64_t bytes_copied = 0;
+};
+
+/// One decoded posting list: the sorted pks plus, aligned 1:1, the dense
+/// per-index candidate slot of each pk (see the slot registry below). The
+/// slots array is empty only if a pk was missing from the registry, in
+/// which case searches fall back to the gather path.
+struct DecodedPostingList {
+  std::vector<int64_t> pks;
+  std::vector<uint32_t> slots;
+  bool has_slots() const { return slots.size() == pks.size(); }
 };
 
 /// A secondary inverted index on one field, stored as an LSM index with
@@ -65,8 +81,16 @@ class InvertedIndex {
   Result<std::vector<int64_t>> PostingList(const std::string& token) const;
 
   /// Shared decoded posting list for `token` (empty list when the token is
-  /// unknown). Served from the cache when `use_cache` is set; the returned
-  /// list stays valid even if the cache is invalidated afterwards.
+  /// unknown): pks plus aligned dense slots. Served from the cache when
+  /// `use_cache` is set; the returned list stays valid even if the cache is
+  /// invalidated afterwards. Callers read spans over the cached arrays —
+  /// there is no per-hit copy.
+  Result<std::shared_ptr<const DecodedPostingList>> FetchDecoded(
+      const std::string& token, bool use_cache = true,
+      InvertedSearchStats* stats = nullptr) const;
+
+  /// Back-compat view of FetchDecoded: the pks of the decoded list, aliased
+  /// into the same shared allocation (still no copy).
   Result<std::shared_ptr<const std::vector<int64_t>>> FetchPostings(
       const std::string& token, bool use_cache = true,
       InvertedSearchStats* stats = nullptr) const;
@@ -75,10 +99,17 @@ class InvertedIndex {
   /// at least `t` of the query tokens' posting lists. `t` must be >= 1 (the
   /// caller is responsible for corner-case detection when t <= 0). Query
   /// tokens must be occurrence-deduped (duplicates are ignored here).
+  ///
+  /// With a non-null `scratch` (the batch execution path), ScanCount counts
+  /// occurrences in dense counter arrays indexed by candidate slot directly
+  /// over the cached posting arrays — no gather copy, no per-posting hash —
+  /// and reuses the scratch across probes. A null scratch keeps the legacy
+  /// gather+sort path (its copies are reported via stats->bytes_copied).
   Result<std::vector<int64_t>> SearchTOccurrence(
       const std::vector<std::string>& query_tokens, int t,
       TOccurrenceAlgorithm algorithm = TOccurrenceAlgorithm::kScanCount,
-      InvertedSearchStats* stats = nullptr, bool use_cache = true) const;
+      InvertedSearchStats* stats = nullptr, bool use_cache = true,
+      simd::TOccurrenceScratch* scratch = nullptr) const;
 
   /// Token -> dense id mapping covering every token this index has stored
   /// (a superset after removes; rebuilt frequency-ordered by Open/BulkLoad).
@@ -89,6 +120,10 @@ class InvertedIndex {
   void set_cache_budget_postings(size_t budget);
   size_t cached_postings() const;
   size_t cached_lists() const;
+
+  /// Number of candidate slots in the pk registry (the counter-array size
+  /// the batch T-occurrence path needs).
+  size_t slot_count() const { return slot_pk_.size(); }
 
   Status Flush() { return lsm_->Flush(); }
   uint64_t DiskSizeBytes() const { return lsm_->DiskSizeBytes(); }
@@ -101,8 +136,12 @@ class InvertedIndex {
   /// Rebuilds the dictionary (frequency-ordered) from a full LSM scan.
   Status RebuildDictionary();
 
-  /// Decodes the posting list of the dictionary token `id` from the LSM.
-  Result<std::vector<int64_t>> DecodePostings(uint32_t id) const;
+  /// Decodes the posting list of the dictionary token `id` from the LSM,
+  /// resolving each pk to its dense slot.
+  Result<DecodedPostingList> DecodePostings(uint32_t id) const;
+
+  /// Registers `pk` in the slot registry (idempotent).
+  void RegisterPk(int64_t pk);
 
   void InvalidateCache();
 
@@ -112,12 +151,19 @@ class InvertedIndex {
   std::unique_ptr<LsmIndex> lsm_;
   TokenDictionary dict_;
 
+  /// Dense pk -> slot registry for the counter-array T-occurrence path:
+  /// every pk this index has stored gets a small dense id (a "slot"), so a
+  /// probe can count occurrences in a flat uint16 array instead of hashing
+  /// 64-bit pks. Rebuilt by Open/BulkLoad, extended by Insert; mutations
+  /// happen under the same exclusive-DDL regime as the token dictionary.
+  std::unordered_map<int64_t, uint32_t> pk_slot_;
+  std::vector<int64_t> slot_pk_;
+
   /// Decoded-posting-list cache, keyed by token id and bounded by the total
   /// number of cached postings (FIFO eviction). Guarded by a mutex so the
   /// per-partition executor tasks can share an index instance safely.
   mutable std::mutex cache_mu_;
-  mutable std::unordered_map<uint32_t,
-                             std::shared_ptr<const std::vector<int64_t>>>
+  mutable std::unordered_map<uint32_t, std::shared_ptr<const DecodedPostingList>>
       cache_;
   mutable std::deque<uint32_t> cache_order_;  // insertion order for eviction
   mutable size_t cache_postings_ = 0;

@@ -26,6 +26,7 @@ void ApplyVariant(QueryProcessor& engine, const ExecVariant& v) {
   opt.enable_surrogate_join = v.enable_surrogate_join;
   engine.set_t_occurrence_algorithm(v.t_occurrence);
   engine.set_posting_cache_enabled(v.posting_cache);
+  engine.set_batch_execution(v.batch_execution);
   engine.set_executor(v.executor);
 }
 
@@ -211,6 +212,37 @@ std::vector<ExecVariant> PlanVariantMatrix() {
   stageseq.label = "indexed-stageseq";
   stageseq.executor = hyracks::ExecutorKind::kStageSequential;
   variants.push_back(stageseq);
+  return variants;
+}
+
+std::vector<ExecVariant> BatchVariantMatrix() {
+  // Three plan shapes reach the batch-capable operators through different
+  // operator mixes: indexed (inverted-index search + SELECT verify +
+  // index-nested-loop join), scan (pure SELECT / NL-JOIN verification over
+  // full scans), and threestage (ASSIGN similarity-jaccard + NL-JOIN).
+  // Each shape runs with batch execution on and off; the pair must agree
+  // bit-for-bit.
+  std::vector<ExecVariant> variants;
+  ExecVariant indexed;
+  ExecVariant scan;
+  scan.enable_index_select = false;
+  scan.enable_index_join = false;
+  scan.enable_three_stage_join = false;
+  scan.enable_surrogate_join = false;
+  ExecVariant threestage;
+  threestage.enable_index_join = false;
+  const std::pair<const char*, ExecVariant> shapes[] = {
+      {"indexed", indexed}, {"scan", scan}, {"threestage", threestage}};
+  for (const auto& [name, shape] : shapes) {
+    ExecVariant batch = shape;
+    batch.label = std::string(name) + "-batch";
+    batch.batch_execution = true;
+    variants.push_back(batch);
+    ExecVariant tuple = shape;
+    tuple.label = std::string(name) + "-nobatch";
+    tuple.batch_execution = false;
+    variants.push_back(tuple);
+  }
   return variants;
 }
 

@@ -24,6 +24,9 @@ struct ExecVariant {
       storage::TOccurrenceAlgorithm::kScanCount;
   /// Serve inverted-index probes from the decoded posting-list cache.
   bool posting_cache = true;
+  /// Columnar/SIMD batch execution in the hot similarity operators. Batch
+  /// and tuple execution must be answer-identical on every query.
+  bool batch_execution = true;
   /// Dataflow runtime executing the job (task-graph scheduler vs legacy
   /// stage-sequential). Both must be answer-identical on every query.
   hyracks::ExecutorKind executor = hyracks::ExecutorKind::kScheduler;
@@ -41,6 +44,12 @@ struct ExecVariant {
 ///   indexed-stageseq  - all rewrites on, legacy stage-sequential executor
 ///                       (cross-checks the task-graph scheduler)
 std::vector<ExecVariant> PlanVariantMatrix();
+
+/// The batch-execution differential matrix: the three plan shapes that
+/// exercise the batch-capable operators (index select/join, scan + verify,
+/// three-stage join), each run with batch execution on and off. The on/off
+/// pair must be bit-identical per plan shape.
+std::vector<ExecVariant> BatchVariantMatrix();
 
 /// Cluster shapes the matrix runs under: 1x1, 2x2, 4x2
 /// (nodes x partitions-per-node).

@@ -51,6 +51,27 @@ void RunSeed(uint64_t seed) {
   }
 }
 
+/// Batch execution must be invisible to results: the same seed's queries run
+/// under the batch-focused variant matrix (indexed / scan / threestage plan
+/// shapes, each with batch execution on and off) and every combination must
+/// return bit-identical order-normalized rows.
+void RunSeedBatch(uint64_t seed) {
+  FuzzCase c = MakeFuzzCase(seed);
+  DifferentialOptions options;
+  options.scratch_dir = ScratchDir(seed) + "_batch";
+  options.variants = BatchVariantMatrix();
+  options.topologies = {{1, 1}, {2, 2}};
+  DifferentialReport report = RunDifferential(c, options);
+  storage::RemoveAll(options.scratch_dir);
+  EXPECT_TRUE(report.ok) << report.failure;
+  if (report.ok) {
+    // 3 plan shapes x {batch, tuple} x 2 topologies per query.
+    EXPECT_GE(report.comparisons,
+              static_cast<int>(c.queries.size()) * 6 * 2)
+        << DescribeFuzzCase(c);
+  }
+}
+
 /// Concurrent serving must be invisible to results: the same seed's queries
 /// are executed once sequentially and then pushed through a 4-in-flight
 /// serving engine, and every concurrent execution must be bit-identical —
@@ -72,6 +93,10 @@ class FuzzEquivalence : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzEquivalence, AllVariantsAgree) { RunSeed(GetParam()); }
 
+class BatchEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchEquivalence, BatchMatchesTuple) { RunSeedBatch(GetParam()); }
+
 class ConcurrentEquivalence : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ConcurrentEquivalence, MatchesSequential) {
@@ -80,6 +105,13 @@ TEST_P(ConcurrentEquivalence, MatchesSequential) {
 
 INSTANTIATE_TEST_SUITE_P(
     FixedSeeds, FuzzEquivalence,
+    ::testing::Range<uint64_t>(1, kFixedSeedCount + 1),
+    [](const ::testing::TestParamInfo<uint64_t>& info) {
+      return "seed" + std::to_string(info.param);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    FixedSeeds, BatchEquivalence,
     ::testing::Range<uint64_t>(1, kFixedSeedCount + 1),
     [](const ::testing::TestParamInfo<uint64_t>& info) {
       return "seed" + std::to_string(info.param);
@@ -99,6 +131,7 @@ TEST(FuzzEquivalenceExtra, RequestedSeeds) {
   for (uint64_t seed : g_extra_seeds) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     RunSeed(seed);
+    RunSeedBatch(seed);
     RunSeedConcurrent(seed);
   }
 }
