@@ -1,0 +1,219 @@
+// Transport backend comparison on the Figure-27 scaling workload: the same
+// exchange-heavy Jaccard join runs under the modeled, shared-memory, and
+// socket backends as the simulated cluster grows 1 -> 8 nodes, reporting
+// measured wall clock, the cost-model makespan, and the measured transport
+// seconds (real backends) next to the modeled network charge. A second
+// section microbenches the rows-frame codec (serialize/deserialize through
+// the versioned CRC frame) at several row counts.
+//
+//   --json <path>   write {"scaling": [...], "serde": [...], "metrics": ...}
+//                   (merged into BENCH_kernels.json by bench/run_benches.sh)
+//   --quick         small dataset (CI smoke; numbers are NOT meaningful)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "observability/metrics.h"
+#include "transport/transport.h"
+
+using namespace simdb;
+using namespace simdb::bench;
+
+namespace {
+
+struct ScalingPoint {
+  int nodes = 0;
+  const char* backend = "";
+  double wall_seconds = 0;
+  double makespan_seconds = 0;
+  double measured_network_seconds = 0;
+  double modeled_network_seconds = 0;
+  uint64_t remote_bytes = 0;
+  int64_t result_count = 0;
+};
+
+Result<ScalingPoint> RunConfig(int nodes, int64_t records,
+                               transport::TransportKind kind) {
+  BenchEnv env({nodes, 2}, /*threads=*/2);
+  core::QueryProcessor& engine = env.engine();
+  engine.set_transport(kind);
+  SIMDB_ASSIGN_OR_RETURN(auto gen,
+                         LoadTextDataset(engine, "AmazonReview",
+                                         datagen::AmazonProfile(), records));
+  (void)gen;
+  std::string join =
+      "count(for $o in dataset AmazonReview for $i in dataset AmazonReview "
+      "where similarity-jaccard(word-tokens($o.summary), "
+      "word-tokens($i.summary)) >= 0.8 and $o.id < 10 and $o.id < $i.id "
+      "return {'o': $o.id})";
+  ScalingPoint point;
+  point.nodes = nodes;
+  point.backend = transport::TransportKindName(kind);
+  Stopwatch sw;
+  core::QueryResult result;
+  SIMDB_RETURN_IF_ERROR(engine.Execute(join + ";", &result));
+  point.wall_seconds = sw.ElapsedSeconds();
+  cluster::MakespanReport report =
+      cluster::ComputeMakespan(result.exec, engine.options().topology);
+  point.makespan_seconds = report.total_seconds();
+  point.measured_network_seconds = report.measured_network_seconds;
+  point.modeled_network_seconds = report.network_seconds;
+  point.remote_bytes = result.exec.TotalRemoteBytes();
+  point.result_count = result.rows.size() == 1 && result.rows[0].is_int64()
+                           ? result.rows[0].AsInt64()
+                           : static_cast<int64_t>(result.rows.size());
+  return point;
+}
+
+struct SerdePoint {
+  int rows = 0;
+  uint64_t frame_bytes = 0;
+  double encode_mb_per_sec = 0;
+  double decode_mb_per_sec = 0;
+};
+
+SerdePoint RunSerde(int nrows, int repeats) {
+  hyracks::Rows rows;
+  for (int i = 0; i < nrows; ++i) {
+    hyracks::Tuple row;
+    row.push_back(adm::Value::Int64(i));
+    row.push_back(adm::Value::String(
+        "review summary text for record " + std::to_string(i)));
+    row.push_back(adm::Value::Double(0.125 * static_cast<double>(i)));
+    rows.push_back(std::move(row));
+  }
+  SerdePoint point;
+  point.rows = nrows;
+  std::string frame;
+  Stopwatch enc;
+  for (int r = 0; r < repeats; ++r) {
+    frame.clear();
+    transport::EncodeRowsFrame(rows, &frame);
+  }
+  double enc_seconds = enc.ElapsedSeconds();
+  point.frame_bytes = frame.size();
+  Stopwatch dec;
+  for (int r = 0; r < repeats; ++r) {
+    auto back = transport::DecodeRowsFrame(frame);
+    if (!back.ok()) {
+      std::fprintf(stderr, "decode failed: %s\n",
+                   back.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  double dec_seconds = dec.ElapsedSeconds();
+  double mb = static_cast<double>(frame.size()) * repeats / (1024.0 * 1024.0);
+  point.encode_mb_per_sec = enc_seconds > 0 ? mb / enc_seconds : 0;
+  point.decode_mb_per_sec = dec_seconds > 0 ? mb / dec_seconds : 0;
+  return point;
+}
+
+std::string Fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json path]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const int64_t full_data = Scaled(quick ? 400 : 4000);
+  const transport::TransportKind kinds[] = {
+      transport::TransportKind::kModeled,
+      transport::TransportKind::kSharedMemory,
+      transport::TransportKind::kSocket};
+  std::vector<ScalingPoint> scaling;
+
+  PrintTitle("Transport backends on the Figure-27 speed-up workload",
+             "same Jaccard join, fixed data, cluster grows 1 -> 8 nodes; "
+             "modeled charges the network formula, shm/socket measure real "
+             "ship time");
+  PrintRow({"nodes", "backend", "wall", "makespan", "net(meas)", "net(model)",
+            "remote"});
+  for (int nodes : {1, 2, 4, 8}) {
+    for (transport::TransportKind kind : kinds) {
+      Result<ScalingPoint> point = RunConfig(nodes, full_data, kind);
+      if (!point.ok()) {
+        std::fprintf(stderr, "bench failed: %s\n",
+                     point.status().ToString().c_str());
+        return 1;
+      }
+      scaling.push_back(*point);
+      PrintRow({std::to_string(point->nodes), point->backend,
+                Seconds(point->wall_seconds),
+                Seconds(point->makespan_seconds),
+                Seconds(point->measured_network_seconds),
+                Seconds(point->modeled_network_seconds),
+                Bytes(point->remote_bytes)});
+    }
+  }
+
+  PrintTitle("Rows-frame codec (adm wire frame: magic/version/length/CRC-32)",
+             "per-row: int64 + string + double; throughput includes framing "
+             "and checksum");
+  PrintRow({"rows", "frame bytes", "encode MB/s", "decode MB/s"});
+  std::vector<SerdePoint> serde;
+  const int repeats = quick ? 20 : 200;
+  for (int nrows : {16, 256, 4096}) {
+    SerdePoint point = RunSerde(nrows, repeats);
+    serde.push_back(point);
+    PrintRow({std::to_string(point.rows), std::to_string(point.frame_bytes),
+              Fmt(point.encode_mb_per_sec), Fmt(point.decode_mb_per_sec)});
+  }
+
+  if (!json_path.empty()) {
+    std::string json = "{\n  \"scaling\": [\n";
+    for (size_t i = 0; i < scaling.size(); ++i) {
+      const ScalingPoint& p = scaling[i];
+      json += "    {\"nodes\": " + std::to_string(p.nodes) +
+              ", \"backend\": \"" + p.backend +
+              "\", \"wall_seconds\": " + Fmt(p.wall_seconds) +
+              ", \"makespan_seconds\": " + Fmt(p.makespan_seconds) +
+              ", \"measured_network_seconds\": " +
+              Fmt(p.measured_network_seconds) +
+              ", \"modeled_network_seconds\": " +
+              Fmt(p.modeled_network_seconds) +
+              ", \"remote_bytes\": " + std::to_string(p.remote_bytes) +
+              ", \"result_count\": " + std::to_string(p.result_count) + "}";
+      json += (i + 1 < scaling.size()) ? ",\n" : "\n";
+    }
+    json += "  ],\n  \"serde\": [\n";
+    for (size_t i = 0; i < serde.size(); ++i) {
+      const SerdePoint& p = serde[i];
+      json += "    {\"rows\": " + std::to_string(p.rows) +
+              ", \"frame_bytes\": " + std::to_string(p.frame_bytes) +
+              ", \"encode_mb_per_sec\": " + Fmt(p.encode_mb_per_sec) +
+              ", \"decode_mb_per_sec\": " + Fmt(p.decode_mb_per_sec) + "}";
+      json += (i + 1 < serde.size()) ? ",\n" : "\n";
+    }
+    json += "  ],\n  \"metrics\": " +
+            obs::MetricsRegistry::Global().ToJson() + "\n}\n";
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

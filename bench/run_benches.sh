@@ -23,8 +23,9 @@ VERIFY_BIN="$BUILD/bench/bench_verify_overhead"
 FIG22_BIN="$BUILD/bench/bench_fig22_selection"
 PROFILE_BIN="$BUILD/bench/bench_profile"
 SERVING_BIN="$BUILD/bench/bench_serving"
+TRANSPORT_BIN="$BUILD/bench/bench_transport"
 for bin in "$KERNELS_BIN" "$SCHEDULER_BIN" "$VERIFY_BIN" "$FIG22_BIN" \
-           "$PROFILE_BIN" "$SERVING_BIN"; do
+           "$PROFILE_BIN" "$SERVING_BIN" "$TRANSPORT_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "missing benchmark binary: $bin (build the tree first)" >&2
     exit 1
@@ -67,13 +68,20 @@ if [[ "$QUICK" == "1" ]]; then
 fi
 "$SERVING_BIN" "${SERVING_FLAGS[@]}"
 
+echo "== bench_transport =="
+TRANSPORT_FLAGS=(--json "$TMP/transport.json")
+if [[ "$QUICK" == "1" ]]; then
+  TRANSPORT_FLAGS+=(--quick)
+fi
+"$TRANSPORT_BIN" "${TRANSPORT_FLAGS[@]}"
+
 python3 - "$TMP/kernels.json" "$TMP/scheduler.json" "$TMP/verify.json" \
-  "$TMP/fig22.txt" "$TMP/profile.json" "$TMP/serving.json" "$OUT" \
-  "$QUICK" <<'PY'
+  "$TMP/fig22.txt" "$TMP/profile.json" "$TMP/serving.json" \
+  "$TMP/transport.json" "$OUT" "$QUICK" <<'PY'
 import json, sys
 
 (kernels_path, scheduler_path, verify_path, fig22_path, profile_path,
- serving_path, out_path, quick) = sys.argv[1:9]
+ serving_path, transport_path, out_path, quick) = sys.argv[1:10]
 with open(kernels_path) as f:
     kernels = json.load(f)
 with open(scheduler_path) as f:
@@ -86,6 +94,8 @@ with open(profile_path) as f:
     query_profile = json.load(f)
 with open(serving_path) as f:
     serving = json.load(f)
+with open(transport_path) as f:
+    transport = json.load(f)
 
 merged = {
     "generated_by": "bench/run_benches.sh",
@@ -96,6 +106,7 @@ merged = {
     "bench_fig22_selection": {"raw": fig22_lines},
     "query_profile": query_profile,
     "bench_serving": serving,
+    "bench_transport": transport,
 }
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)

@@ -1,0 +1,65 @@
+#include "adm/wire.h"
+
+#include <array>
+
+namespace simdb::adm {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t c = 0xffffffffu;
+  for (char ch : data) {
+    c = kTable[(c ^ static_cast<uint8_t>(ch)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+void WriteFrame(std::string_view payload, std::string* out) {
+  ByteWriter w(out);
+  w.PutU32(kWireMagic);
+  w.PutU8(kWireVersion);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU32(Crc32(payload));
+  out->append(payload.data(), payload.size());
+}
+
+Result<std::string_view> ReadFrame(ByteReader* r) {
+  SIMDB_ASSIGN_OR_RETURN(uint32_t magic, r->GetU32());
+  if (magic != kWireMagic) {
+    return Status::Corruption("bad frame magic " + std::to_string(magic));
+  }
+  SIMDB_ASSIGN_OR_RETURN(uint8_t version, r->GetU8());
+  if (version != kWireVersion) {
+    return Status::Corruption("unsupported frame version " +
+                              std::to_string(version));
+  }
+  SIMDB_ASSIGN_OR_RETURN(uint32_t length, r->GetU32());
+  SIMDB_ASSIGN_OR_RETURN(uint32_t crc, r->GetU32());
+  if (r->remaining() < length) {
+    return Status::Corruption(
+        "frame truncated: payload needs " + std::to_string(length) +
+        " bytes, " + std::to_string(r->remaining()) + " remain");
+  }
+  SIMDB_ASSIGN_OR_RETURN(std::string_view raw, r->GetRaw(length));
+  if (Crc32(raw) != crc) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  return raw;
+}
+
+}  // namespace simdb::adm

@@ -1,0 +1,44 @@
+#ifndef SIMDB_ADM_WIRE_H_
+#define SIMDB_ADM_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace simdb::adm {
+
+/// Versioned wire framing for serialized ADM payloads. Every frame is
+///
+///   magic   u32  'SFRM' (0x4d524653 little-endian)
+///   version u8   kWireVersion
+///   length  u32  payload byte count
+///   crc32   u32  CRC-32 (IEEE 802.3, reflected) of the payload
+///   payload length bytes
+///
+/// ReadFrame validates all four header fields before handing the payload
+/// out, so a truncated, corrupted, or future-versioned frame is rejected at
+/// the boundary instead of feeding garbage into Value::Deserialize. The
+/// transport layer wraps every shipped exchange destination in one frame;
+/// the round-trip guarantees are pinned by tests/value_test.cc.
+inline constexpr uint32_t kWireMagic = 0x4d524653u;  // "SFRM"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kWireHeaderBytes = 4 + 1 + 4 + 4;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected, init/final 0xffffffff) over
+/// `data`. Table-driven software implementation — no hardware dependency.
+uint32_t Crc32(std::string_view data);
+
+/// Appends one frame wrapping `payload` to `*out`.
+void WriteFrame(std::string_view payload, std::string* out);
+
+/// Consumes one frame from `r`, validating magic, version, length, and
+/// checksum. Returns a view of the payload (valid while the reader's backing
+/// buffer lives). Corruption statuses name the failing field.
+Result<std::string_view> ReadFrame(ByteReader* r);
+
+}  // namespace simdb::adm
+
+#endif  // SIMDB_ADM_WIRE_H_

@@ -43,6 +43,15 @@ struct MakespanReport {
   /// True when the stats carried task-DAG shape and the critical path was
   /// computed; false for hand-built or legacy stats (stage-sum only).
   bool has_critical_path = false;
+  /// True when the run shipped its exchange traffic through a wall-clock
+  /// transport backend (ExecStats::network_measured). The shipping time is
+  /// then already inside the exchange partition_seconds — charging the
+  /// modeled formula on top would double-count — so `network_seconds` stays
+  /// 0 and the measured transport time is reported here instead.
+  bool network_measured = false;
+  /// Sum of the exchanges' measured Transport::Ship seconds (informational;
+  /// already contained in compute_seconds / the critical path).
+  double measured_network_seconds = 0;
 
   double stage_sum_seconds() const { return compute_seconds + network_seconds; }
   double total_seconds() const {

@@ -92,6 +92,14 @@ class ByteReader {
     return v;
   }
 
+  /// Returns `n` raw bytes as a view into the buffer (no length prefix).
+  Result<std::string_view> GetRaw(size_t n) {
+    if (remaining() < n) return Truncated();
+    std::string_view s(data_.data() + pos_, n);
+    pos_ += n;
+    return s;
+  }
+
   Result<std::string_view> GetString() {
     SIMDB_ASSIGN_OR_RETURN(uint32_t len, GetU32());
     if (remaining() < len) return Truncated();

@@ -79,6 +79,11 @@ QueryProcessor::QueryProcessor(EngineOptions options)
     : options_(std::move(options)),
       catalog_(options_.data_dir, options_.lsm),
       pool_(std::make_unique<ThreadPool>(options_.num_threads)) {
+  // The environment override (SIMDB_TRANSPORT) lets CI rerun the entire
+  // suite on a real backend without touching any test code.
+  options_.transport = transport::KindFromEnv(options_.transport);
+  transport_ =
+      transport::MakeTransport(options_.transport, options_.topology.num_nodes);
   opt_.catalog = &catalog_;
   if (options_.verify_plans) {
     check_hook_ = std::make_unique<analysis::RuleContractChecker>(&catalog_);
@@ -215,6 +220,7 @@ Status QueryProcessor::RunQuery(const aql::AExprPtr& query,
   ctx.batch_execution = options_.batch_execution;
   ctx.batch_size = options_.batch_size;
   ctx.executor = options_.executor;
+  ctx.transport = transport_.get();
   if (gov != nullptr) {
     ctx.cancel = gov->cancel;
     ctx.budget = gov->budget;

@@ -19,6 +19,7 @@
 #include "observability/profile.h"
 #include "similarity/similarity_function.h"
 #include "storage/catalog.h"
+#include "transport/transport.h"
 
 namespace simdb::core {
 
@@ -42,6 +43,13 @@ struct EngineOptions {
   /// Dataflow runtime: dependency-scheduled task graph (default) or the
   /// legacy stage-sequential loop. The two are answer-identical.
   hyracks::ExecutorKind executor = hyracks::ExecutorKind::kScheduler;
+  /// Exchange transport backend (see transport/transport.h and
+  /// docs/TRANSPORT.md). kModeled is the paper-figure default; the
+  /// SIMDB_TRANSPORT environment variable overrides it at engine
+  /// construction so CI can run the whole suite on a real backend. All
+  /// backends must be answer- and error-identical (checked by the transport
+  /// differential fuzz seeds).
+  transport::TransportKind transport = transport::TransportKind::kModeled;
   /// Static verification of every compiled query: the plan verifier runs on
   /// the translated and optimized logical plans, every rewrite-rule
   /// application is checked against the rule's declared contract, and the
@@ -169,6 +177,26 @@ class QueryProcessor {
     options_.profile_queries = enabled;
   }
 
+  /// Switches the exchange transport backend for subsequent queries,
+  /// replacing the engine's backend instance (socket workers of the old
+  /// backend are shut down). Backends must be answer- and error-identical;
+  /// the transport differential fuzz seeds toggle this per variant. Not
+  /// thread-safe against in-flight queries — call between queries only.
+  void set_transport(transport::TransportKind kind) {
+    options_.transport = kind;
+    transport_ = transport::MakeTransport(kind, options_.topology.num_nodes);
+  }
+
+  transport::TransportKind transport_kind() const {
+    return options_.transport;
+  }
+
+  /// Blocks until the transport has no bytes in flight and its workers are
+  /// provably idle (socket: control-channel ping per live worker). The
+  /// serving layer calls this after a cancellation or deadline so a dead
+  /// query leaves nothing in flight behind it.
+  Status DrainTransport() { return transport_->Drain(); }
+
   /// Programmatic data path used by generators and benches (bypasses AQL).
   Result<storage::Dataset*> CreateDataset(const std::string& name,
                                           const std::string& pk_field);
@@ -200,6 +228,8 @@ class QueryProcessor {
   EngineOptions options_;
   storage::Catalog catalog_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Engine-owned exchange transport, shared by all concurrent queries.
+  std::unique_ptr<transport::Transport> transport_;
   /// Guards engine state: concurrent queries hold it shared for their whole
   /// run; Execute / CreateDataset / Insert / RegisterSimilarityUdf hold it
   /// exclusively (DDL, data mutation, session settings, option toggles).

@@ -9,6 +9,7 @@
 #include "hyracks/ops_exchange.h"
 #include "hyracks/scheduler.h"
 #include "observability/trace.h"
+#include "transport/transport.h"
 
 namespace simdb::hyracks {
 
@@ -194,6 +195,10 @@ Result<PartitionedRows> Executor::RunStageSequential(const Job& job,
                                                      ExecContext& ctx) {
   const auto& nodes = job.nodes();
   if (nodes.empty()) return Status::PlanError("empty job");
+  if (ctx.stats != nullptr && ctx.transport != nullptr &&
+      ctx.transport->measures_wall_clock()) {
+    ctx.stats->network_measured = true;
+  }
 
   // Reference counts so intermediate outputs are freed when every consumer
   // has run (the root output always survives).

@@ -18,6 +18,10 @@ namespace simdb::obs {
 class TraceCollector;
 }  // namespace simdb::obs
 
+namespace simdb::transport {
+class Transport;
+}  // namespace simdb::transport
+
 namespace simdb::hyracks {
 
 /// Shape of the simulated shared-nothing cluster: partitions are laid out
@@ -73,6 +77,11 @@ struct OpStats {
   uint64_t local_bytes = 0;
   uint64_t remote_bytes = 0;
   uint64_t remote_transfers = 0;
+  /// Wall-clock seconds the destination builds spent inside Transport::Ship
+  /// (zero under the modeled backend, which never ships). Already contained
+  /// in partition_seconds — kept separately so the cost model can report how
+  /// much of the exchange time was transport.
+  double transport_seconds = 0;
   /// Operator-specific counters (name -> summed value), sorted by name.
   /// Populated only when profiling is enabled (ctx.trace != nullptr).
   std::vector<std::pair<std::string, uint64_t>> counters;
@@ -88,6 +97,11 @@ struct ExecStats {
   /// True when `ops` carries node/input DAG info (set by both executors);
   /// enables the cost model's critical-path makespan.
   bool has_task_dag = false;
+  /// True when the run shipped exchange traffic through a wall-clock
+  /// transport backend (shm, socket): transport time is then already inside
+  /// the exchange partition_seconds, and the cost model must report the
+  /// measured seconds instead of charging its modeled network formula.
+  bool network_measured = false;
   /// Task accounting (task-graph scheduler; the stage-sequential executor
   /// counts whole nodes). Every planned task is either executed or skipped —
   /// executed + skipped == total proves the graph drained, which is what the
@@ -136,6 +150,12 @@ struct ExecContext {
   /// Rows per columnar scratch batch on the batch path.
   int batch_size = 1024;
   ExecutorKind executor = ExecutorKind::kScheduler;
+  /// Exchange transport backend. Null behaves exactly like the modeled
+  /// backend: destinations are built in place and no bytes are shipped.
+  /// When non-null, every built exchange destination is offered to
+  /// Transport::ShouldShip and round-tripped through Transport::Ship inside
+  /// the build task (see BuildAndShipDestination in ops_exchange.h).
+  transport::Transport* transport = nullptr;
   /// Non-null enables query profiling: executors record per-task spans here
   /// and operators emit their specific counters. Null (the default) is the
   /// zero-overhead path — operators test this single pointer and skip all

@@ -5,6 +5,7 @@
 
 #include "common/stopwatch.h"
 #include "observability/trace.h"
+#include "transport/transport.h"
 
 namespace simdb::hyracks {
 
@@ -48,6 +49,25 @@ Tuple TakeRow(const PartitionedRows& in, PartitionedRows* steal, size_t src,
 Result<ExchangeOperator::Routing> ExchangeOperator::Route(
     ExecContext&, const PartitionedRows&) {
   return Routing{};
+}
+
+Result<Rows> BuildAndShipDestination(ExecContext& ctx, ExchangeOperator& op,
+                                     int dst, const PartitionedRows& in,
+                                     const ExchangeOperator::Routing& routing,
+                                     PartitionedRows* steal, OpStats* stats) {
+  SIMDB_ASSIGN_OR_RETURN(Rows rows,
+                         op.BuildDestination(ctx, dst, in, routing, steal,
+                                             stats));
+  transport::Transport* t = ctx.transport;
+  if (t != nullptr &&
+      t->ShouldShip(rows.size(), stats != nullptr ? stats->remote_bytes : 0) &&
+      (ctx.cancel == nullptr || ctx.cancel->Check().ok())) {
+    double seconds = 0;
+    SIMDB_RETURN_IF_ERROR(
+        t->Ship(ctx.topology.NodeOfPartition(dst), &rows, &seconds));
+    if (stats != nullptr) stats->transport_seconds += seconds;
+  }
+  return rows;
 }
 
 Result<PartitionedRows> ExchangeOperator::Execute(
@@ -95,8 +115,8 @@ Result<PartitionedRows> RunExchange(
         int64_t start = profiling ? ctx.trace->NowMicros() : 0;
         SIMDB_ASSIGN_OR_RETURN(
             out[static_cast<size_t>(dst)],
-            op.BuildDestination(ctx, dst, in, routing, steal,
-                                &dest_stats[static_cast<size_t>(dst)]));
+            BuildAndShipDestination(ctx, op, dst, in, routing, steal,
+                                    &dest_stats[static_cast<size_t>(dst)]));
         if (profiling) {
           obs::TraceEvent ev;
           ev.category = "exchange";
@@ -121,6 +141,7 @@ Result<PartitionedRows> RunExchange(
       stats->local_bytes += d.local_bytes;
       stats->remote_bytes += d.remote_bytes;
       stats->remote_transfers += d.remote_transfers;
+      stats->transport_seconds += d.transport_seconds;
     }
     // Routing runs over the sources once; spread its cost evenly the way the
     // cluster would (each source partition routes its own rows). Implicit-

@@ -51,6 +51,19 @@ class ExchangeOperator : public Operator {
       OpStats* stats) final;
 };
 
+/// Builds destination `dst` and, when the context carries a transport whose
+/// ShouldShip accepts the destination (judged on its row count and accounted
+/// remote bytes), round-trips the built rows through Transport::Ship. This is
+/// the single seam both executors go through, so all backends see identical
+/// shipping decisions; it runs inside the build task's stopwatch, so shipped
+/// seconds land in the exchange's partition time (also recorded separately in
+/// `stats->transport_seconds`). A tripped cancellation token skips the ship —
+/// the round trip is a value identity, so the answer is unchanged either way.
+Result<Rows> BuildAndShipDestination(ExecContext& ctx, ExchangeOperator& op,
+                                     int dst, const PartitionedRows& in,
+                                     const ExchangeOperator::Routing& routing,
+                                     PartitionedRows* steal, OpStats* stats);
+
 /// Runs an exchange: Route once, then all destination builds in parallel on
 /// the context's pool, merging per-destination traffic counters and
 /// partition build times deterministically. `steal` may be null.

@@ -9,6 +9,7 @@
 #include "common/stopwatch.h"
 #include "hyracks/ops_exchange.h"
 #include "observability/trace.h"
+#include "transport/transport.h"
 
 namespace simdb::hyracks {
 
@@ -385,8 +386,8 @@ class SchedulerRun {
         const bool profiling = ctx_.trace != nullptr;
         int64_t start = profiling ? ctx_.trace->NowMicros() : 0;
         Stopwatch sw;
-        Result<Rows> r =
-            op->BuildDestination(ctx_, t.p, in, nr.routing, steal, &dstats);
+        Result<Rows> r = BuildAndShipDestination(ctx_, *op, t.p, in,
+                                                 nr.routing, steal, &dstats);
         double secs = sw.ElapsedSeconds();
         if (profiling && r.ok()) {
           obs::TraceEvent ev;
@@ -596,6 +597,7 @@ class SchedulerRun {
             nr.stats.local_bytes += ds.local_bytes;
             nr.stats.remote_bytes += ds.remote_bytes;
             nr.stats.remote_transfers += ds.remote_transfers;
+            nr.stats.transport_seconds += ds.transport_seconds;
             nr.stats.partition_seconds[static_cast<size_t>(d)] =
                 nr.build_seconds[static_cast<size_t>(d)] + spread;
           }
@@ -603,6 +605,9 @@ class SchedulerRun {
         ctx_.stats->ops.push_back(std::move(nr.stats));
       }
       ctx_.stats->has_task_dag = true;
+      if (ctx_.transport != nullptr && ctx_.transport->measures_wall_clock()) {
+        ctx_.stats->network_measured = true;
+      }
       ctx_.stats->wall_seconds += wall_seconds;
     }
     for (int i = 0; i < n; ++i) {

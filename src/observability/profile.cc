@@ -114,8 +114,11 @@ QueryProfile BuildQueryProfile(const hyracks::ExecStats& stats,
     p.local_bytes = op.local_bytes;
     p.remote_bytes = op.remote_bytes;
     p.remote_transfers = op.remote_transfers;
-    p.network_seconds = cluster::ModeledNetworkSeconds(
-        op.remote_bytes, topology.num_nodes, net);
+    p.network_seconds = stats.network_measured
+                            ? 0.0
+                            : cluster::ModeledNetworkSeconds(
+                                  op.remote_bytes, topology.num_nodes, net);
+    p.transport_seconds = op.transport_seconds;
     p.counters = op.counters;
     profile.operators.push_back(std::move(p));
   }
@@ -307,6 +310,7 @@ std::string QueryProfile::ToJson() const {
     out += ", \"remote_bytes\": " + std::to_string(op.remote_bytes);
     out += ", \"remote_transfers\": " + std::to_string(op.remote_transfers);
     out += ", \"network_seconds\": " + FmtDouble(op.network_seconds);
+    out += ", \"transport_seconds\": " + FmtDouble(op.transport_seconds);
     out += ", \"counters\": {";
     for (size_t c = 0; c < op.counters.size(); ++c) {
       if (c > 0) out += ", ";

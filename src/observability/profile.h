@@ -32,7 +32,12 @@ struct OperatorProfile {
   uint64_t remote_bytes = 0;
   uint64_t remote_transfers = 0;
   /// Modeled NIC time for this operator's remote bytes (cost model figure).
+  /// Zero when the run shipped through a wall-clock transport backend — the
+  /// real time is then in `transport_seconds` (and inside `seconds`).
   double network_seconds = 0;
+  /// Measured wall-clock the exchange spent inside Transport::Ship (already
+  /// contained in `seconds`; zero under the modeled backend).
+  double transport_seconds = 0;
   /// Operator-specific counters, sorted by name (see docs/OBSERVABILITY.md).
   std::vector<std::pair<std::string, uint64_t>> counters;
 };

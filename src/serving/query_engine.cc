@@ -281,10 +281,15 @@ void QueryEngine::FinishTicket(const std::shared_ptr<QueryTicket>& ticket,
     case StatusCode::kCancelled:
       cancelled_.fetch_add(1, std::memory_order_relaxed);
       reg.GetCounter("serving.cancelled")->Increment();
+      // A cancelled query may have abandoned exchange destinations mid-ship;
+      // drain the transport so the dead query leaves no bytes in flight (for
+      // the socket backend this also proves every worker is alive and idle).
+      (void)processor_.DrainTransport();
       break;
     case StatusCode::kDeadlineExceeded:
       deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
       reg.GetCounter("serving.deadline_exceeded")->Increment();
+      (void)processor_.DrainTransport();
       break;
     case StatusCode::kResourceExhausted:
       rejected_quota_.fetch_add(1, std::memory_order_relaxed);

@@ -28,6 +28,7 @@ void ApplyVariant(QueryProcessor& engine, const ExecVariant& v) {
   engine.set_posting_cache_enabled(v.posting_cache);
   engine.set_batch_execution(v.batch_execution);
   engine.set_executor(v.executor);
+  if (engine.transport_kind() != v.transport) engine.set_transport(v.transport);
 }
 
 /// Executes one query and returns its result set as a sorted vector of JSON
@@ -243,6 +244,31 @@ std::vector<ExecVariant> BatchVariantMatrix() {
     tuple.batch_execution = false;
     variants.push_back(tuple);
   }
+  return variants;
+}
+
+std::vector<ExecVariant> TransportVariantMatrix() {
+  // The fully-indexed shape reaches every exchange kind (hash repartition,
+  // broadcast, gather, merge-gather). Each backend must agree bit-for-bit
+  // with the modeled baseline; shared-memory additionally runs on the
+  // stage-sequential executor, since both executors drive the same
+  // BuildAndShipDestination seam.
+  std::vector<ExecVariant> variants;
+  const std::pair<const char*, transport::TransportKind> backends[] = {
+      {"indexed-modeled", transport::TransportKind::kModeled},
+      {"indexed-shm", transport::TransportKind::kSharedMemory},
+      {"indexed-socket", transport::TransportKind::kSocket}};
+  for (const auto& [name, kind] : backends) {
+    ExecVariant v;
+    v.label = name;
+    v.transport = kind;
+    variants.push_back(v);
+  }
+  ExecVariant stageseq;
+  stageseq.label = "indexed-shm-stageseq";
+  stageseq.transport = transport::TransportKind::kSharedMemory;
+  stageseq.executor = hyracks::ExecutorKind::kStageSequential;
+  variants.push_back(stageseq);
   return variants;
 }
 

@@ -7,6 +7,7 @@
 #include "hyracks/exec.h"
 #include "storage/inverted_index.h"
 #include "testing/fuzz.h"
+#include "transport/transport.h"
 
 namespace simdb::testing {
 
@@ -30,6 +31,11 @@ struct ExecVariant {
   /// Dataflow runtime executing the job (task-graph scheduler vs legacy
   /// stage-sequential). Both must be answer-identical on every query.
   hyracks::ExecutorKind executor = hyracks::ExecutorKind::kScheduler;
+  /// Exchange transport backend (modeled / shared-memory / socket). All
+  /// backends must be answer- and error-identical on every query: the rows
+  /// round-trip losslessly through the wire frame, so shipping is an
+  /// identity on the result.
+  transport::TransportKind transport = transport::TransportKind::kModeled;
 };
 
 /// The default plan-variant matrix:
@@ -50,6 +56,13 @@ std::vector<ExecVariant> PlanVariantMatrix();
 /// three-stage join), each run with batch execution on and off. The on/off
 /// pair must be bit-identical per plan shape.
 std::vector<ExecVariant> BatchVariantMatrix();
+
+/// The transport differential matrix: the fully-indexed plan shape run under
+/// every transport backend (modeled / shared-memory / socket) on the
+/// task-graph scheduler, plus shared-memory on the stage-sequential executor
+/// (both executors drive the same BuildAndShipDestination seam). All
+/// variants must be bit-identical per query — results and errors.
+std::vector<ExecVariant> TransportVariantMatrix();
 
 /// Cluster shapes the matrix runs under: 1x1, 2x2, 4x2
 /// (nodes x partitions-per-node).

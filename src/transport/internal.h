@@ -1,0 +1,35 @@
+#ifndef SIMDB_TRANSPORT_INTERNAL_H_
+#define SIMDB_TRANSPORT_INTERNAL_H_
+
+#include <memory>
+
+#include "observability/metrics.h"
+#include "transport/transport.h"
+
+namespace simdb::transport::internal {
+
+/// Cached handles to the transport.* metrics (registry lookups take a mutex;
+/// shipping is a hot path). Construction registers every name, so a snapshot
+/// taken after MakeTransport always shows the full catalogue — the two-way
+/// check in CI depends on that.
+struct Metrics {
+  obs::Counter* frames_sent;
+  obs::Counter* frames_received;
+  obs::Counter* bytes_sent;
+  obs::Counter* bytes_received;
+  obs::Counter* ship_errors;
+  obs::Counter* drains;
+  obs::Counter* workers_spawned;
+  obs::Histogram* serialize_nanos;
+  obs::Histogram* deserialize_nanos;
+  obs::Histogram* rtt_micros;
+};
+
+Metrics& GetMetrics();
+
+std::unique_ptr<Transport> MakeSharedMemoryTransport();
+std::unique_ptr<Transport> MakeSocketTransport(int num_nodes);
+
+}  // namespace simdb::transport::internal
+
+#endif  // SIMDB_TRANSPORT_INTERNAL_H_

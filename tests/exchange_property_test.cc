@@ -13,6 +13,7 @@
 #include "hyracks/ops_exchange.h"
 #include "hyracks/ops_group.h"
 #include "hyracks/ops_join.h"
+#include "transport/transport.h"
 
 namespace simdb::hyracks {
 namespace {
@@ -163,6 +164,50 @@ TEST_P(ExchangeProperty, HashJoinMatchesNaiveJoin) {
   HashJoinOp join({0}, {0});
   auto out = *join.Execute(ctx_, {&l, &r}, &s);
   EXPECT_EQ(static_cast<int64_t>(RowsCount(out)), expected);
+}
+
+TEST_P(ExchangeProperty, ModeledAndSharedMemoryAccountingAgree) {
+  // The exchange byte/transfer counters are computed by BuildDestination
+  // from routing decisions alone — which backend then ships the built rows
+  // must not change them. Run the same input through every exchange kind
+  // under the modeled and shared-memory backends and compare the counters
+  // (these are the exchange.*.{local_bytes,remote_bytes} figures the
+  // observability layer exports).
+  Random rng(GetParam() + 900);
+  std::unique_ptr<transport::Transport> modeled =
+      transport::MakeTransport(transport::TransportKind::kModeled,
+                               ctx_.topology.num_nodes);
+  std::unique_ptr<transport::Transport> shm =
+      transport::MakeTransport(transport::TransportKind::kSharedMemory,
+                               ctx_.topology.num_nodes);
+  for (int iter = 0; iter < 10; ++iter) {
+    PartitionedRows in = RandomRows(rng, 50);
+    auto run = [&](ExchangeOperator& op, transport::Transport* t,
+                   OpStats* stats) {
+      ExecContext ctx = ctx_;
+      ctx.transport = t;
+      PartitionedRows copy = in;  // private steal-able copy per run
+      return RunExchange(ctx, op, {&copy}, /*steal=*/nullptr, stats);
+    };
+    HashExchangeOp hash({0});
+    BroadcastExchangeOp bcast;
+    GatherOp gather;
+    ExchangeOperator* ops[] = {&hash, &bcast, &gather};
+    for (ExchangeOperator* op : ops) {
+      OpStats m_stats, s_stats;
+      auto m = run(*op, modeled.get(), &m_stats);
+      auto s = run(*op, shm.get(), &s_stats);
+      ASSERT_TRUE(m.ok() && s.ok()) << op->name();
+      EXPECT_EQ(Flatten(*m), Flatten(*s)) << op->name();
+      EXPECT_EQ(m_stats.local_bytes, s_stats.local_bytes) << op->name();
+      EXPECT_EQ(m_stats.remote_bytes, s_stats.remote_bytes) << op->name();
+      EXPECT_EQ(m_stats.remote_transfers, s_stats.remote_transfers)
+          << op->name();
+      // Only the real backend spent ship time.
+      EXPECT_EQ(m_stats.transport_seconds, 0.0) << op->name();
+      EXPECT_GT(s_stats.transport_seconds, 0.0) << op->name();
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExchangeProperty,

@@ -72,6 +72,30 @@ void RunSeedBatch(uint64_t seed) {
   }
 }
 
+/// The exchange transport must be invisible to results: the same seed's
+/// queries run under every transport backend (modeled / shared-memory /
+/// socket, plus shared-memory on the stage-sequential executor) and every
+/// combination must return bit-identical order-normalized rows — the wire
+/// round-trip is an identity on values. Topologies include 1x1 (where the
+/// shm backend still ships everything) and 4x2 (where the socket backend
+/// crosses real process boundaries).
+void RunSeedTransport(uint64_t seed) {
+  FuzzCase c = MakeFuzzCase(seed);
+  DifferentialOptions options;
+  options.scratch_dir = ScratchDir(seed) + "_transport";
+  options.variants = TransportVariantMatrix();
+  options.topologies = {{1, 1}, {4, 2}};
+  DifferentialReport report = RunDifferential(c, options);
+  storage::RemoveAll(options.scratch_dir);
+  EXPECT_TRUE(report.ok) << report.failure;
+  if (report.ok) {
+    // 4 transport variants x 2 topologies per query.
+    EXPECT_GE(report.comparisons,
+              static_cast<int>(c.queries.size()) * 4 * 2)
+        << DescribeFuzzCase(c);
+  }
+}
+
 /// Concurrent serving must be invisible to results: the same seed's queries
 /// are executed once sequentially and then pushed through a 4-in-flight
 /// serving engine, and every concurrent execution must be bit-identical —
@@ -97,6 +121,10 @@ class BatchEquivalence : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(BatchEquivalence, BatchMatchesTuple) { RunSeedBatch(GetParam()); }
 
+class TransportEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TransportEquivalence, BackendsAgree) { RunSeedTransport(GetParam()); }
+
 class ConcurrentEquivalence : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ConcurrentEquivalence, MatchesSequential) {
@@ -118,6 +146,13 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 INSTANTIATE_TEST_SUITE_P(
+    FixedSeeds, TransportEquivalence,
+    ::testing::Range<uint64_t>(1, kFixedSeedCount + 1),
+    [](const ::testing::TestParamInfo<uint64_t>& info) {
+      return "seed" + std::to_string(info.param);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
     FixedSeeds, ConcurrentEquivalence,
     ::testing::Range<uint64_t>(1, kFixedSeedCount + 1),
     [](const ::testing::TestParamInfo<uint64_t>& info) {
@@ -132,6 +167,7 @@ TEST(FuzzEquivalenceExtra, RequestedSeeds) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     RunSeed(seed);
     RunSeedBatch(seed);
+    RunSeedTransport(seed);
     RunSeedConcurrent(seed);
   }
 }

@@ -1,0 +1,316 @@
+// Transport backend tests: rows-frame codec round trips, the shared-memory
+// backend under concurrency (this file is in the TSan CI pass), the socket
+// backend's forked-worker protocol, drains, and the engine-level seam
+// (EngineOptions::transport / SIMDB_TRANSPORT, measured vs modeled network
+// accounting).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adm/wire.h"
+#include "cluster/cost_model.h"
+#include "common/random.h"
+#include "core/query_processor.h"
+#include "storage/file_util.h"
+#include "transport/transport.h"
+
+namespace simdb::transport {
+namespace {
+
+using adm::Value;
+using hyracks::Rows;
+using hyracks::Tuple;
+
+Rows MakeRows(uint64_t seed, int n) {
+  Random rng(seed);
+  Rows rows;
+  for (int i = 0; i < n; ++i) {
+    Tuple row;
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(1000))));
+    row.push_back(Value::String("r" + std::to_string(i)));
+    row.push_back(Value::MakeArray(
+        {Value::Double(0.25 * static_cast<double>(i)), Value::Null()}));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+bool RowsEqual(const Rows& a, const Rows& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (size_t c = 0; c < a[i].size(); ++c) {
+      if (!(a[i][c] == b[i][c])) return false;
+    }
+  }
+  return true;
+}
+
+TEST(RowsFrameTest, RoundTripsEmptyAndNonEmpty) {
+  for (int n : {0, 1, 7, 100}) {
+    Rows rows = MakeRows(42, n);
+    std::string frame;
+    EncodeRowsFrame(rows, &frame);
+    Result<Rows> back = DecodeRowsFrame(frame);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_TRUE(RowsEqual(rows, *back)) << "n=" << n;
+  }
+}
+
+TEST(RowsFrameTest, CorruptionRejected) {
+  Rows rows = MakeRows(7, 5);
+  std::string frame;
+  EncodeRowsFrame(rows, &frame);
+  std::string bad = frame;
+  bad[bad.size() - 1] = static_cast<char>(bad[bad.size() - 1] ^ 0x01);
+  EXPECT_FALSE(DecodeRowsFrame(bad).ok());
+  EXPECT_FALSE(DecodeRowsFrame(std::string_view(frame).substr(
+                   0, frame.size() - 1))
+                   .ok());
+}
+
+TEST(RowsFrameTest, TrailingPayloadRejected) {
+  Rows rows = MakeRows(7, 2);
+  std::string payload_frame;
+  EncodeRowsFrame(rows, &payload_frame);
+  // Re-wrap the decoded payload plus junk in a fresh (checksum-valid) frame:
+  // the rows decoder itself must notice the leftovers.
+  ByteReader r(payload_frame);
+  Result<std::string_view> payload = adm::ReadFrame(&r);
+  ASSERT_TRUE(payload.ok());
+  std::string bigger(*payload);
+  bigger += "junk";
+  std::string frame;
+  adm::WriteFrame(bigger, &frame);
+  Result<Rows> back = DecodeRowsFrame(frame);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(TransportKindTest, NamesAndEnvParsing) {
+  EXPECT_STREQ(TransportKindName(TransportKind::kModeled), "modeled");
+  EXPECT_STREQ(TransportKindName(TransportKind::kSharedMemory), "shm");
+  EXPECT_STREQ(TransportKindName(TransportKind::kSocket), "socket");
+  ::unsetenv("SIMDB_TRANSPORT");
+  EXPECT_EQ(KindFromEnv(TransportKind::kModeled), TransportKind::kModeled);
+  ::setenv("SIMDB_TRANSPORT", "socket", 1);
+  EXPECT_EQ(KindFromEnv(TransportKind::kModeled), TransportKind::kSocket);
+  ::setenv("SIMDB_TRANSPORT", "shared-memory", 1);
+  EXPECT_EQ(KindFromEnv(TransportKind::kModeled),
+            TransportKind::kSharedMemory);
+  ::setenv("SIMDB_TRANSPORT", "bogus", 1);
+  EXPECT_EQ(KindFromEnv(TransportKind::kSocket), TransportKind::kSocket);
+  ::unsetenv("SIMDB_TRANSPORT");
+}
+
+TEST(ModeledTransportTest, NeverShipsAndDrainsTrivially) {
+  std::unique_ptr<Transport> t = MakeTransport(TransportKind::kModeled, 4);
+  EXPECT_FALSE(t->measures_wall_clock());
+  EXPECT_FALSE(t->ShouldShip(100, 1 << 20));
+  EXPECT_TRUE(t->Drain().ok());
+}
+
+TEST(SharedMemoryTransportTest, ShipIsIdentityOnRows) {
+  std::unique_ptr<Transport> t =
+      MakeTransport(TransportKind::kSharedMemory, 1);
+  EXPECT_TRUE(t->measures_wall_clock());
+  EXPECT_TRUE(t->ShouldShip(1, 0));  // ships even purely local traffic
+  EXPECT_FALSE(t->ShouldShip(0, 0));
+  Rows rows = MakeRows(1, 20);
+  Rows original = rows;
+  double seconds = -1;
+  ASSERT_TRUE(t->Ship(0, &rows, &seconds).ok());
+  EXPECT_TRUE(RowsEqual(rows, original));
+  EXPECT_GE(seconds, 0.0);
+  EXPECT_TRUE(t->Drain().ok());
+}
+
+TEST(SharedMemoryTransportTest, ConcurrentShipsStayIsolated) {
+  // More shippers than in-flight frame slots: threads contend on the slot
+  // pool's mutex/condvar and every thread must still get its own rows back.
+  std::unique_ptr<Transport> t =
+      MakeTransport(TransportKind::kSharedMemory, 4);
+  constexpr int kThreads = 16;
+  constexpr int kShipsPerThread = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      for (int s = 0; s < kShipsPerThread; ++s) {
+        Rows rows = MakeRows(static_cast<uint64_t>(i * 1000 + s), 8);
+        Rows original = rows;
+        double seconds = 0;
+        if (!t->Ship(i % 4, &rows, &seconds).ok() ||
+            !RowsEqual(rows, original)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(t->Drain().ok());
+}
+
+TEST(SocketTransportTest, ShipCrossesWorkerProcessAndIsIdentity) {
+  std::unique_ptr<Transport> t = MakeTransport(TransportKind::kSocket, 2);
+  EXPECT_TRUE(t->measures_wall_clock());
+  // Socket backend ships only destinations with accounted remote traffic.
+  EXPECT_FALSE(t->ShouldShip(10, 0));
+  EXPECT_TRUE(t->ShouldShip(10, 128));
+  for (int node = 0; node < 2; ++node) {
+    Rows rows = MakeRows(static_cast<uint64_t>(node) + 5, 30);
+    Rows original = rows;
+    double seconds = -1;
+    ASSERT_TRUE(t->Ship(node, &rows, &seconds).ok()) << "node " << node;
+    EXPECT_TRUE(RowsEqual(rows, original)) << "node " << node;
+    EXPECT_GT(seconds, 0.0);
+  }
+  // Drain pings every spawned worker over the control channel.
+  EXPECT_TRUE(t->Drain().ok());
+}
+
+TEST(SocketTransportTest, ManySequentialShipsAndConcurrentNodes) {
+  std::unique_ptr<Transport> t = MakeTransport(TransportKind::kSocket, 4);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int node = 0; node < 4; ++node) {
+    threads.emplace_back([&, node] {
+      for (int s = 0; s < 25; ++s) {
+        Rows rows = MakeRows(static_cast<uint64_t>(node * 100 + s), 12);
+        Rows original = rows;
+        double seconds = 0;
+        if (!t->Ship(node, &rows, &seconds).ok() ||
+            !RowsEqual(rows, original)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(t->Drain().ok());
+}
+
+// --- Engine-level seam -----------------------------------------------------
+
+std::string ScratchDir(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("simdb_transport_test_") + tag + "_" +
+           std::to_string(::getpid())))
+      .string();
+}
+
+core::EngineOptions EngineOptionsFor(const std::string& dir,
+                                     TransportKind kind) {
+  core::EngineOptions options;
+  options.data_dir = dir;
+  options.topology = {4, 2};
+  options.num_threads = 2;
+  options.transport = kind;
+  return options;
+}
+
+void LoadTinyDataset(core::QueryProcessor& engine) {
+  ASSERT_TRUE(engine.CreateDataset("D", "id").ok());
+  const char* titles[] = {"data base systems", "database system design",
+                          "query processing", "similarity query processing",
+                          "large scale data", "parallel data management"};
+  for (int i = 0; i < 60; ++i) {
+    Value rec = Value::MakeObject(
+        {{"id", Value::Int64(i)},
+         {"title", Value::String(titles[i % 6])},
+         {"score", Value::Int64(i % 10)}});
+    ASSERT_TRUE(engine.Insert("D", std::move(rec)).ok());
+  }
+}
+
+constexpr const char* kJoinQuery =
+    "set simfunction \"jaccard\"; set simthreshold \"0.5\"; "
+    "for $a in dataset('D') for $b in dataset('D') "
+    "where word-tokens($a.title) ~= word-tokens($b.title) "
+    "and $a.id < $b.id return { \"a\": $a.id, \"b\": $b.id };";
+
+/// All backends must return identical rows for an exchange-heavy join, and
+/// measured backends must flip the stats/cost-model to measured-network
+/// accounting.
+TEST(EngineTransportTest, BackendsAnswerIdenticallyAndAccountingFlips) {
+  std::vector<std::string> expected;
+  for (TransportKind kind :
+       {TransportKind::kModeled, TransportKind::kSharedMemory,
+        TransportKind::kSocket}) {
+    std::string dir = ScratchDir(TransportKindName(kind));
+    storage::RemoveAll(dir);
+    core::QueryProcessor engine(EngineOptionsFor(dir, kind));
+    LoadTinyDataset(engine);
+    core::QueryResult result;
+    ASSERT_TRUE(engine.Execute(kJoinQuery, &result).ok());
+    std::vector<std::string> rows;
+    for (const Value& row : result.rows) rows.push_back(row.ToJson());
+    std::sort(rows.begin(), rows.end());
+    if (kind == TransportKind::kModeled) {
+      expected = rows;
+      EXPECT_FALSE(result.exec.network_measured);
+    } else {
+      EXPECT_EQ(rows, expected) << TransportKindName(kind);
+      EXPECT_TRUE(result.exec.network_measured) << TransportKindName(kind);
+    }
+    cluster::MakespanReport report =
+        cluster::ComputeMakespan(result.exec, engine.options().topology);
+    if (kind == TransportKind::kModeled) {
+      EXPECT_FALSE(report.network_measured);
+      EXPECT_EQ(report.measured_network_seconds, 0.0);
+      EXPECT_GT(report.network_seconds, 0.0);  // remote traffic was charged
+    } else {
+      EXPECT_TRUE(report.network_measured) << TransportKindName(kind);
+      EXPECT_EQ(report.network_seconds, 0.0) << TransportKindName(kind);
+      EXPECT_GT(report.measured_network_seconds, 0.0)
+          << TransportKindName(kind);
+    }
+    EXPECT_TRUE(engine.DrainTransport().ok());
+    storage::RemoveAll(dir);
+  }
+}
+
+TEST(EngineTransportTest, EnvOverrideSelectsBackend) {
+  std::string dir = ScratchDir("env");
+  storage::RemoveAll(dir);
+  ::setenv("SIMDB_TRANSPORT", "shm", 1);
+  core::QueryProcessor engine(
+      EngineOptionsFor(dir, TransportKind::kModeled));
+  ::unsetenv("SIMDB_TRANSPORT");
+  EXPECT_EQ(engine.transport_kind(), TransportKind::kSharedMemory);
+  storage::RemoveAll(dir);
+}
+
+TEST(EngineTransportTest, SetTransportSwitchesBackend) {
+  std::string dir = ScratchDir("switch");
+  storage::RemoveAll(dir);
+  core::QueryProcessor engine(
+      EngineOptionsFor(dir, TransportKind::kModeled));
+  LoadTinyDataset(engine);
+  core::QueryResult modeled;
+  ASSERT_TRUE(engine.Execute(kJoinQuery, &modeled).ok());
+  EXPECT_FALSE(modeled.exec.network_measured);
+  engine.set_transport(TransportKind::kSharedMemory);
+  core::QueryResult shm;
+  ASSERT_TRUE(engine.Execute(kJoinQuery, &shm).ok());
+  EXPECT_TRUE(shm.exec.network_measured);
+  auto normalize = [](const core::QueryResult& r) {
+    std::vector<std::string> rows;
+    for (const Value& row : r.rows) rows.push_back(row.ToJson());
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  EXPECT_EQ(normalize(modeled), normalize(shm));
+  storage::RemoveAll(dir);
+}
+
+}  // namespace
+}  // namespace simdb::transport
