@@ -194,8 +194,14 @@ class QueryProcessor {
   /// Blocks until the transport has no bytes in flight and its workers are
   /// provably idle (socket: control-channel ping per live worker). The
   /// serving layer calls this after a cancellation or deadline so a dead
-  /// query leaves nothing in flight behind it.
-  Status DrainTransport() { return transport_->Drain(); }
+  /// query leaves nothing in flight behind it. A positive `timeout_seconds`
+  /// bounds the wait (the transport is shared by all concurrent queries, so
+  /// an unbounded drain can be starved by unrelated shipping); a timeout
+  /// surfaces as kDeadlineExceeded and is safe to retry. Non-positive waits
+  /// indefinitely.
+  Status DrainTransport(double timeout_seconds = 0.0) {
+    return transport_->Drain(timeout_seconds);
+  }
 
   /// Programmatic data path used by generators and benches (bypasses AQL).
   Result<storage::Dataset*> CreateDataset(const std::string& name,

@@ -52,10 +52,30 @@ QueryClass ClassifyProgram(const aql::Program& program) {
   return refs >= 2 ? QueryClass::kHeavy : QueryClass::kCheap;
 }
 
+/// Bound on the post-cancel/deadline transport drain. The ships of the
+/// finished query are synchronous and already returned, so the drain is a
+/// liveness check on the engine-shared transport, not a correctness step —
+/// and unrelated concurrent queries keep shipping through the same backend,
+/// so an unbounded wait could starve the finishing worker indefinitely.
+constexpr double kFinishDrainTimeoutSeconds = 1.0;
+
 void BumpMax(std::atomic<uint64_t>& slot, uint64_t candidate) {
   uint64_t cur = slot.load(std::memory_order_relaxed);
   while (candidate > cur && !slot.compare_exchange_weak(
                                 cur, candidate, std::memory_order_relaxed)) {
+  }
+}
+
+/// A cancelled or deadline-exceeded query may have abandoned exchange
+/// destinations mid-ship; drain the transport so the dead query leaves no
+/// bytes in flight (for the socket backend this also proves every worker is
+/// alive and idle). The drain is bounded and its failure is counted — a
+/// silent `(void)` discard would hide dead socket workers.
+void DrainTransportAfterAbort(core::QueryProcessor& processor,
+                              obs::MetricsRegistry& reg) {
+  Status drained = processor.DrainTransport(kFinishDrainTimeoutSeconds);
+  if (!drained.ok()) {
+    reg.GetCounter("serving.transport_drain_failures")->Increment();
   }
 }
 
@@ -128,7 +148,7 @@ QueryEngine::QueryEngine(core::EngineOptions engine_options,
        {"serving.submitted", "serving.admitted", "serving.completed",
         "serving.failed", "serving.cancelled", "serving.deadline_exceeded",
         "serving.rejected.queue_full", "serving.rejected.quota",
-        "serving.rejected.parse"}) {
+        "serving.rejected.parse", "serving.transport_drain_failures"}) {
     reg.GetCounter(name);
   }
   for (const char* name :
@@ -281,15 +301,12 @@ void QueryEngine::FinishTicket(const std::shared_ptr<QueryTicket>& ticket,
     case StatusCode::kCancelled:
       cancelled_.fetch_add(1, std::memory_order_relaxed);
       reg.GetCounter("serving.cancelled")->Increment();
-      // A cancelled query may have abandoned exchange destinations mid-ship;
-      // drain the transport so the dead query leaves no bytes in flight (for
-      // the socket backend this also proves every worker is alive and idle).
-      (void)processor_.DrainTransport();
+      DrainTransportAfterAbort(processor_, reg);
       break;
     case StatusCode::kDeadlineExceeded:
       deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
       reg.GetCounter("serving.deadline_exceeded")->Increment();
-      (void)processor_.DrainTransport();
+      DrainTransportAfterAbort(processor_, reg);
       break;
     case StatusCode::kResourceExhausted:
       rejected_quota_.fetch_add(1, std::memory_order_relaxed);

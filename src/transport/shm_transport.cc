@@ -6,6 +6,7 @@
 // through a bounded pool of in-flight frame slots (capacity models the
 // sender-side frame buffers of a real NIC path and gives concurrent queries
 // real backpressure to contend on — the TSan CI job runs this backend).
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -40,18 +41,25 @@ class SharedMemoryTransport final : public Transport {
     EncodeRowsFrame(*rows, &frame);
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return free_slots_ > 0; });
+      slot_cv_.wait(lock, [this] { return free_slots_ > 0; });
       --free_slots_;
     }
     // The frame is "in flight": it left the builder's ownership and is the
     // only copy of these rows (the caller's tuples may have been moved out
     // of the steal view). Deliver it back through the decoder.
     Result<hyracks::Rows> back = DecodeRowsFrame(frame);
+    bool all_idle;
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++free_slots_;
+      all_idle = free_slots_ == kFrameSlots;
     }
-    cv_.notify_one();
+    // Shippers and drainers wait on distinct condition variables: a single
+    // notify_one on a shared one could be consumed by a Drain waiter whose
+    // predicate (all slots free) is still false, permanently stranding a
+    // blocked shipper — a lost-wakeup deadlock.
+    slot_cv_.notify_one();
+    if (all_idle) idle_cv_.notify_all();
     if (!back.ok()) {
       GetMetrics().ship_errors->Increment();
       return back.status();
@@ -63,16 +71,29 @@ class SharedMemoryTransport final : public Transport {
     return Status::OK();
   }
 
-  Status Drain() override {
+  Status Drain(double timeout_seconds) override {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return free_slots_ == kFrameSlots; });
+    auto all_idle = [this] { return free_slots_ == kFrameSlots; };
+    if (timeout_seconds > 0) {
+      if (!idle_cv_.wait_for(lock,
+                             std::chrono::duration<double>(timeout_seconds),
+                             all_idle)) {
+        return Status::DeadlineExceeded(
+            "transport shm: drain timed out with " +
+            std::to_string(kFrameSlots - free_slots_) +
+            " frame slot(s) still in flight");
+      }
+    } else {
+      idle_cv_.wait(lock, all_idle);
+    }
     GetMetrics().drains->Increment();
     return Status::OK();
   }
 
  private:
   std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable slot_cv_;  // signaled when a slot frees up
+  std::condition_variable idle_cv_;  // signaled when every slot is free
   int free_slots_ = kFrameSlots;
 };
 

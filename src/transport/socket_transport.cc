@@ -13,14 +13,17 @@
 // synchronous request-reply under a per-worker mutex, and a worker failure
 // surfaces as the build task's error, where the executors' lowest-(node,
 // partition)-wins rule already makes error selection deterministic.
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "adm/wire.h"
@@ -76,16 +79,40 @@ Status ReadFull(int fd, char* data, size_t n) {
   return Status::OK();
 }
 
+/// Upper bound on a frame payload accepted off the wire. A corrupted or
+/// desynchronized stream must produce a Corruption status, not a multi-GiB
+/// buffer resize (an uncatchable bad_alloc); real destination frames are
+/// orders of magnitude below this.
+constexpr uint32_t kMaxPayloadBytes = 1u << 30;  // 1 GiB
+
 /// Reads one [type][frame] message. The frame is self-delimiting: its header
-/// is fixed-size and carries the payload length.
+/// is fixed-size and carries the payload length. The magic, version, and
+/// payload length are validated *before* the buffer is sized to the length
+/// field, so garbage on the stream fails cleanly here (the CRC is checked
+/// later by adm::ReadFrame when the payload is consumed).
 Status ReadMessage(int fd, uint8_t* type, std::string* frame) {
   char t;
   SIMDB_RETURN_IF_ERROR(ReadFull(fd, &t, 1));
   *type = static_cast<uint8_t>(t);
   frame->resize(adm::kWireHeaderBytes);
   SIMDB_RETURN_IF_ERROR(ReadFull(fd, frame->data(), adm::kWireHeaderBytes));
+  uint32_t magic;
+  std::memcpy(&magic, frame->data(), 4);
+  if (magic != adm::kWireMagic) {
+    return Status::Corruption("transport socket: bad frame magic on stream");
+  }
+  uint8_t version = static_cast<uint8_t>((*frame)[4]);
+  if (version != adm::kWireVersion) {
+    return Status::Corruption("transport socket: unknown frame version " +
+                              std::to_string(static_cast<int>(version)));
+  }
   uint32_t payload_len;
   std::memcpy(&payload_len, frame->data() + 5, 4);  // after magic(4)+version(1)
+  if (payload_len > kMaxPayloadBytes) {
+    return Status::Corruption("transport socket: frame payload length " +
+                              std::to_string(payload_len) +
+                              " exceeds the wire maximum");
+  }
   frame->resize(adm::kWireHeaderBytes + payload_len);
   return ReadFull(fd, frame->data() + adm::kWireHeaderBytes, payload_len);
 }
@@ -133,10 +160,73 @@ Status WriteMessage(int fd, uint8_t type, const std::string& frame) {
   }
 }
 
+/// Blocks until `fd` is readable or `deadline` passes.
+Status WaitReadable(int fd, std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return Status::DeadlineExceeded(
+          "transport socket: drain timed out waiting for a ping reply");
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int r = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return IoError("poll failed");
+    }
+    if (r == 0) {
+      return Status::DeadlineExceeded(
+          "transport socket: drain timed out waiting for a ping reply");
+    }
+    return Status::OK();
+  }
+}
+
 class SocketTransport final : public Transport {
  public:
   explicit SocketTransport(int num_nodes)
-      : workers_(static_cast<size_t>(num_nodes > 0 ? num_nodes : 1)) {}
+      : workers_(static_cast<size_t>(num_nodes > 0 ? num_nodes : 1)) {
+    // All workers are forked eagerly, here, while the engine is still being
+    // constructed and effectively single-threaded. Forking lazily from a
+    // pool worker of a busy multithreaded engine is hazardous: the child
+    // inherits a snapshot of every lock (malloc arena, metrics registry,
+    // histogram mutexes), and its first frame decode takes several of them —
+    // if any other thread held one at the fork instant, the child deadlocks
+    // and the parent's next read on that socket blocks forever.
+    GetMetrics();  // materialize metric handles pre-fork, outside the child
+    std::vector<int> parent_fds;
+    parent_fds.reserve(workers_.size());
+    for (Worker& w : workers_) {
+      int sv[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        init_status_ = IoError("socketpair failed");
+        return;
+      }
+      pid_t pid = ::fork();
+      if (pid < 0) {
+        ::close(sv[0]);
+        ::close(sv[1]);
+        init_status_ = IoError("fork failed");
+        return;
+      }
+      if (pid == 0) {
+        // Drop the inherited parent ends of earlier workers' channels so
+        // each channel really closes when the parent closes its end.
+        for (int fd : parent_fds) ::close(fd);
+        ::close(sv[0]);
+        ServeWorker(sv[1]);  // never returns
+      }
+      ::close(sv[1]);
+      w.fd = sv[0];
+      w.pid = pid;
+      parent_fds.push_back(sv[0]);
+      GetMetrics().workers_spawned->Increment();
+    }
+  }
 
   ~SocketTransport() override {
     for (Worker& w : workers_) {
@@ -162,20 +252,25 @@ class SocketTransport final : public Transport {
   }
 
   Status Ship(int dst_node, hyracks::Rows* rows, double* seconds) override {
+    SIMDB_RETURN_IF_ERROR(init_status_);
+    if (dst_node < 0 || static_cast<size_t>(dst_node) >= workers_.size()) {
+      // Shipping to a clamped/default worker instead would mask topology
+      // and routing bugs while reporting success; fail loudly.
+      GetMetrics().ship_errors->Increment();
+      return Status::Internal("transport socket: ship to out-of-range node " +
+                              std::to_string(dst_node) + " (cluster has " +
+                              std::to_string(workers_.size()) + " nodes)");
+    }
     Stopwatch sw;
     std::string frame;
     EncodeRowsFrame(*rows, &frame);
-    size_t idx = static_cast<size_t>(dst_node) < workers_.size()
-                     ? static_cast<size_t>(dst_node)
-                     : 0;
-    Worker& w = workers_[idx];
+    Worker& w = workers_[static_cast<size_t>(dst_node)];
     uint8_t reply_type = 0;
     std::string reply;
     {
       // One request-reply in flight per worker; ships to distinct nodes
       // proceed in parallel.
       std::lock_guard<std::mutex> lock(w.mu);
-      SIMDB_RETURN_IF_ERROR(EnsureSpawnedLocked(&w));
       Stopwatch rtt;
       Status s = WriteMessage(w.fd, kData, frame);
       if (s.ok()) s = ReadMessage(w.fd, &reply_type, &reply);
@@ -209,14 +304,39 @@ class SocketTransport final : public Transport {
     return Status::OK();
   }
 
-  Status Drain() override {
+  Status Drain(double timeout_seconds) override {
+    SIMDB_RETURN_IF_ERROR(init_status_);
+    bool bounded = timeout_seconds > 0;
+    auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(bounded ? timeout_seconds : 0));
     std::string empty_frame;
     adm::WriteFrame("", &empty_frame);
     for (size_t i = 0; i < workers_.size(); ++i) {
       Worker& w = workers_[i];
-      std::lock_guard<std::mutex> lock(w.mu);
-      if (w.pid < 0) continue;  // never spawned: trivially idle
+      std::unique_lock<std::mutex> lock(w.mu, std::defer_lock);
+      if (bounded) {
+        // A worker busy with another query's ship holds its mutex for that
+        // ship's round trip; a bounded drain must not be starved behind a
+        // sustained stream of them. Deadline-bounded try_lock polling
+        // rather than timed_mutex::try_lock_until: the drain is cold, and
+        // TSan has no interceptor for pthread_mutex_clocklock, so the timed
+        // lock would raise false "unlock of unlocked mutex" reports in the
+        // sanitizer CI job.
+        while (!lock.try_lock()) {
+          if (std::chrono::steady_clock::now() >= deadline) {
+            return Status::DeadlineExceeded(
+                "transport socket: drain timed out behind node " +
+                std::to_string(i) + "'s in-flight ship");
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(500));
+        }
+      } else {
+        lock.lock();
+      }
       SIMDB_RETURN_IF_ERROR(WriteMessage(w.fd, kPing, empty_frame));
+      if (bounded) SIMDB_RETURN_IF_ERROR(WaitReadable(w.fd, deadline));
       uint8_t type = 0;
       std::string frame;
       SIMDB_RETURN_IF_ERROR(ReadMessage(w.fd, &type, &frame));
@@ -237,31 +357,8 @@ class SocketTransport final : public Transport {
     pid_t pid = -1;
   };
 
-  /// Forks the node's worker on first ship to it. Caller holds w->mu.
-  Status EnsureSpawnedLocked(Worker* w) {
-    if (w->pid >= 0) return Status::OK();
-    int sv[2];
-    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
-      return IoError("socketpair failed");
-    }
-    pid_t pid = ::fork();
-    if (pid < 0) {
-      ::close(sv[0]);
-      ::close(sv[1]);
-      return IoError("fork failed");
-    }
-    if (pid == 0) {
-      ::close(sv[0]);
-      ServeWorker(sv[1]);  // never returns
-    }
-    ::close(sv[1]);
-    w->fd = sv[0];
-    w->pid = pid;
-    GetMetrics().workers_spawned->Increment();
-    return Status::OK();
-  }
-
   std::vector<Worker> workers_;
+  Status init_status_;  // first socketpair/fork failure, if any
 };
 
 }  // namespace

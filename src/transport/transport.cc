@@ -27,7 +27,7 @@ class ModeledTransport final : public Transport {
   bool measures_wall_clock() const override { return false; }
   bool ShouldShip(size_t, uint64_t) const override { return false; }
   Status Ship(int, hyracks::Rows*, double*) override { return Status::OK(); }
-  Status Drain() override {
+  Status Drain(double) override {
     internal::GetMetrics().drains->Increment();
     return Status::OK();
   }

@@ -67,8 +67,13 @@ class Transport {
   /// Blocks until every in-flight transfer has settled and remote workers
   /// are provably idle (socket: a control-channel ping per live worker).
   /// Called by the serving layer after a cancellation or deadline so a dead
-  /// query leaves no bytes in flight.
-  virtual Status Drain() = 0;
+  /// query leaves no bytes in flight. A positive `timeout_seconds` bounds
+  /// the wait — under sustained shipping by unrelated concurrent queries an
+  /// unbounded drain could starve the caller — and a timeout returns
+  /// kDeadlineExceeded without disturbing transport state (it is safe to
+  /// keep shipping and to drain again). Non-positive waits indefinitely.
+  virtual Status Drain(double timeout_seconds) = 0;
+  Status Drain() { return Drain(/*timeout_seconds=*/0.0); }
 };
 
 /// Builds a backend for a cluster of `num_nodes` nodes and pre-registers

@@ -158,6 +158,50 @@ TEST(SharedMemoryTransportTest, ConcurrentShipsStayIsolated) {
   EXPECT_TRUE(t->Drain().ok());
 }
 
+TEST(SharedMemoryTransportTest, ConcurrentDrainsDoNotLoseShipWakeups) {
+  // Regression: shippers and drainers used to share one condition variable
+  // with notify_one on slot release, so a Drain waiter could swallow the
+  // notification meant for a blocked shipper and deadlock the pool. Hammer
+  // ships from more threads than slots while drainers wait concurrently; a
+  // hang here is the bug.
+  std::unique_ptr<Transport> t =
+      MakeTransport(TransportKind::kSharedMemory, 2);
+  constexpr int kShippers = 12;
+  constexpr int kShipsPerThread = 40;
+  std::atomic<int> failures{0};
+  std::atomic<bool> shipping_done{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kShippers + 2);
+  for (int i = 0; i < kShippers; ++i) {
+    threads.emplace_back([&, i] {
+      for (int s = 0; s < kShipsPerThread; ++s) {
+        Rows rows = MakeRows(static_cast<uint64_t>(i * 777 + s), 4);
+        double seconds = 0;
+        if (!t->Ship(i % 2, &rows, &seconds).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int d = 0; d < 2; ++d) {
+    threads.emplace_back([&] {
+      while (!shipping_done.load(std::memory_order_relaxed)) {
+        // Bounded drains interleave with shipping; a timeout is a valid
+        // outcome under load, losing a shipper's wakeup is not.
+        Status s = t->Drain(/*timeout_seconds=*/0.05);
+        if (!s.ok() && s.code() != StatusCode::kDeadlineExceeded) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < kShippers; ++i) threads[static_cast<size_t>(i)].join();
+  shipping_done.store(true, std::memory_order_relaxed);
+  for (size_t i = kShippers; i < threads.size(); ++i) threads[i].join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(t->Drain().ok());
+}
+
 TEST(SocketTransportTest, ShipCrossesWorkerProcessAndIsIdentity) {
   std::unique_ptr<Transport> t = MakeTransport(TransportKind::kSocket, 2);
   EXPECT_TRUE(t->measures_wall_clock());
@@ -196,6 +240,27 @@ TEST(SocketTransportTest, ManySequentialShipsAndConcurrentNodes) {
   for (std::thread& th : threads) th.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_TRUE(t->Drain().ok());
+}
+
+TEST(SocketTransportTest, WorkersForkedEagerlyAndDrainBoundedWhenIdle) {
+  // Workers exist (and answer pings) from construction — nothing is forked
+  // lazily from pool threads mid-query — so a drain succeeds before any
+  // ship, bounded or not.
+  std::unique_ptr<Transport> t = MakeTransport(TransportKind::kSocket, 3);
+  EXPECT_TRUE(t->Drain(/*timeout_seconds=*/5.0).ok());
+  EXPECT_TRUE(t->Drain().ok());
+}
+
+TEST(SocketTransportTest, OutOfRangeNodeFailsLoudly) {
+  // Clamping a bad dst_node to worker 0 would mask routing bugs while
+  // reporting success; it must be an error instead.
+  std::unique_ptr<Transport> t = MakeTransport(TransportKind::kSocket, 2);
+  Rows rows = MakeRows(9, 3);
+  double seconds = 0;
+  Status s = t->Ship(2, &rows, &seconds);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("out-of-range"), std::string::npos);
+  EXPECT_FALSE(t->Ship(-1, &rows, &seconds).ok());
 }
 
 // --- Engine-level seam -----------------------------------------------------
