@@ -65,7 +65,7 @@ struct ServingBench {
     dir = (std::filesystem::temp_directory_path() /
            ("simdb_bench_serving_" + std::to_string(::getpid()) + "_" + tag))
               .string();
-    storage::RemoveAll(dir);
+    storage::RemoveAllBestEffort(dir);
     core::EngineOptions options;
     options.data_dir = dir;
     options.topology = {2, 2};
@@ -89,7 +89,7 @@ struct ServingBench {
   }
   ~ServingBench() {
     engine.reset();
-    storage::RemoveAll(dir);
+    storage::RemoveAllBestEffort(dir);
   }
 };
 

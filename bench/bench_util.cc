@@ -35,7 +35,7 @@ BenchEnv::BenchEnv(hyracks::ClusterTopology topology, size_t threads) {
 
 BenchEnv::~BenchEnv() {
   engine_.reset();
-  storage::RemoveAll(dir_);
+  storage::RemoveAllBestEffort(dir_);
 }
 
 Result<std::unique_ptr<datagen::TextDatasetGenerator>> LoadTextDataset(

@@ -39,7 +39,7 @@ std::unique_ptr<core::QueryProcessor> MakeEngine(bool verify,
   std::string dir = (std::filesystem::temp_directory_path() /
                      ("simdb_bench_verify_" + tag))
                         .string();
-  storage::RemoveAll(dir);
+  storage::RemoveAllBestEffort(dir);
   core::EngineOptions options;
   options.data_dir = dir;
   options.topology = {2, 2};

@@ -110,6 +110,6 @@ int main(int argc, char** argv) {
     QueryProcessor engine(options);
     rc = RunShell(engine);
   }
-  if (temporary) simdb::storage::RemoveAll(dir);
+  if (temporary) simdb::storage::RemoveAllBestEffort(dir);
   return rc;
 }

@@ -149,7 +149,7 @@ int main() {
   options.topology = {2, 2};
   core::QueryProcessor engine(options);
   Status status = RunDemo(engine);
-  storage::RemoveAll(dir);
+  storage::RemoveAllBestEffort(dir);
   if (!status.ok()) {
     std::fprintf(stderr, "aqlplus_custom_rewrite failed: %s\n",
                  status.ToString().c_str());

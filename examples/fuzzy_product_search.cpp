@@ -99,7 +99,7 @@ int main() {
   options.topology = {1, 2};
   QueryProcessor engine(options);
   Status status = RunDemo(engine);
-  simdb::storage::RemoveAll(dir);
+  simdb::storage::RemoveAllBestEffort(dir);
   if (!status.ok()) {
     std::fprintf(stderr, "fuzzy_product_search failed: %s\n",
                  status.ToString().c_str());

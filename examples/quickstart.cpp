@@ -112,7 +112,7 @@ int main() {
   options.topology = {2, 2};  // a simulated 2-node cluster
   QueryProcessor engine(options);
   Status status = RunDemo(engine);
-  simdb::storage::RemoveAll(dir);
+  simdb::storage::RemoveAllBestEffort(dir);
   if (!status.ok()) {
     std::fprintf(stderr, "quickstart failed: %s\n", status.ToString().c_str());
     return 1;

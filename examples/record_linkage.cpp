@@ -90,7 +90,7 @@ int main() {
   options.topology = {2, 2};
   QueryProcessor engine(options);
   Status status = RunDemo(engine);
-  simdb::storage::RemoveAll(dir);
+  simdb::storage::RemoveAllBestEffort(dir);
   if (!status.ok()) {
     std::fprintf(stderr, "record_linkage failed: %s\n",
                  status.ToString().c_str());

@@ -1,0 +1,273 @@
+#!/usr/bin/env python3
+"""Project-specific static checks that the compiler cannot express.
+
+Usage: simdb_lint.py [--check] [--root DIR] [--allowlist FILE] [PATH...]
+
+Five rules, each born from a real bug class in this engine's history:
+
+  discarded-status   `(void)Foo(...)` throws away a Status/Result (the
+                     classes are [[nodiscard]], so a cast is the only way
+                     to discard one). Every such cast must carry a
+                     justification comment on the same or preceding line.
+  bare-cv-wait       A single-argument condition-variable wait must sit in
+                     a `while (predicate)` loop (clang's thread-safety
+                     analysis cannot see through predicate lambdas, so the
+                     codebase standardizes on explicit loops; a bare wait
+                     is a lost-wakeup / spurious-wakeup bug).
+  fork-site          `fork()` is only legal in the socket transport's
+                     eager-fork site. A fork anywhere else can capture
+                     locked mutexes and background threads mid-flight.
+  metric-name        GetCounter/GetHistogram with a string literal must
+                     name a metric documented in the docs/ catalogues
+                     (docs/OBSERVABILITY.md et al.). A typo'd name would
+                     otherwise silently register a parallel metric.
+                     Dynamically built names (string concatenation) are
+                     skipped; the runtime catalogue check covers those.
+  raw-mutex          `std::mutex` / `std::condition_variable` / lock RAII
+                     types outside common/thread_annotations.h bypass the
+                     annotated wrappers and the lock-rank deadlock
+                     detector.
+
+Findings can be suppressed two ways:
+  * inline: a `simdb-lint: <rule>-ok` comment on the finding's line
+    (e.g. `// simdb-lint: raw-mutex-ok (the wrapper itself)`), or for
+    discarded-status any justification comment (see above);
+  * allowlist: scripts/simdb_lint_allowlist.json maps rule -> list of
+    "path" or "path:line" entries. The allowlist is frozen: CI fails on
+    new findings, and stale entries (allowlisted but no longer firing)
+    also fail so the file cannot rot.
+
+Exit status: 0 clean, 1 findings (or stale allowlist entries), 2 usage.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+CPP_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+
+# Files that implement the abstractions the rules protect.
+WRAPPER_FILES = {
+    "src/common/thread_annotations.h",  # the annotated wrapper itself
+    "src/analysis/lock_rank.cc",        # detector internals (pre-wrapper)
+    "src/analysis/lock_rank.h",
+}
+FORK_FILE = "src/transport/socket_transport.cc"
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|timed_mutex|shared_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b")
+FORK_RE = re.compile(r"(?<![\w:.])fork\s*\(\s*\)")
+VOID_DISCARD_RE = re.compile(r"\(void\)\s*[A-Za-z_][\w:.\->]*\s*\(")
+CV_WAIT_RE = re.compile(r"[\w\)\]]\s*(?:\.|->)\s*[Ww]ait\s*\(")
+METRIC_CALL_RE = re.compile(
+    r"Get(Counter|Histogram)\s*\(\s*\"([A-Za-z0-9_.<>-]+)\"\s*\)")
+# Backticked dotted names in markdown catalogue tables (same convention as
+# scripts/check_metric_catalogue.py).
+DOC_NAME_RE = re.compile(r"`([a-z]+\.[A-Za-z0-9_.<>-]+)`")
+CONNECTORS = ["HASH-EXCHANGE", "BROADCAST-EXCHANGE", "GATHER", "MERGE-GATHER"]
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path  # repo-relative, POSIX separators
+        self.line = line
+        self.message = message
+
+    def key(self):
+        return f"{self.path}:{self.line}"
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comment(line):
+    """Code portion of a line (drops // comments; naive about strings)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def has_suppression(lines, i, rule):
+    """True when line i (or the line above) carries a rule suppression."""
+    tag = f"simdb-lint: {rule}-ok"
+    if tag in lines[i]:
+        return True
+    return i > 0 and tag in lines[i - 1]
+
+
+def single_argument(call_tail):
+    """True when the parenthesized argument list that starts at call_tail
+    holds exactly one non-empty top-level argument (no comma at depth 1).
+    Zero-argument calls (`ticket->Wait()`) are not condvar waits."""
+    depth = 0
+    saw_token = False
+    for ch in call_tail:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+            if depth == 0:
+                return saw_token  # closed without a top-level comma
+        elif ch == "," and depth == 1:
+            return False
+        elif depth >= 1 and not ch.isspace():
+            saw_token = True
+    return saw_token  # unterminated on this line: assume single-arg
+
+
+def documented_metric_names(root):
+    names = set()
+    for md in sorted((root / "docs").glob("*.md")):
+        for line in md.read_text(encoding="utf-8").splitlines():
+            if not line.lstrip().startswith("|"):
+                continue
+            for name in DOC_NAME_RE.findall(line):
+                if "<CONNECTOR>" in name:
+                    names.update(
+                        name.replace("<CONNECTOR>", c) for c in CONNECTORS)
+                else:
+                    names.add(name)
+    return names
+
+
+def check_file(relpath, lines, metric_names):
+    findings = []
+    in_wrapper = relpath in WRAPPER_FILES
+
+    for i, raw in enumerate(lines):
+        lineno = i + 1
+        code = strip_comment(raw)
+
+        # raw-mutex: std synchronization primitives outside the wrapper.
+        if not in_wrapper:
+            m = RAW_MUTEX_RE.search(code)
+            if m and not has_suppression(lines, i, "raw-mutex"):
+                findings.append(Finding(
+                    "raw-mutex", relpath, lineno,
+                    f"std::{m.group(1)} outside common/thread_annotations.h; "
+                    "use the annotated Mutex/CondVar wrappers"))
+
+        # fork-site: fork() only in the socket transport.
+        if relpath != FORK_FILE and FORK_RE.search(code):
+            if not has_suppression(lines, i, "fork-site"):
+                findings.append(Finding(
+                    "fork-site", relpath, lineno,
+                    "fork() outside the socket transport's eager-fork site"))
+
+        # discarded-status: (void)Call(...) needs a why-comment.
+        m = VOID_DISCARD_RE.search(code)
+        if m:
+            has_comment = "//" in raw or (i > 0 and "//" in lines[i - 1])
+            if not has_comment:
+                findings.append(Finding(
+                    "discarded-status", relpath, lineno,
+                    "(void)-discarded call without a justification comment "
+                    "on this or the preceding line"))
+
+        # bare-cv-wait: single-arg wait must sit in a while loop.
+        m = CV_WAIT_RE.search(code)
+        if m and single_argument(code[m.end() - 1:]):
+            window = " ".join(
+                strip_comment(lines[j])
+                for j in range(max(0, i - 3), i + 1))
+            if (not re.search(r"\bwhile\b", window)
+                    and not has_suppression(lines, i, "bare-cv-wait")):
+                findings.append(Finding(
+                    "bare-cv-wait", relpath, lineno,
+                    "condition-variable Wait without an enclosing "
+                    "while(predicate) loop within 3 lines"))
+
+        # metric-name: literal lookups must be in the docs catalogue.
+        for kind, name in METRIC_CALL_RE.findall(code):
+            if name not in metric_names and \
+                    not has_suppression(lines, i, "metric-name"):
+                findings.append(Finding(
+                    "metric-name", relpath, lineno,
+                    f'Get{kind}("{name}") not in the docs/ metric '
+                    "catalogue tables"))
+
+    return findings
+
+
+def load_allowlist(path):
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return {rule: set(entries) for rule, entries in data.items()
+            if rule != "_comment"}
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--check", action="store_true",
+                    help="CI mode: same checks, explicit-by-name in logs")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: this script's parent's parent)")
+    ap.add_argument("--allowlist", default=None,
+                    help="allowlist JSON (default: scripts/simdb_lint_allowlist.json)")
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories to lint (default: src/)")
+    args = ap.parse_args(argv)
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    allowlist_path = (Path(args.allowlist) if args.allowlist
+                      else root / "scripts" / "simdb_lint_allowlist.json")
+    targets = [root / p for p in args.paths] if args.paths else [root / "src"]
+
+    files = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(p for p in sorted(target.rglob("*"))
+                         if p.suffix in CPP_SUFFIXES)
+        elif target.is_file():
+            files.append(target)
+        else:
+            print(f"simdb_lint: no such path: {target}", file=sys.stderr)
+            return 2
+
+    metric_names = documented_metric_names(root)
+    allowlist = load_allowlist(allowlist_path)
+
+    findings = []
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+        findings.extend(check_file(rel, lines, metric_names))
+
+    # Partition against the frozen allowlist; track which entries matched so
+    # stale entries fail too.
+    used = {rule: set() for rule in allowlist}
+    reported = []
+    for f in findings:
+        allowed = allowlist.get(f.rule, set())
+        if f.key() in allowed:
+            used[f.rule].add(f.key())
+        elif f.path in allowed:
+            used[f.rule].add(f.path)
+        else:
+            reported.append(f)
+
+    exit_code = 0
+    for f in reported:
+        print(str(f))
+        exit_code = 1
+
+    for rule, entries in allowlist.items():
+        stale = entries - used.get(rule, set())
+        for entry in sorted(stale):
+            print(f"simdb_lint: stale allowlist entry [{rule}] {entry} "
+                  "(no longer fires; remove it)")
+            exit_code = 1
+
+    if exit_code == 0:
+        print(f"simdb_lint: OK ({len(files)} files, "
+              f"{len(findings)} allowlisted findings)")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

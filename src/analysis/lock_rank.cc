@@ -1,0 +1,121 @@
+#include "analysis/lock_rank.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+namespace simdb::lockrank {
+namespace {
+
+// Per-thread held-lock stack. A plain vector: the hot path is push/pop at
+// the back plus a linear scan over a handful of entries (engine threads
+// hold at most ~4 locks at once).
+thread_local std::vector<HeldLock> t_held;
+
+// Per-mutex record of the held stack under which it was last acquired.
+// This is the "other side" of a reported cycle: when thread A holding
+// rank-high tries to acquire rank-low, the record for the rank-high mutex
+// shows what some thread held on the path that established the opposite
+// edge. Guarded by a raw std::mutex — this file is the detector itself, so
+// it cannot use the ranked wrapper (allowlisted in simdb_lint).
+struct AcquireRecord {
+  const char* name = "";
+  std::vector<HeldLock> held_at_acquire;
+};
+std::mutex g_records_mu;  // simdb-lint: raw-mutex-ok (detector internals)
+std::unordered_map<const void*, AcquireRecord>& Records() {
+  static auto* records = new std::unordered_map<const void*, AcquireRecord>();
+  return *records;
+}
+
+std::atomic<uint64_t> g_violations{0};
+
+void AppendStack(std::ostringstream& out, const std::vector<HeldLock>& held) {
+  if (held.empty()) {
+    out << "    (no locks held)\n";
+    return;
+  }
+  for (const HeldLock& h : held) {
+    out << "    rank " << h.rank << "  " << h.name << "  (" << h.mutex
+        << ")\n";
+  }
+}
+
+void DefaultHandler(const Violation& v) {
+  std::fprintf(stderr, "%s", v.message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<Handler> g_handler{&DefaultHandler};
+
+void Report(int rank, const char* name, const void* mutex,
+            const HeldLock& conflict) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream out;
+  out << "[lock-rank] rank inversion: acquiring rank " << rank << "  " << name
+      << "  (" << mutex << ")\n"
+      << "  while holding rank " << conflict.rank << "  " << conflict.name
+      << "  (" << conflict.mutex << ")\n"
+      << "  this thread's held stack (outermost first):\n";
+  AppendStack(out, t_held);
+  {
+    std::lock_guard<std::mutex> lock(g_records_mu);
+    auto it = Records().find(conflict.mutex);
+    if (it != Records().end()) {
+      out << "  " << it->second.name
+          << " was last acquired while holding (the opposing cycle edge):\n";
+      AppendStack(out, it->second.held_at_acquire);
+    }
+  }
+  out << "  fix: acquire in ascending rank order (see src/analysis/"
+         "lock_rank.h and docs/ANALYSIS.md)\n";
+  Violation v{out.str()};
+  g_handler.load(std::memory_order_acquire)(v);
+}
+
+}  // namespace
+
+Handler SetHandlerForTest(Handler handler) {
+  return g_handler.exchange(handler ? handler : &DefaultHandler,
+                            std::memory_order_acq_rel);
+}
+
+uint64_t violation_count() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+void OnAcquire(int rank, const char* name, const void* mutex) {
+  // Check before blocking: the report must fire instead of the deadlock.
+  for (const HeldLock& h : t_held) {
+    if (h.rank >= rank || h.mutex == mutex) {
+      Report(rank, name, mutex, h);
+      break;  // report once per acquire, against the outermost conflict
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(g_records_mu);
+    AcquireRecord& rec = Records()[mutex];
+    rec.name = name;
+    rec.held_at_acquire = t_held;
+  }
+  t_held.push_back(HeldLock{rank, name, mutex});
+}
+
+void OnRelease(const void* mutex) {
+  // Locks are usually released LIFO, but scoped locks can unlock early or
+  // out of order — scan from the back.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::vector<HeldLock> CurrentThreadHeld() { return t_held; }
+
+}  // namespace simdb::lockrank

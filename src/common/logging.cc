@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace simdb {
 namespace {
@@ -26,9 +27,10 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-// Serializes interleaved log lines from worker threads.
-std::mutex& LogMutex() {
-  static std::mutex* m = new std::mutex;
+// Serializes interleaved log lines from worker threads. Rank kLogging: the
+// innermost leaf, so logging is legal under any engine lock.
+Mutex& LogMutex() {
+  static Mutex* m = new Mutex(lockrank::Rank::kLogging, "logging::LogMutex");
   return *m;
 }
 
@@ -51,7 +53,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 
 LogMessage::~LogMessage() {
   {
-    std::lock_guard<std::mutex> lock(LogMutex());
+    MutexLock lock(LogMutex());
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
   }
   if (fatal_) std::abort();

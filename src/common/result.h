@@ -13,8 +13,10 @@ namespace simdb {
 /// arrow::Result / absl::StatusOr. A Result is never default-ok without a
 /// value: constructing from an OK status is a programming error reported as
 /// an Internal status.
+/// [[nodiscard]]: a dropped Result drops the error with it; see the Status
+/// discard policy in status.h.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the common success path).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -35,7 +35,10 @@ std::string_view StatusCodeToString(StatusCode code);
 
 /// A lightweight success-or-error value. The engine does not use exceptions;
 /// every fallible operation returns a Status (or a Result<T>, see result.h).
-class Status {
+/// [[nodiscard]]: silently dropping a returned Status swallows the error. A
+/// deliberate best-effort discard must be written `(void)Foo()` with a
+/// comment saying why (simdb_lint checks for the comment).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -24,10 +24,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -42,33 +42,36 @@ void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
   // other. shared_ptr keeps the state alive until the last task finished
   // even if a spurious wakeup races the caller out first.
   struct Batch {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining;
+    Mutex mu{lockrank::Rank::kPoolBatch, "ThreadPool::RunAll::Batch::mu"};
+    CondVar cv;
+    size_t remaining SIMDB_GUARDED_BY(mu) = 0;
   };
   auto batch = std::make_shared<Batch>();
-  batch->remaining = tasks.size();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(batch->mu);
+    batch->remaining = tasks.size();
+  }
+  {
+    MutexLock lock(mu_);
     for (auto& t : tasks) {
       queue_.push_back([batch, fn = std::move(t)] {
         fn();
-        std::lock_guard<std::mutex> lock(batch->mu);
-        if (--batch->remaining == 0) batch->cv.notify_all();
+        MutexLock lock(batch->mu);
+        if (--batch->remaining == 0) batch->cv.NotifyAll();
       });
     }
   }
-  work_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(batch->mu);
-  batch->cv.wait(lock, [&] { return batch->remaining == 0; });
+  work_cv_.NotifyAll();
+  MutexLock lock(batch->mu);
+  while (batch->remaining != 0) batch->cv.Wait(lock);
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -76,8 +79,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(lock);
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;

@@ -1,13 +1,13 @@
 #ifndef SIMDB_COMMON_THREAD_POOL_H_
 #define SIMDB_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace simdb {
 
@@ -32,12 +32,14 @@ class ThreadPool {
   /// Completion is tracked per batch, so concurrent RunAll callers (several
   /// queries sharing the engine pool) wait only for their own tasks — one
   /// query's long batch cannot strand another's wait.
-  void RunAll(std::vector<std::function<void()>> tasks);
+  void RunAll(std::vector<std::function<void()>> tasks) SIMDB_EXCLUDES(mu_);
 
   /// Enqueues one task and returns immediately. Completion tracking is the
   /// caller's responsibility (the task-graph scheduler keeps its own counts);
   /// tasks must not throw. A submitted task may itself Submit more tasks.
-  void Submit(std::function<void()> task);
+  /// Callable while holding locks of rank below kThreadPool (the scheduler
+  /// submits under its run mutex).
+  void Submit(std::function<void()> task) SIMDB_EXCLUDES(mu_);
 
   /// True when the calling thread is one of this process's pool workers.
   static bool OnWorkerThread();
@@ -46,10 +48,13 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  Mutex mu_{lockrank::Rank::kThreadPool, "ThreadPool::mu_"};
+  /// Waiters are homogeneous (every worker waits on the same "work or
+  /// shutdown" predicate), so Submit's NotifyOne cannot wake the wrong kind
+  /// of waiter — see the condvar audit in docs/ANALYSIS.md.
+  CondVar work_cv_;
+  std::deque<std::function<void()>> queue_ SIMDB_GUARDED_BY(mu_);
+  bool shutdown_ SIMDB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace simdb

@@ -93,7 +93,7 @@ QueryProcessor::QueryProcessor(EngineOptions options)
 
 Result<storage::Dataset*> QueryProcessor::CreateDataset(
     const std::string& name, const std::string& pk_field) {
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  WriterLock lock(state_mu_);
   storage::DatasetSpec spec;
   spec.name = name;
   spec.pk_field = pk_field;
@@ -102,7 +102,7 @@ Result<storage::Dataset*> QueryProcessor::CreateDataset(
 }
 
 Status QueryProcessor::Insert(const std::string& dataset, adm::Value record) {
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  WriterLock lock(state_mu_);
   storage::Dataset* ds = catalog_.Find(dataset);
   if (ds == nullptr) return Status::NotFound("dataset " + dataset);
   SIMDB_ASSIGN_OR_RETURN(int64_t pk, ds->Insert(std::move(record)));
@@ -474,7 +474,7 @@ Status QueryProcessor::Execute(std::string_view aql, QueryResult* result) {
   Stopwatch parse;
   SIMDB_ASSIGN_OR_RETURN(aql::Program program, aql::ParseProgram(aql));
   double parse_seconds = parse.ElapsedSeconds();
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  WriterLock lock(state_mu_);
   for (const aql::Statement& stmt : program.statements) {
     SIMDB_RETURN_IF_ERROR(
         ExecuteStatement(stmt, result, opt_, nullptr, /*concurrent=*/false));
@@ -489,7 +489,7 @@ Status QueryProcessor::ExecuteConcurrent(std::string_view aql,
   Stopwatch parse;
   SIMDB_ASSIGN_OR_RETURN(aql::Program program, aql::ParseProgram(aql));
   double parse_seconds = parse.ElapsedSeconds();
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  ReaderLock lock(state_mu_);
   // Per-query optimizer context: a copy of the engine's session defaults
   // that this query's `set` statements mutate privately. In verify mode the
   // (stateful) contract checker is likewise a per-query instance.
@@ -511,7 +511,7 @@ Status QueryProcessor::ExecuteConcurrent(std::string_view aql,
 
 Result<std::string> QueryProcessor::Explain(std::string_view aql) {
   SIMDB_ASSIGN_OR_RETURN(aql::Program program, aql::ParseProgram(aql));
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  WriterLock lock(state_mu_);
   const aql::AExprPtr* query = nullptr;
   for (const aql::Statement& stmt : program.statements) {
     if (stmt.kind == aql::Statement::Kind::kQuery) {

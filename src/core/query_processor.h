@@ -3,7 +3,6 @@
 
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -13,6 +12,7 @@
 #include "aql/parser.h"
 #include "aql/translator.h"
 #include "common/cancellation.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "hyracks/budget.h"
 #include "hyracks/exec.h"
@@ -239,7 +239,11 @@ class QueryProcessor {
   /// Guards engine state: concurrent queries hold it shared for their whole
   /// run; Execute / CreateDataset / Insert / RegisterSimilarityUdf hold it
   /// exclusively (DDL, data mutation, session settings, option toggles).
-  mutable std::shared_mutex state_mu_;
+  /// Rank kEngineState — the outermost engine lock: every scheduler, pool,
+  /// cache, transport, and metrics lock is taken while a query holds this
+  /// shared.
+  mutable SharedMutex state_mu_{lockrank::Rank::kEngineState,
+                                "QueryProcessor::state_mu_"};
   algebricks::OptContext opt_;
   std::map<std::string, aql::Translator::FunctionDefAst> functions_;
 };

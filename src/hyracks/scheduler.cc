@@ -1,12 +1,11 @@
 #include "hyracks/scheduler.h"
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "hyracks/ops_exchange.h"
 #include "observability/trace.h"
 #include "transport/transport.h"
@@ -140,6 +139,7 @@ class SchedulerRun {
         if (!v.ok()) {
           // Recorded (not returned): an earlier node's runtime failure must
           // still win, and upstream nodes always have smaller ids.
+          MutexLock lock(mu_);
           RecordFailure(i, -1, v, /*unwrapped=*/false);
           nr.dead = true;
           continue;
@@ -156,6 +156,7 @@ class SchedulerRun {
         }
       } else if (exchange != nullptr) {
         if (jn.inputs.size() != 1) {
+          MutexLock lock(mu_);
           RecordFailure(
               i, -1,
               Status::Internal(op->name() + " expects exactly one input"),
@@ -203,31 +204,40 @@ class SchedulerRun {
     }
   }
 
-  void RunTasks() {
-    // Pool workers must not block waiting for other workers; a nested run
-    // (and the no-pool case) executes inline in topological order instead.
-    use_pool_ = ctx_.pool != nullptr && !ThreadPool::OnWorkerThread();
-    remaining_ = static_cast<int>(tasks_.size());
-    if (remaining_ == 0) return;
+  void RunTasks() SIMDB_EXCLUDES(mu_) {
+    if (tasks_.empty()) return;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
+      // Pool workers must not block waiting for other workers; a nested run
+      // (and the no-pool case) executes inline in topological order instead.
+      use_pool_ = ctx_.pool != nullptr && !ThreadPool::OnWorkerThread();
+      remaining_ = static_cast<int>(tasks_.size());
       for (int tid = 0; tid < static_cast<int>(tasks_.size()); ++tid) {
         if (tasks_[static_cast<size_t>(tid)].pending == 0) LaunchLocked(tid);
       }
       if (use_pool_) {
-        done_cv_.wait(lock, [this] { return remaining_ == 0; });
+        while (remaining_ != 0) done_cv_.Wait(lock);
         return;
       }
     }
-    while (!inline_queue_.empty()) {
-      int tid = inline_queue_.front();
-      inline_queue_.pop_front();
+    for (;;) {
+      int tid;
+      {
+        MutexLock lock(mu_);
+        if (inline_queue_.empty()) break;
+        tid = inline_queue_.front();
+        inline_queue_.pop_front();
+      }
       ExecTask(tid);
     }
+    MutexLock lock(mu_);
     SIMDB_CHECK(remaining_ == 0) << "scheduler finished with pending tasks";
   }
 
-  void LaunchLocked(int tid) {
+  /// Submitting to the pool acquires ThreadPool::mu_ while the scheduler
+  /// mutex is held — the nesting that pins kScheduler < kThreadPool in the
+  /// rank registry.
+  void LaunchLocked(int tid) SIMDB_REQUIRES(mu_) {
     if (use_pool_) {
       ctx_.pool->Submit([this, tid] { ExecTask(tid); });
     } else {
@@ -236,8 +246,11 @@ class SchedulerRun {
   }
 
   /// Records a failure for `node`; the lowest partition wins, node-level
-  /// failures (partition -1) beat all partitions.
-  void RecordFailure(int node, int partition, Status s, bool unwrapped) {
+  /// failures (partition -1) beat all partitions. Requires mu_ even from
+  /// BuildGraph's single-threaded phase: uniform locking keeps the
+  /// thread-safety analysis exact and the uncontended acquire is cheap.
+  void RecordFailure(int node, int partition, Status s, bool unwrapped)
+      SIMDB_REQUIRES(mu_) {
     NodeRun& nr = nodes_[static_cast<size_t>(node)];
     if (nr.failed && nr.fail_partition <= partition) return;
     nr.failed = true;
@@ -256,7 +269,7 @@ class SchedulerRun {
     if (ctx_.cancel != nullptr) s = ctx_.cancel->Check();
     if (s.ok() && ctx_.budget != nullptr) s = ctx_.budget->ChargeTask();
     if (s.ok()) return true;
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++tasks_skipped_;
     RecordFailure(t.node, t.p, std::move(s), /*unwrapped=*/true);
     CompleteLocked(tid, /*bad=*/true);
@@ -265,8 +278,9 @@ class SchedulerRun {
 
   /// Charges `bytes` for (node, p) against the budget. On refusal records a
   /// ResourceExhausted failure for the task and completes it as bad (the
-  /// output is dropped, not stored). Mutex held.
-  bool ChargeOutputLocked(int tid, int node, int p, int64_t bytes) {
+  /// output is dropped, not stored).
+  bool ChargeOutputLocked(int tid, int node, int p, int64_t bytes)
+      SIMDB_REQUIRES(mu_) {
     if (ctx_.budget == nullptr) return true;
     Status s = ctx_.budget->ChargeMemory(bytes);
     if (s.ok()) {
@@ -325,7 +339,7 @@ class SchedulerRun {
         }
         int64_t out_bytes =
             (ctx_.budget != nullptr && r.ok()) ? RowsApproxBytes(r.value()) : 0;
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++tasks_executed_;
         nr.any_ran = true;
         nr.stats.partition_seconds[static_cast<size_t>(t.p)] = secs;
@@ -363,7 +377,7 @@ class SchedulerRun {
           ev.args = {{"node", t.node}, {"stage", nr.stats.stage}};
           ctx_.trace->Record(std::move(ev));
         }
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++tasks_executed_;
         nr.any_ran = true;
         nr.route_seconds = secs;
@@ -405,7 +419,7 @@ class SchedulerRun {
         }
         int64_t out_bytes =
             (ctx_.budget != nullptr && r.ok()) ? RowsApproxBytes(r.value()) : 0;
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++tasks_executed_;
         nr.any_ran = true;
         nr.build_seconds[static_cast<size_t>(t.p)] = secs;
@@ -448,7 +462,7 @@ class SchedulerRun {
           ev.args = {{"node", t.node}, {"stage", nr.stats.stage}};
           ctx_.trace->Record(std::move(ev));
         }
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++tasks_executed_;
         nr.any_ran = true;
         if (!r.ok()) {
@@ -495,8 +509,7 @@ class SchedulerRun {
   /// Marks `tid` finished (`bad` = failed or skipped), releases its input
   /// claims, and cascades: dependents whose last dependency this was are
   /// launched, or — when any dependency was bad — skipped transitively.
-  /// Mutex held.
-  void CompleteLocked(int tid, bool bad) {
+  void CompleteLocked(int tid, bool bad) SIMDB_REQUIRES(mu_) {
     std::deque<std::pair<int, bool>> events;
     events.emplace_back(tid, bad);
     while (!events.empty()) {
@@ -517,13 +530,13 @@ class SchedulerRun {
       }
       --remaining_;
     }
-    if (remaining_ == 0) done_cv_.notify_all();
+    if (remaining_ == 0) done_cv_.NotifyAll();
   }
 
   /// Releases the (input, partition) claims this task holds; a partition is
   /// freed when its last consumer finishes. Skipped tasks release too, so
   /// live branches still reclaim memory next to a failed branch.
-  void ReleaseInputsLocked(int tid) {
+  void ReleaseInputsLocked(int tid) SIMDB_REQUIRES(mu_) {
     const Task& t = tasks_[static_cast<size_t>(tid)];
     const auto& inputs = job_.nodes()[static_cast<size_t>(t.node)].inputs;
     switch (t.kind) {
@@ -543,7 +556,7 @@ class SchedulerRun {
     }
   }
 
-  void DecRefLocked(int node, int p) {
+  void DecRefLocked(int node, int p) SIMDB_REQUIRES(mu_) {
     int& rc = refcount_[static_cast<size_t>(node)][static_cast<size_t>(p)];
     if (--rc == 0) {
       outputs_[static_cast<size_t>(node)][static_cast<size_t>(p)] = Rows();
@@ -635,11 +648,18 @@ class SchedulerRun {
   uint64_t tasks_executed_ = 0;
   uint64_t tasks_skipped_ = 0;
 
-  std::mutex mu_;
-  std::condition_variable done_cv_;
-  int remaining_ = 0;
-  bool use_pool_ = false;
-  std::deque<int> inline_queue_;
+  /// Publishes task outcomes to dependents and serializes all shared run
+  /// state below. outputs_/nodes_/refcount_/charged_ are published through
+  /// this mutex too, but pre-barrier reads of a dependency's output happen
+  /// after its CompleteLocked and are not annotated (the DAG ordering, not
+  /// the lock scope, is the invariant there).
+  Mutex mu_{lockrank::Rank::kScheduler, "SchedulerRun::mu_"};
+  /// Single waiter (the Go() caller) with one predicate; NotifyAll keeps it
+  /// future-proof against a second waiter.
+  CondVar done_cv_;
+  int remaining_ SIMDB_GUARDED_BY(mu_) = 0;
+  bool use_pool_ SIMDB_GUARDED_BY(mu_) = false;
+  std::deque<int> inline_queue_ SIMDB_GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -69,7 +69,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -79,7 +79,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -89,7 +89,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Snapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace(name, counter->value());
@@ -124,7 +124,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }

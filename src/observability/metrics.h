@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace simdb::obs {
 
@@ -65,14 +66,14 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
 
-  Counter* GetCounter(std::string_view name);
-  Histogram* GetHistogram(std::string_view name);
+  Counter* GetCounter(std::string_view name) SIMDB_EXCLUDES(mu_);
+  Histogram* GetHistogram(std::string_view name) SIMDB_EXCLUDES(mu_);
 
   struct Snapshot {
     std::map<std::string, uint64_t> counters;
     std::map<std::string, HistogramSnapshot> histograms;
   };
-  Snapshot Snap() const;
+  Snapshot Snap() const SIMDB_EXCLUDES(mu_);
 
   /// {"counters": {name: value, ...}, "histograms": {name: {count, sum,
   /// min, max, mean}, ...}} — stable name order (std::map).
@@ -80,12 +81,16 @@ class MetricsRegistry {
 
   /// Zeroes every registered metric (names stay registered). Test/bench
   /// isolation helper.
-  void ResetAll();
+  void ResetAll() SIMDB_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Rank kMetrics: a leaf — serving, transport, and profiling paths look
+  /// names up while holding their own locks.
+  mutable Mutex mu_{lockrank::Rank::kMetrics, "MetricsRegistry::mu_"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SIMDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SIMDB_GUARDED_BY(mu_);
 };
 
 }  // namespace simdb::obs

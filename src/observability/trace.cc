@@ -60,7 +60,7 @@ TraceCollector::Ring* TraceCollector::RingForThisThread() {
   if (t_ring_cache.collector_id == id_) {
     return static_cast<Ring*>(t_ring_cache.ring);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rings_.push_back(std::make_unique<Ring>(capacity_));
   Ring* ring = rings_.back().get();
   t_ring_cache = {id_, ring};
@@ -77,7 +77,7 @@ void TraceCollector::Record(TraceEvent event) {
 }
 
 std::vector<TraceEvent> TraceCollector::Drain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceEvent> out;
   for (auto& ring : rings_) {
     size_t n = std::min(ring->next, ring->slots.size());

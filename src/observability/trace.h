@@ -5,12 +5,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace simdb::obs {
 
@@ -58,7 +58,7 @@ class TraceCollector {
 
   /// Merges every thread's ring (oldest-first) and sorts by start time.
   /// Call only when no thread is recording.
-  std::vector<TraceEvent> Drain();
+  std::vector<TraceEvent> Drain() SIMDB_EXCLUDES(mu_);
 
   /// Events overwritten because a ring filled up.
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
@@ -70,14 +70,17 @@ class TraceCollector {
     size_t next = 0;       // total events ever written (owner thread only)
   };
 
-  Ring* RingForThisThread();
+  Ring* RingForThisThread() SIMDB_EXCLUDES(mu_);
 
   const std::chrono::steady_clock::time_point epoch_;
   const size_t capacity_;
   const uint64_t id_;  // process-unique; guards the thread-local ring cache
   std::atomic<uint64_t> dropped_{0};
-  std::mutex mu_;
-  std::vector<std::unique_ptr<Ring>> rings_;
+  /// Guards ring registration and drain only; Record appends through a raw
+  /// Ring* cached thread-locally, safe because each ring has exactly one
+  /// writer (its owner thread) and Drain runs only at quiescent points.
+  Mutex mu_{lockrank::Rank::kTrace, "TraceCollector::mu_"};
+  std::vector<std::unique_ptr<Ring>> rings_ SIMDB_GUARDED_BY(mu_);
 };
 
 /// Renders spans as a Chrome trace_event JSON document ("traceEvents"

@@ -86,38 +86,38 @@ void DrainTransportAfterAbort(core::QueryProcessor& processor,
 void QueryTicket::Cancel() { cancel_.RequestCancel(); }
 
 const Status& QueryTicket::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return state_ == QueryState::kDone; });
+  MutexLock lock(mu_);
+  while (state_ != QueryState::kDone) cv_.Wait(lock);
   return status_;
 }
 
 bool QueryTicket::Done() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_ == QueryState::kDone;
 }
 
 QueryState QueryTicket::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_;
 }
 
 const Status& QueryTicket::status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return status_;
 }
 
 const core::QueryResult& QueryTicket::result() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return result_;
 }
 
 double QueryTicket::queue_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_seconds_;
 }
 
 double QueryTicket::exec_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return exec_seconds_;
 }
 
@@ -208,7 +208,7 @@ Result<std::shared_ptr<QueryTicket>> QueryEngine::Submit(
   if (deadline > 0) ticket->cancel_.SetDeadlineAfter(deadline);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_ || !queue_.TryPush(qc, ticket->id())) {
       rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
       reg.GetCounter("serving.rejected.queue_full")->Increment();
@@ -224,7 +224,7 @@ Result<std::shared_ptr<QueryTicket>> QueryEngine::Submit(
     reg.GetHistogram("serving.queue_depth")->Observe(depth);
     BumpMax(peak_queue_depth_, depth);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   return ticket;
 }
 
@@ -232,12 +232,12 @@ void QueryEngine::WorkerLoop(bool cheap_only) {
   for (;;) {
     std::shared_ptr<QueryTicket> ticket;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ ||
-               (cheap_only ? queue_.depth(QueryClass::kCheap) > 0
-                           : !queue_.empty());
-      });
+      MutexLock lock(mu_);
+      while (!shutdown_ &&
+             (cheap_only ? queue_.depth(QueryClass::kCheap) == 0
+                         : queue_.empty())) {
+        work_cv_.Wait(lock);
+      }
       if (shutdown_) return;  // leftovers are cancelled by Shutdown
       ticket = NextTicketLocked(cheap_only);
     }
@@ -261,7 +261,7 @@ void QueryEngine::RunTicket(const std::shared_ptr<QueryTicket>& ticket) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   double queue_seconds = SecondsSince(ticket->submit_tp_);
   {
-    std::lock_guard<std::mutex> lock(ticket->mu_);
+    MutexLock lock(ticket->mu_);
     ticket->state_ = QueryState::kRunning;
     ticket->queue_seconds_ = queue_seconds;
   }
@@ -327,21 +327,21 @@ void QueryEngine::FinishTicket(const std::shared_ptr<QueryTicket>& ticket,
                        : "serving.heavy.latency_micros")
       ->Observe(static_cast<uint64_t>(latency_seconds * 1e6));
   {
-    std::lock_guard<std::mutex> lock(ticket->mu_);
+    MutexLock lock(ticket->mu_);
     ticket->status_ = std::move(status);
     ticket->result_ = std::move(result);
     ticket->exec_seconds_ = exec_seconds;
     ticket->state_ = QueryState::kDone;
   }
-  ticket->cv_.notify_all();
+  ticket->cv_.NotifyAll();
 }
 
 void QueryEngine::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -349,7 +349,7 @@ void QueryEngine::Shutdown() {
   // their clients' Wait() returns.
   std::vector<std::shared_ptr<QueryTicket>> leftover;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     QueryClass c;
     uint64_t id = 0;
     while (queue_.Pop(&c, &id)) {
@@ -380,7 +380,7 @@ ServingStats QueryEngine::Stats() const {
   s.running = running_.load(std::memory_order_relaxed);
   s.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     s.queued = queue_.depth();
   }
   return s;

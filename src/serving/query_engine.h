@@ -3,16 +3,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/thread_annotations.h"
 #include "common/result.h"
 #include "core/query_processor.h"
 #include "hyracks/budget.h"
@@ -98,14 +97,16 @@ class QueryTicket {
   CancellationToken cancel_;
   hyracks::ResourceBudget budget_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  QueryState state_ = QueryState::kQueued;
-  Status status_ = Status::OK();
-  core::QueryResult result_;
+  mutable Mutex mu_{lockrank::Rank::kServingTicket, "QueryTicket::mu_"};
+  /// Waiters all share the one "done" predicate; NotifyAll wakes every
+  /// client blocked in Wait().
+  CondVar cv_;
+  QueryState state_ SIMDB_GUARDED_BY(mu_) = QueryState::kQueued;
+  Status status_ SIMDB_GUARDED_BY(mu_) = Status::OK();
+  core::QueryResult result_ SIMDB_GUARDED_BY(mu_);
   std::chrono::steady_clock::time_point submit_tp_;
-  double queue_seconds_ = 0;
-  double exec_seconds_ = 0;
+  double queue_seconds_ SIMDB_GUARDED_BY(mu_) = 0;
+  double exec_seconds_ SIMDB_GUARDED_BY(mu_) = 0;
 };
 
 class QueryEngine;
@@ -202,8 +203,9 @@ class QueryEngine {
   ServingStats Stats() const;
 
  private:
-  void WorkerLoop(bool cheap_only);
-  std::shared_ptr<QueryTicket> NextTicketLocked(bool cheap_only);
+  void WorkerLoop(bool cheap_only) SIMDB_EXCLUDES(mu_);
+  std::shared_ptr<QueryTicket> NextTicketLocked(bool cheap_only)
+      SIMDB_REQUIRES(mu_);
   void RunTicket(const std::shared_ptr<QueryTicket>& ticket);
   void FinishTicket(const std::shared_ptr<QueryTicket>& ticket, Status status,
                     core::QueryResult result, double exec_seconds);
@@ -211,11 +213,19 @@ class QueryEngine {
   core::QueryProcessor processor_;
   ServingOptions serving_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  WeightedQueue queue_;
-  std::unordered_map<uint64_t, std::shared_ptr<QueryTicket>> queued_;
-  bool shutdown_ = false;
+  /// Rank kServingEngine: metric lookups (kMetrics) happen while it is
+  /// held, and ticket mutexes (kServingTicket) nest inside worker paths.
+  mutable Mutex mu_{lockrank::Rank::kServingEngine, "QueryEngine::mu_"};
+  /// Heterogeneous waiters (the reserved cheap-only worker waits on a
+  /// different predicate than general workers), so every wake must be
+  /// NotifyAll — a NotifyOne could land on a cheap-only worker that goes
+  /// right back to sleep while a general query waits (the PR 8 lost-wakeup
+  /// pattern; see docs/ANALYSIS.md).
+  CondVar work_cv_;
+  WeightedQueue queue_ SIMDB_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::shared_ptr<QueryTicket>> queued_
+      SIMDB_GUARDED_BY(mu_);
+  bool shutdown_ SIMDB_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 
   std::atomic<uint64_t> next_query_id_{1};

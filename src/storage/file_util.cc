@@ -6,6 +6,8 @@
 #include <fstream>
 #include <system_error>
 
+#include "common/logging.h"
+
 namespace simdb::storage {
 
 namespace fs = std::filesystem;
@@ -22,6 +24,13 @@ Status RemoveAll(const std::string& path) {
   fs::remove_all(path, ec);
   if (ec) return Status::IOError("remove_all " + path + ": " + ec.message());
   return Status::OK();
+}
+
+void RemoveAllBestEffort(const std::string& path) {
+  Status status = RemoveAll(path);
+  if (!status.ok()) {
+    SIMDB_LOG(kWarn) << "best-effort cleanup failed: " << status.ToString();
+  }
 }
 
 Status WriteFileAtomic(const std::string& path, const std::string& data) {

@@ -16,6 +16,13 @@ Status EnsureDir(const std::string& dir);
 /// Removes a file or directory tree; missing paths are not an error.
 Status RemoveAll(const std::string& path);
 
+/// RemoveAll for scratch/teardown paths where the caller cannot usefully
+/// propagate a failure (test fixtures, example cleanup, post-run scratch
+/// sweeps): a failure is logged at WARN instead of returned, so it stays
+/// visible without turning teardown into the test's failure. Prefer
+/// RemoveAll wherever the Status can actually be handled.
+void RemoveAllBestEffort(const std::string& path);
+
 /// Writes `data` to `path` atomically (write temp + rename).
 Status WriteFileAtomic(const std::string& path, const std::string& data);
 

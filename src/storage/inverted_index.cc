@@ -63,19 +63,19 @@ void InvertedIndex::RegisterPk(int64_t pk) {
 }
 
 void InvertedIndex::InvalidateCache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   cache_.clear();
   cache_order_.clear();
   cache_postings_ = 0;
 }
 
 size_t InvertedIndex::cached_postings() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   return cache_postings_;
 }
 
 size_t InvertedIndex::cached_lists() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   return cache_.size();
 }
 
@@ -158,7 +158,7 @@ Result<std::shared_ptr<const DecodedPostingList>> InvertedIndex::FetchDecoded(
   // Unknown to the dictionary == never stored: no LSM probe needed.
   if (!id.has_value()) return kEmpty;
   if (use_cache) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     auto it = cache_.find(*id);
     if (it != cache_.end()) {
       if (stats != nullptr) ++stats->cache_hits;
@@ -168,8 +168,11 @@ Result<std::shared_ptr<const DecodedPostingList>> InvertedIndex::FetchDecoded(
   if (stats != nullptr) ++stats->cache_misses;
   SIMDB_ASSIGN_OR_RETURN(DecodedPostingList decoded, DecodePostings(*id));
   auto list = std::make_shared<const DecodedPostingList>(std::move(decoded));
-  if (use_cache && list->pks.size() <= cache_budget_postings_) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+  if (use_cache) {
+    MutexLock lock(cache_mu_);
+    // Budget read under the lock: set_cache_budget_postings may race with
+    // probes (the fuzz harness retunes between variants).
+    if (list->pks.size() > cache_budget_postings_) return list;
     auto [it, inserted] = cache_.emplace(*id, list);
     (void)it;
     if (inserted) {
@@ -202,7 +205,7 @@ void InvertedIndex::EvictOverBudgetLocked() const {
 }
 
 void InvertedIndex::set_cache_budget_postings(size_t budget) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   cache_budget_postings_ = budget;
   EvictOverBudgetLocked();
 }

@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "similarity/simd_kernels.h"
 #include "storage/lsm_index.h"
 #include "storage/token_dictionary.h"
@@ -145,8 +145,8 @@ class InvertedIndex {
 
   void InvalidateCache();
 
-  /// FIFO-evicts cached lists until the budget holds. cache_mu_ must be held.
-  void EvictOverBudgetLocked() const;
+  /// FIFO-evicts cached lists until the budget holds.
+  void EvictOverBudgetLocked() const SIMDB_REQUIRES(cache_mu_);
 
   std::unique_ptr<LsmIndex> lsm_;
   TokenDictionary dict_;
@@ -162,12 +162,14 @@ class InvertedIndex {
   /// Decoded-posting-list cache, keyed by token id and bounded by the total
   /// number of cached postings (FIFO eviction). Guarded by a mutex so the
   /// per-partition executor tasks can share an index instance safely.
-  mutable std::mutex cache_mu_;
+  mutable Mutex cache_mu_{lockrank::Rank::kPostingCache,
+                          "InvertedIndex::cache_mu_"};
   mutable std::unordered_map<uint32_t, std::shared_ptr<const DecodedPostingList>>
-      cache_;
-  mutable std::deque<uint32_t> cache_order_;  // insertion order for eviction
-  mutable size_t cache_postings_ = 0;
-  size_t cache_budget_postings_ = 1u << 22;  // ~32 MB of int64 postings
+      cache_ SIMDB_GUARDED_BY(cache_mu_);
+  mutable std::deque<uint32_t> cache_order_ SIMDB_GUARDED_BY(cache_mu_);
+  mutable size_t cache_postings_ SIMDB_GUARDED_BY(cache_mu_) = 0;
+  size_t cache_budget_postings_ SIMDB_GUARDED_BY(cache_mu_) =
+      1u << 22;  // ~32 MB of int64 postings
 };
 
 }  // namespace simdb::storage

@@ -50,7 +50,7 @@ Result<std::vector<std::string>> RunNormalized(QueryProcessor& engine,
 Result<std::unique_ptr<QueryProcessor>> BuildEngine(
     const FuzzCase& c, const hyracks::ClusterTopology& topology,
     const std::string& dir, int num_records) {
-  storage::RemoveAll(dir);
+  storage::RemoveAllBestEffort(dir);
   EngineOptions options;
   options.data_dir = dir;
   options.topology = topology;
@@ -119,8 +119,8 @@ int MinimizeRecords(const FuzzCase& c, const Mismatch& m,
       break;
     }
   }
-  storage::RemoveAll(scratch + "/min_a");
-  storage::RemoveAll(scratch + "/min_b");
+  storage::RemoveAllBestEffort(scratch + "/min_a");
+  storage::RemoveAllBestEffort(scratch + "/min_b");
   return best;
 }
 
@@ -364,7 +364,7 @@ DifferentialReport RunConcurrentDifferential(
            std::to_string(c.seed);
   };
 
-  storage::RemoveAll(options.scratch_dir);
+  storage::RemoveAllBestEffort(options.scratch_dir);
   EngineOptions engine_options;
   engine_options.data_dir = options.scratch_dir;
   engine_options.topology = options.topology;
@@ -386,7 +386,7 @@ DifferentialReport RunConcurrentDifferential(
     }
   }
   if (!setup.ok()) {
-    storage::RemoveAll(options.scratch_dir);
+    storage::RemoveAllBestEffort(options.scratch_dir);
     return fail(describe("engine build failed: " + setup.ToString()));
   }
 
@@ -419,7 +419,7 @@ DifferentialReport RunConcurrentDifferential(
           engine.Submit(c.queries[qi].aql + ";");
       if (!ticket.ok()) {
         engine.Shutdown();
-        storage::RemoveAll(options.scratch_dir);
+        storage::RemoveAllBestEffort(options.scratch_dir);
         return fail(describe("query[" + c.queries[qi].label +
                              "] refused at submit: " +
                              ticket.status().ToString()));
@@ -435,7 +435,7 @@ DifferentialReport RunConcurrentDifferential(
     if (expected[qi].ok) {
       if (!status.ok()) {
         engine.Shutdown();
-        storage::RemoveAll(options.scratch_dir);
+        storage::RemoveAllBestEffort(options.scratch_dir);
         return fail(describe(
             "query[" + query.label + "]: " + query.aql +
             "\n  concurrent run failed where the sequential run succeeded: " +
@@ -457,14 +457,14 @@ DifferentialReport RunConcurrentDifferential(
         if (!missing.empty()) detail += "\n  first missing row: " + missing;
         if (!extra.empty()) detail += "\n  first extra row:   " + extra;
         engine.Shutdown();
-        storage::RemoveAll(options.scratch_dir);
+        storage::RemoveAllBestEffort(options.scratch_dir);
         return fail(describe(detail));
       }
     } else {
       std::string error = NormalizeVarIds(status.ToString());
       if (status.ok() || error != expected[qi].error) {
         engine.Shutdown();
-        storage::RemoveAll(options.scratch_dir);
+        storage::RemoveAllBestEffort(options.scratch_dir);
         return fail(describe(
             "query[" + query.label + "]: " + query.aql +
             "\n  sequential error: " + expected[qi].error +
@@ -475,7 +475,7 @@ DifferentialReport RunConcurrentDifferential(
   }
 
   engine.Shutdown();
-  storage::RemoveAll(options.scratch_dir);
+  storage::RemoveAllBestEffort(options.scratch_dir);
   return report;
 }
 

@@ -7,10 +7,9 @@
 // sender-side frame buffers of a real NIC path and gives concurrent queries
 // real backpressure to contend on — the TSan CI job runs this backend).
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "transport/internal.h"
 
 namespace simdb::transport {
@@ -40,8 +39,8 @@ class SharedMemoryTransport final : public Transport {
     std::string frame;
     EncodeRowsFrame(*rows, &frame);
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      slot_cv_.wait(lock, [this] { return free_slots_ > 0; });
+      MutexLock lock(mu_);
+      while (free_slots_ == 0) slot_cv_.Wait(lock);
       --free_slots_;
     }
     // The frame is "in flight": it left the builder's ownership and is the
@@ -50,7 +49,7 @@ class SharedMemoryTransport final : public Transport {
     Result<hyracks::Rows> back = DecodeRowsFrame(frame);
     bool all_idle;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++free_slots_;
       all_idle = free_slots_ == kFrameSlots;
     }
@@ -58,8 +57,8 @@ class SharedMemoryTransport final : public Transport {
     // notify_one on a shared one could be consumed by a Drain waiter whose
     // predicate (all slots free) is still false, permanently stranding a
     // blocked shipper — a lost-wakeup deadlock.
-    slot_cv_.notify_one();
-    if (all_idle) idle_cv_.notify_all();
+    slot_cv_.NotifyOne();
+    if (all_idle) idle_cv_.NotifyAll();
     if (!back.ok()) {
       GetMetrics().ship_errors->Increment();
       return back.status();
@@ -71,30 +70,34 @@ class SharedMemoryTransport final : public Transport {
     return Status::OK();
   }
 
-  Status Drain(double timeout_seconds) override {
-    std::unique_lock<std::mutex> lock(mu_);
-    auto all_idle = [this] { return free_slots_ == kFrameSlots; };
+  Status Drain(double timeout_seconds) override SIMDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (timeout_seconds > 0) {
-      if (!idle_cv_.wait_for(lock,
-                             std::chrono::duration<double>(timeout_seconds),
-                             all_idle)) {
-        return Status::DeadlineExceeded(
-            "transport shm: drain timed out with " +
-            std::to_string(kFrameSlots - free_slots_) +
-            " frame slot(s) still in flight");
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(timeout_seconds));
+      while (free_slots_ != kFrameSlots) {
+        if (!idle_cv_.WaitUntil(lock, deadline)) {
+          if (free_slots_ == kFrameSlots) break;  // woke at the deadline, idle
+          return Status::DeadlineExceeded(
+              "transport shm: drain timed out with " +
+              std::to_string(kFrameSlots - free_slots_) +
+              " frame slot(s) still in flight");
+        }
       }
     } else {
-      idle_cv_.wait(lock, all_idle);
+      while (free_slots_ != kFrameSlots) idle_cv_.Wait(lock);
     }
     GetMetrics().drains->Increment();
     return Status::OK();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable slot_cv_;  // signaled when a slot frees up
-  std::condition_variable idle_cv_;  // signaled when every slot is free
-  int free_slots_ = kFrameSlots;
+  Mutex mu_{lockrank::Rank::kTransport, "SharedMemoryTransport::mu_"};
+  CondVar slot_cv_;  // signaled when a slot frees up
+  CondVar idle_cv_;  // signaled when every slot is free
+  int free_slots_ SIMDB_GUARDED_BY(mu_) = kFrameSlots;
 };
 
 }  // namespace

@@ -22,12 +22,12 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "adm/wire.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "transport/internal.h"
 
 namespace simdb::transport {
@@ -221,8 +221,13 @@ class SocketTransport final : public Transport {
         ServeWorker(sv[1]);  // never returns
       }
       ::close(sv[1]);
-      w.fd = sv[0];
-      w.pid = pid;
+      {
+        // Construction is single-threaded; the lock only keeps the
+        // annotated fd/pid guard discipline uniform.
+        MutexLock lock(w.mu);
+        w.fd = sv[0];
+        w.pid = pid;
+      }
       parent_fds.push_back(sv[0]);
       GetMetrics().workers_spawned->Increment();
     }
@@ -230,10 +235,13 @@ class SocketTransport final : public Transport {
 
   ~SocketTransport() override {
     for (Worker& w : workers_) {
+      MutexLock lock(w.mu);
       if (w.pid < 0) continue;
       std::string empty_frame;
       adm::WriteFrame("", &empty_frame);
-      (void)WriteMessage(w.fd, kShutdown, empty_frame);  // best-effort
+      // Best-effort: the worker may already be gone; waitpid below is the
+      // authoritative cleanup either way.
+      (void)WriteMessage(w.fd, kShutdown, empty_frame);
       ::close(w.fd);
       int status = 0;
       while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
@@ -270,7 +278,7 @@ class SocketTransport final : public Transport {
     {
       // One request-reply in flight per worker; ships to distinct nodes
       // proceed in parallel.
-      std::lock_guard<std::mutex> lock(w.mu);
+      MutexLock lock(w.mu);
       Stopwatch rtt;
       Status s = WriteMessage(w.fd, kData, frame);
       if (s.ok()) s = ReadMessage(w.fd, &reply_type, &reply);
@@ -311,20 +319,17 @@ class SocketTransport final : public Transport {
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(bounded ? timeout_seconds : 0));
-    std::string empty_frame;
-    adm::WriteFrame("", &empty_frame);
     for (size_t i = 0; i < workers_.size(); ++i) {
       Worker& w = workers_[i];
-      std::unique_lock<std::mutex> lock(w.mu, std::defer_lock);
       if (bounded) {
         // A worker busy with another query's ship holds its mutex for that
         // ship's round trip; a bounded drain must not be starved behind a
-        // sustained stream of them. Deadline-bounded try_lock polling
+        // sustained stream of them. Deadline-bounded TryLock polling
         // rather than timed_mutex::try_lock_until: the drain is cold, and
         // TSan has no interceptor for pthread_mutex_clocklock, so the timed
         // lock would raise false "unlock of unlocked mutex" reports in the
         // sanitizer CI job.
-        while (!lock.try_lock()) {
+        while (!w.mu.TryLock()) {
           if (std::chrono::steady_clock::now() >= deadline) {
             return Status::DeadlineExceeded(
                 "transport socket: drain timed out behind node " +
@@ -333,18 +338,11 @@ class SocketTransport final : public Transport {
           std::this_thread::sleep_for(std::chrono::microseconds(500));
         }
       } else {
-        lock.lock();
+        w.mu.Lock();
       }
-      SIMDB_RETURN_IF_ERROR(WriteMessage(w.fd, kPing, empty_frame));
-      if (bounded) SIMDB_RETURN_IF_ERROR(WaitReadable(w.fd, deadline));
-      uint8_t type = 0;
-      std::string frame;
-      SIMDB_RETURN_IF_ERROR(ReadMessage(w.fd, &type, &frame));
-      if (type != kPong) {
-        return Status::Internal("transport socket: node " + std::to_string(i) +
-                                " answered ping with type " +
-                                std::to_string(static_cast<int>(type)));
-      }
+      Status pinged = PingWorkerLocked(w, i, bounded, deadline);
+      w.mu.Unlock();
+      SIMDB_RETURN_IF_ERROR(pinged);
     }
     GetMetrics().drains->Increment();
     return Status::OK();
@@ -352,10 +350,34 @@ class SocketTransport final : public Transport {
 
  private:
   struct Worker {
-    std::mutex mu;
-    int fd = -1;
-    pid_t pid = -1;
+    /// One request-reply in flight per worker channel. Rank kTransport; the
+    /// drain loop holds at most one worker mutex at a time (released before
+    /// the next node's is taken), so same-rank nesting never occurs.
+    Mutex mu{lockrank::Rank::kTransport, "SocketTransport::Worker::mu"};
+    int fd SIMDB_GUARDED_BY(mu) = -1;
+    pid_t pid SIMDB_GUARDED_BY(mu) = -1;
   };
+
+  /// One ping round trip on an already-locked worker channel; split out so
+  /// Drain's early error returns cannot skip the explicit Unlock.
+  Status PingWorkerLocked(Worker& w, size_t node, bool bounded,
+                          std::chrono::steady_clock::time_point deadline)
+      SIMDB_REQUIRES(w.mu) {
+    std::string empty_frame;
+    adm::WriteFrame("", &empty_frame);
+    SIMDB_RETURN_IF_ERROR(WriteMessage(w.fd, kPing, empty_frame));
+    if (bounded) SIMDB_RETURN_IF_ERROR(WaitReadable(w.fd, deadline));
+    uint8_t type = 0;
+    std::string frame;
+    SIMDB_RETURN_IF_ERROR(ReadMessage(w.fd, &type, &frame));
+    if (type != kPong) {
+      return Status::Internal("transport socket: node " +
+                              std::to_string(node) +
+                              " answered ping with type " +
+                              std::to_string(static_cast<int>(type)));
+    }
+    return Status::OK();
+  }
 
   std::vector<Worker> workers_;
   Status init_status_;  // first socketpair/fork failure, if any

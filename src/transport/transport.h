@@ -72,8 +72,10 @@ class Transport {
   /// unbounded drain could starve the caller — and a timeout returns
   /// kDeadlineExceeded without disturbing transport state (it is safe to
   /// keep shipping and to drain again). Non-positive waits indefinitely.
-  virtual Status Drain(double timeout_seconds) = 0;
-  Status Drain() { return Drain(/*timeout_seconds=*/0.0); }
+  /// [[nodiscard]] beyond Status's own: a dropped drain status hides dead
+  /// socket workers and stuck frames behind an apparent clean shutdown.
+  [[nodiscard]] virtual Status Drain(double timeout_seconds) = 0;
+  [[nodiscard]] Status Drain() { return Drain(/*timeout_seconds=*/0.0); }
 };
 
 /// Builds a backend for a cluster of `num_nodes` nodes and pre-registers

@@ -37,7 +37,7 @@ class BatchExecTest : public ::testing::Test {
     options.num_threads = 2;
     engine_ = std::make_unique<core::QueryProcessor>(options);
   }
-  ~BatchExecTest() override { storage::RemoveAll(dir_); }
+  ~BatchExecTest() override { storage::RemoveAllBestEffort(dir_); }
 
   void LoadReviews() {
     ASSERT_TRUE(
@@ -209,7 +209,7 @@ TEST(InvertedIndexBatchTest, ScratchPathMatchesGatherAndCopiesNothing) {
   std::string dir = (std::filesystem::temp_directory_path() /
                      ("simdb_batch_idx_" + std::to_string(::getpid())))
                         .string();
-  storage::RemoveAll(dir);
+  storage::RemoveAllBestEffort(dir);
   auto index = storage::InvertedIndex::Open(dir);
   ASSERT_TRUE(index.ok());
   std::vector<std::pair<std::string, int64_t>> postings;
@@ -238,7 +238,7 @@ TEST(InvertedIndexBatchTest, ScratchPathMatchesGatherAndCopiesNothing) {
     EXPECT_EQ(*gather, *batched) << "t=" << t;
     EXPECT_TRUE(std::is_sorted(batched->begin(), batched->end()));
   }
-  storage::RemoveAll(dir);
+  storage::RemoveAllBestEffort(dir);
 }
 
 }  // namespace

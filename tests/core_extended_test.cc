@@ -26,7 +26,7 @@ class CoreExtendedTest : public ::testing::Test {
     options.num_threads = 2;
     engine_ = std::make_unique<QueryProcessor>(options);
   }
-  ~CoreExtendedTest() override { storage::RemoveAll(dir_); }
+  ~CoreExtendedTest() override { storage::RemoveAllBestEffort(dir_); }
 
   void Load(const std::string& dataset,
             const std::vector<std::pair<std::string, std::string>>& rows) {
@@ -211,7 +211,7 @@ TEST_F(CoreExtendedTest, HeapMergeAlgorithmGivesSameAnswers) {
   ASSERT_TRUE(engine_->Execute(query, &scan_result).ok());
   ASSERT_TRUE(heap_engine.Execute(query, &heap_result).ok());
   EXPECT_EQ(scan_result.rows[0].AsInt64(), heap_result.rows[0].AsInt64());
-  storage::RemoveAll(dir2);
+  storage::RemoveAllBestEffort(dir2);
 }
 
 // ---------- template text exposure ----------
@@ -359,7 +359,7 @@ TEST_F(CoreExtendedTest, LoadStatement) {
                             "load dataset Docs from '" + path + "'")
                   .ok());
   EXPECT_EQ(RunCount("count(for $d in dataset Docs return $d)"), 2);
-  storage::RemoveAll(path);
+  storage::RemoveAllBestEffort(path);
 }
 
 TEST_F(CoreExtendedTest, LoadRejectsBadJson) {
@@ -368,7 +368,7 @@ TEST_F(CoreExtendedTest, LoadRejectsBadJson) {
   ASSERT_TRUE(engine_->Execute("create dataset Docs primary key id;").ok());
   EXPECT_FALSE(
       engine_->Execute("load dataset Docs from '" + path + "'").ok());
-  storage::RemoveAll(path);
+  storage::RemoveAllBestEffort(path);
 }
 
 TEST_F(CoreExtendedTest, InsertRejectsNonConstant) {

@@ -28,7 +28,7 @@ class CoreTest : public ::testing::Test {
     options.num_threads = 2;
     engine_ = std::make_unique<QueryProcessor>(options);
   }
-  ~CoreTest() override { storage::RemoveAll(dir_); }
+  ~CoreTest() override { storage::RemoveAllBestEffort(dir_); }
 
   void LoadReviews(bool with_indexes) {
     ASSERT_TRUE(engine_

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Regenerates the wire_frame_fuzzer seed corpus (tests/fuzz/corpus/).
+
+Frames follow src/adm/wire.h: magic u32 'SFRM' | version u8 | length u32 |
+crc32 u32 | payload, all little-endian. zlib.crc32 is the same reflected
+IEEE-802.3 CRC the engine implements, so the seeds are valid frames built
+from the known-CRC vectors pinned by tests/value_test.cc, plus a handful of
+near-miss frames (bad magic / version / crc / truncation) that start the
+fuzzer on each rejection branch.
+"""
+import struct
+import zlib
+from pathlib import Path
+
+MAGIC = 0x4D524653  # "SFRM"
+VERSION = 1
+
+
+def frame(payload: bytes, magic=MAGIC, version=VERSION, crc=None,
+          length=None) -> bytes:
+    if crc is None:
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+    if length is None:
+        length = len(payload)
+    return struct.pack("<IBII", magic, version, length, crc) + payload
+
+
+def main():
+    corpus = Path(__file__).resolve().parent / "corpus"
+    corpus.mkdir(exist_ok=True)
+    known = {
+        "empty": b"",                  # crc 0x00000000
+        "digits": b"123456789",        # crc 0xcbf43926
+        "hello": b"hello",             # crc 0x3610a686
+    }
+    seeds = {}
+    for name, payload in known.items():
+        seeds[f"valid_{name}"] = frame(payload)
+    seeds["valid_two_frames"] = frame(b"hello") + frame(b"123456789")
+    seeds["bad_magic"] = frame(b"hello", magic=0x4D524654)
+    seeds["bad_version"] = frame(b"hello", version=2)
+    seeds["bad_crc"] = frame(b"hello", crc=0xDEADBEEF)
+    seeds["short_payload"] = frame(b"hello", length=64)
+    seeds["truncated_header"] = frame(b"hello")[:7]
+
+    for name, data in sorted(seeds.items()):
+        (corpus / name).write_bytes(data)
+        print(f"{name}: {len(data)} bytes")
+
+
+if __name__ == "__main__":
+    main()

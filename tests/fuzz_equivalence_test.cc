@@ -40,7 +40,7 @@ void RunSeed(uint64_t seed) {
   DifferentialOptions options;
   options.scratch_dir = ScratchDir(seed);
   DifferentialReport report = RunDifferential(c, options);
-  storage::RemoveAll(options.scratch_dir);
+  storage::RemoveAllBestEffort(options.scratch_dir);
   EXPECT_TRUE(report.ok) << report.failure;
   if (report.ok) {
     // >= 3 plan variants x >= 2 topologies per query, per the harness
@@ -62,7 +62,7 @@ void RunSeedBatch(uint64_t seed) {
   options.variants = BatchVariantMatrix();
   options.topologies = {{1, 1}, {2, 2}};
   DifferentialReport report = RunDifferential(c, options);
-  storage::RemoveAll(options.scratch_dir);
+  storage::RemoveAllBestEffort(options.scratch_dir);
   EXPECT_TRUE(report.ok) << report.failure;
   if (report.ok) {
     // 3 plan shapes x {batch, tuple} x 2 topologies per query.
@@ -86,7 +86,7 @@ void RunSeedTransport(uint64_t seed) {
   options.variants = TransportVariantMatrix();
   options.topologies = {{1, 1}, {4, 2}};
   DifferentialReport report = RunDifferential(c, options);
-  storage::RemoveAll(options.scratch_dir);
+  storage::RemoveAllBestEffort(options.scratch_dir);
   EXPECT_TRUE(report.ok) << report.failure;
   if (report.ok) {
     // 4 transport variants x 2 topologies per query.

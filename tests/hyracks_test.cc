@@ -28,7 +28,7 @@ class HyracksTest : public ::testing::Test {
             ("simdb_hyx_" + std::to_string(::getpid()) + "_" +
              std::to_string(counter++)))
                .string();
-    storage::EnsureDir(dir_);
+    SIMDB_CHECK(storage::EnsureDir(dir_).ok()) << dir_;
     catalog_ = std::make_unique<storage::Catalog>(dir_);
     pool_ = std::make_unique<ThreadPool>(2);
     ctx_.pool = pool_.get();
@@ -36,7 +36,7 @@ class HyracksTest : public ::testing::Test {
     ctx_.topology = {2, 2};  // 2 nodes x 2 partitions
     ctx_.stats = &stats_;
   }
-  ~HyracksTest() override { storage::RemoveAll(dir_); }
+  ~HyracksTest() override { storage::RemoveAllBestEffort(dir_); }
 
   /// Builds a partitioned input by round-robin over int values.
   PartitionedRows MakeInts(const std::vector<int64_t>& values) {

@@ -23,7 +23,7 @@ class IntegrationScaleTest : public ::testing::Test {
     dir_ = (std::filesystem::temp_directory_path() /
             ("simdb_integ_" + std::to_string(::getpid())))
                .string();
-    storage::RemoveAll(dir_);
+    storage::RemoveAllBestEffort(dir_);
     EngineOptions options;
     options.data_dir = dir_;
     options.topology = {4, 2};  // the paper's 2-partitions-per-node layout
@@ -41,7 +41,7 @@ class IntegrationScaleTest : public ::testing::Test {
     }
     gen_ = std::make_unique<datagen::TextDatasetGenerator>(std::move(gen));
   }
-  ~IntegrationScaleTest() override { storage::RemoveAll(dir_); }
+  ~IntegrationScaleTest() override { storage::RemoveAllBestEffort(dir_); }
 
   int64_t RunCount(const std::string& aql) {
     QueryResult result;
@@ -159,7 +159,7 @@ TEST_F(IntegrationScaleTest, TOccurrenceAlgorithmsAgreeAtScale) {
   // exclusive per instance); instead compare through a fresh engine with the
   // heap-merge algorithm over freshly generated identical data.
   std::string dir2 = dir_ + "_heap";
-  storage::RemoveAll(dir2);
+  storage::RemoveAllBestEffort(dir2);
   EngineOptions options;
   options.data_dir = dir2;
   options.topology = {4, 2};
@@ -178,7 +178,7 @@ TEST_F(IntegrationScaleTest, TOccurrenceAlgorithmsAgreeAtScale) {
   QueryResult heap_result;
   ASSERT_TRUE(heap_engine.Execute(query, &heap_result).ok());
   EXPECT_EQ(RunCount(query), heap_result.rows[0].AsInt64());
-  storage::RemoveAll(dir2);
+  storage::RemoveAllBestEffort(dir2);
 }
 
 }  // namespace

@@ -30,7 +30,7 @@ class PlanEquivalence : public ::testing::TestWithParam<uint64_t> {
     options.num_threads = 2;
     engine_ = std::make_unique<QueryProcessor>(options);
   }
-  ~PlanEquivalence() override { storage::RemoveAll(dir_); }
+  ~PlanEquivalence() override { storage::RemoveAllBestEffort(dir_); }
 
   int64_t RunCount(const std::string& aql) {
     QueryResult result;

@@ -488,7 +488,7 @@ TEST(VerifiedEngine, SimilarityQueriesPassVerification) {
   std::string dir = (std::filesystem::temp_directory_path() /
                      ("simdb_verify_" + std::to_string(::getpid())))
                         .string();
-  storage::RemoveAll(dir);
+  storage::RemoveAllBestEffort(dir);
   core::EngineOptions options;
   options.data_dir = dir;
   options.topology = {2, 2};
@@ -534,7 +534,7 @@ TEST(VerifiedEngine, SimilarityQueriesPassVerification) {
   ASSERT_TRUE(ed_join.ok()) << ed_join.ToString();
   EXPECT_FALSE(result.rows.empty());
 
-  storage::RemoveAll(dir);
+  storage::RemoveAllBestEffort(dir);
 }
 
 }  // namespace

@@ -9,13 +9,12 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
-#include <condition_variable>
 #include <filesystem>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "observability/metrics.h"
 #include "serving/admission.h"
 #include "serving/query_engine.h"
@@ -38,28 +37,36 @@ using serving::WeightedQueue;
 /// mid-execution (entered > 0), act (cancel, fill the queue, ...), then
 /// open. Timeouts everywhere so a bug fails the test instead of hanging it.
 struct SlowGate {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool open = false;
-  int entered = 0;
+  Mutex mu{lockrank::Rank::kLeaf, "SlowGate::mu"};
+  CondVar cv;
+  bool open SIMDB_GUARDED_BY(mu) = false;
+  int entered SIMDB_GUARDED_BY(mu) = 0;
 
   void Enter() {
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(mu);
     ++entered;
-    cv.notify_all();
-    cv.wait_for(lock, std::chrono::seconds(10), [this] { return open; });
+    cv.NotifyAll();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!open) {
+      if (!cv.WaitUntil(lock, deadline)) break;  // timed out; fail the test
+    }
   }
   void Open() {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       open = true;
     }
-    cv.notify_all();
+    cv.NotifyAll();
   }
   bool AwaitEntered(int n) {
-    std::unique_lock<std::mutex> lock(mu);
-    return cv.wait_for(lock, std::chrono::seconds(10),
-                       [&] { return entered >= n; });
+    MutexLock lock(mu);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (entered < n) {
+      if (!cv.WaitUntil(lock, deadline)) return entered >= n;
+    }
+    return true;
   }
 };
 
@@ -104,7 +111,7 @@ class ServingTest : public ::testing::Test {
   ~ServingTest() override {
     g_gate.store(nullptr);
     engine_.reset();
-    storage::RemoveAll(dir_);
+    storage::RemoveAllBestEffort(dir_);
   }
 
   /// Builds the engine over a deterministic dataset: `records` rows cycling

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "similarity/edit_distance.h"
 #include "similarity/jaccard.h"
@@ -29,9 +30,9 @@ class TempDir {
              ("simdb_test_" + std::to_string(::getpid()) + "_" +
               std::to_string(counter++)))
                 .string();
-    EnsureDir(path_);
+    SIMDB_CHECK(EnsureDir(path_).ok()) << path_;
   }
-  ~TempDir() { RemoveAll(path_); }
+  ~TempDir() { RemoveAllBestEffort(path_); }
   const std::string& path() const { return path_; }
 
  private:

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "storage/file_util.h"
 #include "storage/inverted_index.h"
 #include "storage/token_dictionary.h"
@@ -24,9 +25,9 @@ class TempDir {
              ("simdb_tokdict_" + std::to_string(::getpid()) + "_" +
               std::to_string(counter++)))
                 .string();
-    EnsureDir(path_);
+    SIMDB_CHECK(EnsureDir(path_).ok()) << path_;
   }
-  ~TempDir() { RemoveAll(path_); }
+  ~TempDir() { RemoveAllBestEffort(path_); }
   const std::string& path() const { return path_; }
 
  private:

@@ -311,7 +311,7 @@ TEST(EngineTransportTest, BackendsAnswerIdenticallyAndAccountingFlips) {
        {TransportKind::kModeled, TransportKind::kSharedMemory,
         TransportKind::kSocket}) {
     std::string dir = ScratchDir(TransportKindName(kind));
-    storage::RemoveAll(dir);
+    storage::RemoveAllBestEffort(dir);
     core::QueryProcessor engine(EngineOptionsFor(dir, kind));
     LoadTinyDataset(engine);
     core::QueryResult result;
@@ -339,24 +339,24 @@ TEST(EngineTransportTest, BackendsAnswerIdenticallyAndAccountingFlips) {
           << TransportKindName(kind);
     }
     EXPECT_TRUE(engine.DrainTransport().ok());
-    storage::RemoveAll(dir);
+    storage::RemoveAllBestEffort(dir);
   }
 }
 
 TEST(EngineTransportTest, EnvOverrideSelectsBackend) {
   std::string dir = ScratchDir("env");
-  storage::RemoveAll(dir);
+  storage::RemoveAllBestEffort(dir);
   ::setenv("SIMDB_TRANSPORT", "shm", 1);
   core::QueryProcessor engine(
       EngineOptionsFor(dir, TransportKind::kModeled));
   ::unsetenv("SIMDB_TRANSPORT");
   EXPECT_EQ(engine.transport_kind(), TransportKind::kSharedMemory);
-  storage::RemoveAll(dir);
+  storage::RemoveAllBestEffort(dir);
 }
 
 TEST(EngineTransportTest, SetTransportSwitchesBackend) {
   std::string dir = ScratchDir("switch");
-  storage::RemoveAll(dir);
+  storage::RemoveAllBestEffort(dir);
   core::QueryProcessor engine(
       EngineOptionsFor(dir, TransportKind::kModeled));
   LoadTinyDataset(engine);
@@ -374,7 +374,7 @@ TEST(EngineTransportTest, SetTransportSwitchesBackend) {
     return rows;
   };
   EXPECT_EQ(normalize(modeled), normalize(shm));
-  storage::RemoveAll(dir);
+  storage::RemoveAllBestEffort(dir);
 }
 
 }  // namespace
