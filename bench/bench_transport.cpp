@@ -6,10 +6,19 @@
 // section microbenches the rows-frame codec (serialize/deserialize through
 // the versioned CRC frame) at several row counts.
 //
-//   --json <path>   write {"scaling": [...], "serde": [...], "metrics": ...}
+// A third section compares parent-side vs worker-side compute: the same
+// join at a fixed {4 nodes x 2 partitions} topology under the socket
+// backend with fragment dispatch off (workers only echo shipped bytes)
+// and on (exchange destinations are built inside the forked workers),
+// reporting the measured remote compute surfaced by the cost model.
+//
+//   --json <path>   write {"scaling": [...], "serde": [...],
+//                   "remote_compute": [...], "queries": [...],
+//                   "metrics": ...}
 //                   (merged into BENCH_kernels.json by bench/run_benches.sh)
 //   --quick         small dataset (CI smoke; numbers are NOT meaningful)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -17,6 +26,7 @@
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
 #include "observability/metrics.h"
+#include "observability/profile.h"
 #include "transport/transport.h"
 
 using namespace simdb;
@@ -35,6 +45,13 @@ struct ScalingPoint {
   int64_t result_count = 0;
 };
 
+std::string JoinQuery() {
+  return "count(for $o in dataset AmazonReview for $i in dataset AmazonReview "
+         "where similarity-jaccard(word-tokens($o.summary), "
+         "word-tokens($i.summary)) >= 0.8 and $o.id < 10 and $o.id < $i.id "
+         "return {'o': $o.id})";
+}
+
 Result<ScalingPoint> RunConfig(int nodes, int64_t records,
                                transport::TransportKind kind) {
   BenchEnv env({nodes, 2}, /*threads=*/2);
@@ -44,11 +61,7 @@ Result<ScalingPoint> RunConfig(int nodes, int64_t records,
                          LoadTextDataset(engine, "AmazonReview",
                                          datagen::AmazonProfile(), records));
   (void)gen;
-  std::string join =
-      "count(for $o in dataset AmazonReview for $i in dataset AmazonReview "
-      "where similarity-jaccard(word-tokens($o.summary), "
-      "word-tokens($i.summary)) >= 0.8 and $o.id < 10 and $o.id < $i.id "
-      "return {'o': $o.id})";
+  std::string join = JoinQuery();
   ScalingPoint point;
   point.nodes = nodes;
   point.backend = transport::TransportKindName(kind);
@@ -65,6 +78,54 @@ Result<ScalingPoint> RunConfig(int nodes, int64_t records,
   point.result_count = result.rows.size() == 1 && result.rows[0].is_int64()
                            ? result.rows[0].AsInt64()
                            : static_cast<int64_t>(result.rows.size());
+  return point;
+}
+
+struct RemoteComputePoint {
+  const char* mode = "";
+  double wall_seconds = 0;
+  double makespan_seconds = 0;
+  double remote_compute_seconds = 0;
+  uint64_t tasks_remote = 0;
+  int64_t result_count = 0;
+};
+
+// Same join, fixed {4 nodes x 2 partitions}, socket backend, profiling on;
+// SIMDB_SOCKET_FRAGMENTS decides whether exchange destinations are built in
+// the parent (off: workers echo shipped bytes) or inside the owning forked
+// worker (on: kFragment dispatch). The fragments-on profile is kept for the
+// JSON "queries" section so the exec.remote.* catalogue check in CI sees the
+// per-operator counters a remote build emits.
+Result<RemoteComputePoint> RunRemoteCompute(bool fragments_on, int64_t records,
+                                            std::string* profile_json) {
+  setenv("SIMDB_SOCKET_FRAGMENTS", fragments_on ? "1" : "0", /*overwrite=*/1);
+  BenchEnv env({4, 2}, /*threads=*/2);
+  core::QueryProcessor& engine = env.engine();
+  engine.set_transport(transport::TransportKind::kSocket);
+  engine.set_profile_queries(true);
+  SIMDB_ASSIGN_OR_RETURN(auto gen,
+                         LoadTextDataset(engine, "AmazonReview",
+                                         datagen::AmazonProfile(), records));
+  (void)gen;
+  RemoteComputePoint point;
+  point.mode = fragments_on ? "worker_compute" : "parent_compute";
+  Stopwatch sw;
+  core::QueryResult result;
+  SIMDB_RETURN_IF_ERROR(engine.Execute(JoinQuery() + ";", &result));
+  point.wall_seconds = sw.ElapsedSeconds();
+  cluster::MakespanReport report =
+      cluster::ComputeMakespan(result.exec, engine.options().topology);
+  point.makespan_seconds = report.total_seconds();
+  point.remote_compute_seconds = report.remote_compute_seconds;
+  point.tasks_remote = result.exec.tasks_remote;
+  point.result_count = result.rows.size() == 1 && result.rows[0].is_int64()
+                           ? result.rows[0].AsInt64()
+                           : static_cast<int64_t>(result.rows.size());
+  if (fragments_on && profile_json != nullptr) {
+    if (result.profile == nullptr)
+      return Status::Internal("profiled join produced no profile");
+    *profile_json = result.profile->ToJson();
+  }
   return point;
 }
 
@@ -175,6 +236,39 @@ int Main(int argc, char** argv) {
               Fmt(point.encode_mb_per_sec), Fmt(point.decode_mb_per_sec)});
   }
 
+  PrintTitle("Remote compute: parent vs forked workers ({4 nodes x 2 parts}, "
+             "socket backend)",
+             "fragments off: workers echo shipped frames, all compute in the "
+             "parent; fragments on: kFragment dispatch builds exchange "
+             "destinations inside the owning worker");
+  PrintRow({"mode", "wall", "makespan", "remote compute", "remote tasks"});
+  std::vector<RemoteComputePoint> remote_compute;
+  std::string remote_profile_json;
+  for (bool fragments_on : {false, true}) {
+    Result<RemoteComputePoint> point =
+        RunRemoteCompute(fragments_on, full_data, &remote_profile_json);
+    if (!point.ok()) {
+      std::fprintf(stderr, "remote-compute bench failed: %s\n",
+                   point.status().ToString().c_str());
+      return 1;
+    }
+    remote_compute.push_back(*point);
+    PrintRow({point->mode, Seconds(point->wall_seconds),
+              Seconds(point->makespan_seconds),
+              Seconds(point->remote_compute_seconds),
+              std::to_string(point->tasks_remote)});
+  }
+  unsetenv("SIMDB_SOCKET_FRAGMENTS");
+  if (remote_compute[0].tasks_remote != 0 ||
+      remote_compute[1].tasks_remote == 0) {
+    std::fprintf(stderr,
+                 "remote-compute bench did not exercise fragment dispatch "
+                 "(off: %llu remote tasks, on: %llu)\n",
+                 static_cast<unsigned long long>(remote_compute[0].tasks_remote),
+                 static_cast<unsigned long long>(remote_compute[1].tasks_remote));
+    return 1;
+  }
+
   if (!json_path.empty()) {
     std::string json = "{\n  \"scaling\": [\n";
     for (size_t i = 0; i < scaling.size(); ++i) {
@@ -200,6 +294,23 @@ int Main(int argc, char** argv) {
               ", \"decode_mb_per_sec\": " + Fmt(p.decode_mb_per_sec) + "}";
       json += (i + 1 < serde.size()) ? ",\n" : "\n";
     }
+    json += "  ],\n  \"remote_compute\": [\n";
+    for (size_t i = 0; i < remote_compute.size(); ++i) {
+      const RemoteComputePoint& p = remote_compute[i];
+      json += "    {\"mode\": \"" + std::string(p.mode) +
+              "\", \"wall_seconds\": " + Fmt(p.wall_seconds) +
+              ", \"makespan_seconds\": " + Fmt(p.makespan_seconds) +
+              ", \"remote_compute_seconds\": " + Fmt(p.remote_compute_seconds) +
+              ", \"tasks_remote\": " + std::to_string(p.tasks_remote) +
+              ", \"result_count\": " + std::to_string(p.result_count) + "}";
+      json += (i + 1 < remote_compute.size()) ? ",\n" : "\n";
+    }
+    // Same {"queries": [{"name", "profile"}]} shape as bench_profile --json,
+    // so scripts/check_metric_catalogue.py can diff the exec.remote.*
+    // operator counters against docs/DISTRIBUTED.md.
+    json += "  ],\n  \"queries\": [\n";
+    json += "    {\"name\": \"jaccard_join_worker_compute\", \"profile\": " +
+            remote_profile_json + "}\n";
     json += "  ],\n  \"metrics\": " +
             obs::MetricsRegistry::Global().ToJson() + "\n}\n";
     FILE* f = std::fopen(json_path.c_str(), "w");

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "common/logging.h"
+
 namespace simdb::adm {
 
 namespace {
@@ -60,6 +62,142 @@ Result<std::string_view> ReadFrame(ByteReader* r) {
     return Status::Corruption("frame checksum mismatch");
   }
   return raw;
+}
+
+std::string_view WireMessageName(WireMessage type) {
+  switch (type) {
+    case WireMessage::kData:
+      return "kData";
+    case WireMessage::kPing:
+      return "kPing";
+    case WireMessage::kShutdown:
+      return "kShutdown";
+    case WireMessage::kPong:
+      return "kPong";
+    case WireMessage::kError:
+      return "kError";
+    case WireMessage::kFragment:
+      return "kFragment";
+    case WireMessage::kFragmentResult:
+      return "kFragmentResult";
+    case WireMessage::kFragmentError:
+      return "kFragmentError";
+    case WireMessage::kCancelFragment:
+      return "kCancelFragment";
+  }
+  return "unknown";
+}
+
+void EncodeFragmentClosure(const FragmentClosure& closure, ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>(closure.op));
+  w->PutU32(static_cast<uint32_t>(closure.columns.size()));
+  for (int32_t c : closure.columns) w->PutU32(static_cast<uint32_t>(c));
+  w->PutU32(static_cast<uint32_t>(closure.ascending.size()));
+  for (uint8_t a : closure.ascending) w->PutU8(a);
+}
+
+Result<FragmentClosure> DecodeFragmentClosure(ByteReader* r) {
+  FragmentClosure closure;
+  SIMDB_ASSIGN_OR_RETURN(uint8_t op, r->GetU8());
+  if (op < static_cast<uint8_t>(FragmentOp::kHash) ||
+      op > static_cast<uint8_t>(FragmentOp::kMergeGather)) {
+    return Status::Corruption("unknown fragment op tag " + std::to_string(op));
+  }
+  closure.op = static_cast<FragmentOp>(op);
+  SIMDB_ASSIGN_OR_RETURN(uint32_t ncols, r->GetU32());
+  // Element reads bound memory growth: a lying count fails on truncation
+  // before any large allocation happens.
+  for (uint32_t i = 0; i < ncols; ++i) {
+    SIMDB_ASSIGN_OR_RETURN(uint32_t c, r->GetU32());
+    closure.columns.push_back(static_cast<int32_t>(c));
+  }
+  SIMDB_ASSIGN_OR_RETURN(uint32_t nasc, r->GetU32());
+  for (uint32_t i = 0; i < nasc; ++i) {
+    SIMDB_ASSIGN_OR_RETURN(uint8_t a, r->GetU8());
+    closure.ascending.push_back(a);
+  }
+  if (!closure.ascending.empty() &&
+      closure.ascending.size() != closure.columns.size()) {
+    return Status::Corruption(
+        "fragment closure: " + std::to_string(closure.columns.size()) +
+        " columns but " + std::to_string(closure.ascending.size()) +
+        " sort directions");
+  }
+  return closure;
+}
+
+void EncodeFragmentHeader(const FragmentHeader& h, ByteWriter* w) {
+  w->PutU64(h.query_id);
+  w->PutU32(h.dst_partition);
+  w->PutU32(h.num_nodes);
+  w->PutU32(h.partitions_per_node);
+  w->PutU32(h.num_groups);
+}
+
+Result<FragmentHeader> DecodeFragmentHeader(ByteReader* r) {
+  FragmentHeader h;
+  SIMDB_ASSIGN_OR_RETURN(h.query_id, r->GetU64());
+  SIMDB_ASSIGN_OR_RETURN(h.dst_partition, r->GetU32());
+  SIMDB_ASSIGN_OR_RETURN(h.num_nodes, r->GetU32());
+  SIMDB_ASSIGN_OR_RETURN(h.partitions_per_node, r->GetU32());
+  SIMDB_ASSIGN_OR_RETURN(h.num_groups, r->GetU32());
+  if (h.num_nodes == 0 || h.partitions_per_node == 0) {
+    return Status::Corruption("fragment header: empty topology");
+  }
+  uint64_t parts =
+      static_cast<uint64_t>(h.num_nodes) * h.partitions_per_node;
+  if (h.num_groups != parts) {
+    return Status::Corruption(
+        "fragment header: " + std::to_string(h.num_groups) + " groups for " +
+        std::to_string(parts) + " partitions");
+  }
+  if (h.dst_partition >= parts) {
+    return Status::Corruption("fragment header: destination partition " +
+                              std::to_string(h.dst_partition) +
+                              " out of range");
+  }
+  return h;
+}
+
+void EncodeFragmentResultHeader(const FragmentResultHeader& h, ByteWriter* w) {
+  w->PutU64(h.query_id);
+  w->PutI64(h.worker_pid);
+  w->PutU64(h.local_bytes);
+  w->PutU64(h.remote_bytes);
+  w->PutU64(h.remote_transfers);
+  w->PutDouble(h.compute_seconds);
+}
+
+Result<FragmentResultHeader> DecodeFragmentResultHeader(ByteReader* r) {
+  FragmentResultHeader h;
+  SIMDB_ASSIGN_OR_RETURN(h.query_id, r->GetU64());
+  SIMDB_ASSIGN_OR_RETURN(h.worker_pid, r->GetI64());
+  SIMDB_ASSIGN_OR_RETURN(h.local_bytes, r->GetU64());
+  SIMDB_ASSIGN_OR_RETURN(h.remote_bytes, r->GetU64());
+  SIMDB_ASSIGN_OR_RETURN(h.remote_transfers, r->GetU64());
+  SIMDB_ASSIGN_OR_RETURN(h.compute_seconds, r->GetDouble());
+  return h;
+}
+
+void EncodeFragmentError(const Status& status, std::string* payload) {
+  SIMDB_CHECK(!status.ok()) << "fragment error payload cannot carry OK";
+  ByteWriter w(payload);
+  w.PutU8(static_cast<uint8_t>(status.code()));
+  w.PutString(status.message());
+}
+
+Status DecodeFragmentError(std::string_view payload) {
+  ByteReader r(payload);
+  Result<uint8_t> code = r.GetU8();
+  if (!code.ok()) return code.status();
+  Result<std::string_view> message = r.GetString();
+  if (!message.ok()) return message.status();
+  if (*code == static_cast<uint8_t>(StatusCode::kOk) ||
+      *code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Status::Corruption("fragment error payload carries status code " +
+                              std::to_string(*code));
+  }
+  return Status(static_cast<StatusCode>(*code), std::string(*message));
 }
 
 }  // namespace simdb::adm

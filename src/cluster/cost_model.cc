@@ -102,6 +102,7 @@ MakespanReport ComputeMakespan(const hyracks::ExecStats& stats,
       report.network_seconds += NetworkSeconds(op.remote_bytes, nodes, net);
     }
     report.measured_network_seconds += op.transport_seconds;
+    report.remote_compute_seconds += op.remote_compute_seconds;
   }
   if (stats.has_task_dag) {
     report.has_critical_path = true;
@@ -127,6 +128,16 @@ double ModeledNetworkSeconds(uint64_t remote_bytes, int nodes,
 std::string FormatMakespan(const MakespanReport& report) {
   char buf[160];
   if (report.network_measured) {
+    if (report.remote_compute_seconds > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "%.3fs %s (measured network %.3fs, remote compute %.3fs "
+                    "inside compute)",
+                    report.total_seconds(),
+                    report.has_critical_path ? "critical path" : "stage-sum",
+                    report.measured_network_seconds,
+                    report.remote_compute_seconds);
+      return buf;
+    }
     std::snprintf(buf, sizeof(buf),
                   "%.3fs %s (measured network %.3fs inside compute)",
                   report.total_seconds(),

@@ -52,6 +52,13 @@ struct MakespanReport {
   /// Sum of the exchanges' measured Transport::Ship seconds (informational;
   /// already contained in compute_seconds / the critical path).
   double measured_network_seconds = 0;
+  /// Sum of the exchanges' worker-reported fragment compute seconds (socket
+  /// transport with fragment dispatch — see docs/DISTRIBUTED.md). Like
+  /// measured_network_seconds this is informational: the parent times the
+  /// whole fragment round trip inside the build's partition_seconds, so the
+  /// worker compute is already contained in compute_seconds / the critical
+  /// path. Nonzero only when destinations were actually built remotely.
+  double remote_compute_seconds = 0;
 
   double stage_sum_seconds() const { return compute_seconds + network_seconds; }
   double total_seconds() const {

@@ -28,6 +28,10 @@ enum class StatusCode {
   kDeadlineExceeded,   // query deadline hit (queued or mid-execution)
   kResourceExhausted,  // per-query memory/task quota refused or tripped
   kOverloaded,         // admission rejected: bounded wait queue is full
+  // Distributed-execution code: a remote worker process is gone (died,
+  // closed its socket, or reset the connection). Distinct from kIOError so
+  // callers can tell "peer vanished" from "local disk/socket misbehaved".
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -92,6 +96,9 @@ class [[nodiscard]] Status {
   }
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -224,6 +224,7 @@ Status QueryProcessor::RunQuery(const aql::AExprPtr& query,
   if (gov != nullptr) {
     ctx.cancel = gov->cancel;
     ctx.budget = gov->budget;
+    ctx.query_id = gov->query_id;
   }
   std::unique_ptr<obs::TraceCollector> collector;
   if (options_.profile_queries) {

@@ -82,6 +82,11 @@ struct CompileStats {
 struct QueryGovernor {
   const CancellationToken* cancel = nullptr;
   hyracks::ResourceBudget* budget = nullptr;
+  /// Serving-layer query id stamped into every fragment this query
+  /// dispatches to socket workers (0 = unattributed, never cancellable).
+  /// Lets CancelRemoteFragments tell the workers to refuse this query's
+  /// in-flight fragments after a cancellation or deadline.
+  uint64_t query_id = 0;
 };
 
 /// Everything a query run produces.
@@ -202,6 +207,21 @@ class QueryProcessor {
   Status DrainTransport(double timeout_seconds = 0.0) {
     return transport_->Drain(timeout_seconds);
   }
+
+  /// Tells every socket worker to refuse further fragments of `query_id`
+  /// (recorded in a per-worker cancel ledger; see docs/DISTRIBUTED.md). The
+  /// serving layer calls this before DrainTransport when a query dies so a
+  /// fragment raced against the cancellation cannot be executed afterwards.
+  /// No-op (OK) on backends without remote execution. `timeout_seconds`
+  /// bounds the wait exactly like DrainTransport.
+  Status CancelRemoteFragments(uint64_t query_id,
+                               double timeout_seconds = 0.0) {
+    return transport_->CancelFragments(query_id, timeout_seconds);
+  }
+
+  /// The engine-owned transport backend instance (tests inspect worker pids
+  /// and fragment execution directly). Replaced by set_transport.
+  transport::Transport* transport_backend() { return transport_.get(); }
 
   /// Programmatic data path used by generators and benches (bypasses AQL).
   Result<storage::Dataset*> CreateDataset(const std::string& name,

@@ -78,10 +78,19 @@ struct OpStats {
   uint64_t remote_bytes = 0;
   uint64_t remote_transfers = 0;
   /// Wall-clock seconds the destination builds spent inside Transport::Ship
-  /// (zero under the modeled backend, which never ships). Already contained
-  /// in partition_seconds — kept separately so the cost model can report how
-  /// much of the exchange time was transport.
+  /// or on the wire side of a fragment round trip (zero under the modeled
+  /// backend, which never ships). Already contained in partition_seconds —
+  /// kept separately so the cost model can report how much of the exchange
+  /// time was transport.
   double transport_seconds = 0;
+  /// Wall-clock seconds of destination builds that executed *inside remote
+  /// worker processes* (socket backend with fragment dispatch). Disjoint
+  /// from transport_seconds: a fragment round trip splits into wire time
+  /// (transport_seconds) and the worker's own build time (here). Also inside
+  /// partition_seconds.
+  double remote_compute_seconds = 0;
+  /// How many of this exchange's destination builds ran remotely.
+  uint64_t remote_builds = 0;
   /// Operator-specific counters (name -> summed value), sorted by name.
   /// Populated only when profiling is enabled (ctx.trace != nullptr).
   std::vector<std::pair<std::string, uint64_t>> counters;
@@ -109,10 +118,20 @@ struct ExecStats {
   uint64_t tasks_total = 0;
   uint64_t tasks_executed = 0;
   uint64_t tasks_skipped = 0;
+  /// Exchange build tasks whose destination was produced inside a remote
+  /// worker process (see hyracks/fragment.h). Zero everywhere except the
+  /// socket backend with fragment dispatch on.
+  uint64_t tasks_remote = 0;
 
   uint64_t TotalRemoteBytes() const {
     uint64_t total = 0;
     for (const OpStats& op : ops) total += op.remote_bytes;
+    return total;
+  }
+
+  double TotalRemoteComputeSeconds() const {
+    double total = 0;
+    for (const OpStats& op : ops) total += op.remote_compute_seconds;
     return total;
   }
 };
@@ -127,6 +146,27 @@ enum class ExecutorKind {
   /// Legacy node-at-a-time execution with a global barrier per operator.
   kStageSequential,
 };
+
+/// One remote-eligible exchange build task, as seen by the scheduler's
+/// remote-task lease bookkeeping (the contract is documented in DESIGN.md).
+/// A lease opens when the scheduler admits a kBuild task whose context could
+/// dispatch it to a worker, and closes — exactly once — when the task's
+/// outcome is recorded, whether the destination was built remotely, locally,
+/// or failed. The scheduler asserts every lease closed at finalize, so a
+/// fragment can never be silently lost between dispatch and completion.
+struct RemoteTaskLease {
+  int op_node = -1;        // job DAG node id of the exchange
+  int dst_partition = -1;  // destination partition the task built
+  int cluster_node = -1;   // cluster node owning the destination
+  bool remote = false;     // true: built inside a worker process
+  bool ok = false;         // task outcome
+  double remote_compute_seconds = 0;  // worker-side build time (remote only)
+};
+
+/// Completion callback for remote-task leases. Invoked by the scheduler from
+/// pool threads, outside its own mutex, once per closing lease; the callee
+/// synchronizes its own state.
+using RemoteLeaseCallback = std::function<void(const RemoteTaskLease&)>;
 
 /// Everything an operator needs at runtime. `stats` may be null.
 struct ExecContext {
@@ -173,6 +213,14 @@ struct ExecContext {
   /// Per-query resource quotas (memory held in live intermediate partitions,
   /// task count). Null (the default) disables all accounting.
   ResourceBudget* budget = nullptr;
+  /// Serving-layer query id, stamped into every dispatched fragment so a
+  /// kCancelFragment broadcast can name the query whose fragments workers
+  /// must refuse. 0 means "unattributed" (queries outside the serving
+  /// layer); workers never match id 0 against their cancel ledger.
+  uint64_t query_id = 0;
+  /// When non-null, the scheduler reports every closing remote-task lease
+  /// here (see RemoteTaskLease). Null skips all lease callback work.
+  const RemoteLeaseCallback* on_lease_complete = nullptr;
 };
 
 /// Adds `delta` to the named operator counter when profiling is on; a single

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/stopwatch.h"
+#include "hyracks/fragment.h"
 #include "observability/trace.h"
 #include "transport/transport.h"
 
@@ -55,6 +56,22 @@ Result<Rows> BuildAndShipDestination(ExecContext& ctx, ExchangeOperator& op,
                                      int dst, const PartitionedRows& in,
                                      const ExchangeOperator::Routing& routing,
                                      PartitionedRows* steal, OpStats* stats) {
+  // Remote-first: when the transport executes fragments, the destination is
+  // *computed* in the worker that owns its node and only the result crosses
+  // back — the parent never materializes it. A handled remote build consumed
+  // no tuples from `steal` (its slice is disjoint from every other
+  // destination's), so concurrent stealing builds are unaffected. Falls
+  // through to the local build + echo-ship path when remote execution is
+  // off, the operator has no closure, the slice is empty, or the fragment
+  // was refused as cancelled.
+  if (ctx.transport != nullptr && ctx.transport->remote_execution() &&
+      (ctx.cancel == nullptr || ctx.cancel->Check().ok())) {
+    Rows remote_rows;
+    bool handled = false;
+    SIMDB_RETURN_IF_ERROR(fragment::TryBuildRemote(
+        ctx, op, dst, in, routing, stats, &remote_rows, &handled));
+    if (handled) return remote_rows;
+  }
   SIMDB_ASSIGN_OR_RETURN(Rows rows,
                          op.BuildDestination(ctx, dst, in, routing, steal,
                                              stats));
@@ -110,12 +127,19 @@ Result<PartitionedRows> RunExchange(
   // under any pool size.
   PartitionedRows out(static_cast<size_t>(parts));
   std::vector<OpStats> dest_stats(static_cast<size_t>(parts));
+  // Profiling gives every destination task a private counter sink (remote
+  // fragment dispatch emits exec.remote.* through it), merged in destination
+  // order below; the off path is untouched.
+  std::vector<OpCounterSink> sinks;
+  if (profiling) sinks.resize(static_cast<size_t>(parts));
   SIMDB_RETURN_IF_ERROR(
       RunPerPartition(ctx, parts, stats, [&](int dst) -> Status {
+        ExecContext task_ctx = ctx;
+        if (profiling) task_ctx.counters = &sinks[static_cast<size_t>(dst)];
         int64_t start = profiling ? ctx.trace->NowMicros() : 0;
         SIMDB_ASSIGN_OR_RETURN(
             out[static_cast<size_t>(dst)],
-            BuildAndShipDestination(ctx, op, dst, in, routing, steal,
+            BuildAndShipDestination(task_ctx, op, dst, in, routing, steal,
                                     &dest_stats[static_cast<size_t>(dst)]));
         if (profiling) {
           obs::TraceEvent ev;
@@ -136,12 +160,23 @@ Result<PartitionedRows> RunExchange(
         return Status::OK();
       }));
   if (stats != nullptr) {
+    if (profiling) {
+      for (const OpCounterSink& sink : sinks) MergeCounterSink(*stats, sink);
+    }
     for (int dst = 0; dst < parts; ++dst) {
       const OpStats& d = dest_stats[static_cast<size_t>(dst)];
       stats->local_bytes += d.local_bytes;
       stats->remote_bytes += d.remote_bytes;
       stats->remote_transfers += d.remote_transfers;
       stats->transport_seconds += d.transport_seconds;
+      stats->remote_compute_seconds += d.remote_compute_seconds;
+      stats->remote_builds += d.remote_builds;
+    }
+    if (ctx.stats != nullptr) {
+      // Stage-sequential task accounting counts whole nodes; remote builds
+      // are still counted per destination so both executors agree on
+      // tasks_remote.
+      ctx.stats->tasks_remote += stats->remote_builds;
     }
     // Routing runs over the sources once; spread its cost evenly the way the
     // cluster would (each source partition routes its own rows). Implicit-

@@ -69,12 +69,17 @@ void BumpMax(std::atomic<uint64_t>& slot, uint64_t candidate) {
 /// A cancelled or deadline-exceeded query may have abandoned exchange
 /// destinations mid-ship; drain the transport so the dead query leaves no
 /// bytes in flight (for the socket backend this also proves every worker is
-/// alive and idle). The drain is bounded and its failure is counted — a
-/// silent `(void)` discard would hide dead socket workers.
+/// alive and idle). Under fragment dispatch the dead query's id is first
+/// recorded in every worker's cancel ledger so a fragment racing the
+/// cancellation is refused rather than executed (see docs/DISTRIBUTED.md).
+/// Both steps are bounded and their failures are counted — a silent
+/// `(void)` discard would hide dead socket workers.
 void DrainTransportAfterAbort(core::QueryProcessor& processor,
-                              obs::MetricsRegistry& reg) {
+                              obs::MetricsRegistry& reg, uint64_t query_id) {
+  Status cancelled =
+      processor.CancelRemoteFragments(query_id, kFinishDrainTimeoutSeconds);
   Status drained = processor.DrainTransport(kFinishDrainTimeoutSeconds);
-  if (!drained.ok()) {
+  if (!cancelled.ok() || !drained.ok()) {
     reg.GetCounter("serving.transport_drain_failures")->Increment();
   }
 }
@@ -281,6 +286,7 @@ void QueryEngine::RunTicket(const std::shared_ptr<QueryTicket>& ticket) {
   core::QueryGovernor gov;
   gov.cancel = &ticket->cancel_;
   gov.budget = &ticket->budget_;
+  gov.query_id = ticket->id();
   core::QueryResult result;
   Clock::time_point exec_start = Clock::now();
   Status s = processor_.ExecuteConcurrent(ticket->aql_, gov, &result);
@@ -301,12 +307,12 @@ void QueryEngine::FinishTicket(const std::shared_ptr<QueryTicket>& ticket,
     case StatusCode::kCancelled:
       cancelled_.fetch_add(1, std::memory_order_relaxed);
       reg.GetCounter("serving.cancelled")->Increment();
-      DrainTransportAfterAbort(processor_, reg);
+      DrainTransportAfterAbort(processor_, reg, ticket->id());
       break;
     case StatusCode::kDeadlineExceeded:
       deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
       reg.GetCounter("serving.deadline_exceeded")->Increment();
-      DrainTransportAfterAbort(processor_, reg);
+      DrainTransportAfterAbort(processor_, reg, ticket->id());
       break;
     case StatusCode::kResourceExhausted:
       rejected_quota_.fetch_add(1, std::memory_order_relaxed);

@@ -27,6 +27,29 @@ struct Metrics {
 
 Metrics& GetMetrics();
 
+/// Cached handles to the transport.fragment.* metrics (docs/DISTRIBUTED.md).
+/// Registered separately from Metrics and only by the socket backend: the
+/// modeled/shm backends never dispatch fragments, and registering the names
+/// for them would put emitted-but-never-incremented metrics into every
+/// paper-figure profile snapshot the catalogue check audits.
+struct FragmentMetrics {
+  obs::Counter* dispatched;
+  obs::Counter* errors;
+  obs::Counter* fallbacks;
+  obs::Counter* cancels_sent;
+  obs::Counter* request_bytes;
+  obs::Counter* reply_bytes;
+  obs::Histogram* remote_compute_micros;
+};
+
+FragmentMetrics& GetFragmentMetrics();
+
+/// Parses the SIMDB_SOCKET_FRAGMENTS environment toggle. Fragment dispatch
+/// is ON by default on the socket backend; "0"/"off"/"false" fall back to
+/// the PR 8 echo protocol (workers validate and echo, partitions computed in
+/// the parent) for A/B benchmarking.
+bool SocketFragmentsFromEnv();
+
 std::unique_ptr<Transport> MakeSharedMemoryTransport();
 std::unique_ptr<Transport> MakeSocketTransport(int num_nodes);
 

@@ -33,7 +33,31 @@ class ModeledTransport final : public Transport {
   }
 };
 
+/// Installed fragment interpreter. Written once, during static
+/// initialization of hyracks/fragment.cc (single-threaded, pre-main, and
+/// pre-fork), read-only afterwards — so plain loads are race-free and the
+/// forked workers inherit the pointer.
+FragmentInterpreter g_fragment_interpreter = nullptr;
+
 }  // namespace
+
+Status Transport::ExecuteFragment(int, const std::string&, std::string*,
+                                  double*) {
+  return Status::Unsupported(std::string("transport '") + name() +
+                             "' does not execute fragments");
+}
+
+Status Transport::CancelFragments(uint64_t, double) { return Status::OK(); }
+
+std::vector<int> Transport::worker_pids() { return {}; }
+
+void InstallFragmentInterpreter(FragmentInterpreter fn) {
+  g_fragment_interpreter = fn;
+}
+
+FragmentInterpreter InstalledFragmentInterpreter() {
+  return g_fragment_interpreter;
+}
 
 namespace internal {
 
@@ -55,6 +79,32 @@ Metrics& GetMetrics() {
     return handles;
   }();
   return m;
+}
+
+FragmentMetrics& GetFragmentMetrics() {
+  static FragmentMetrics m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    FragmentMetrics handles;
+    handles.dispatched = reg.GetCounter("transport.fragment.dispatched");
+    handles.errors = reg.GetCounter("transport.fragment.errors");
+    handles.fallbacks = reg.GetCounter("transport.fragment.fallbacks");
+    handles.cancels_sent = reg.GetCounter("transport.fragment.cancels_sent");
+    handles.request_bytes = reg.GetCounter("transport.fragment.request_bytes");
+    handles.reply_bytes = reg.GetCounter("transport.fragment.reply_bytes");
+    handles.remote_compute_micros =
+        reg.GetHistogram("transport.fragment.remote_compute_micros");
+    return handles;
+  }();
+  return m;
+}
+
+bool SocketFragmentsFromEnv() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv at transport
+  // construction, same idiom as KindFromEnv below.
+  const char* env = std::getenv("SIMDB_SOCKET_FRAGMENTS");
+  if (env == nullptr) return true;
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0 &&
+         std::strcmp(env, "false") != 0;
 }
 
 }  // namespace internal

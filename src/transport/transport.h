@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "hyracks/tuple.h"
@@ -76,7 +77,56 @@ class Transport {
   /// socket workers and stuck frames behind an apparent clean shutdown.
   [[nodiscard]] virtual Status Drain(double timeout_seconds) = 0;
   [[nodiscard]] Status Drain() { return Drain(/*timeout_seconds=*/0.0); }
+
+  /// True when this backend executes fragment closures inside remote worker
+  /// processes (socket backend with fragment dispatch enabled; see
+  /// SIMDB_SOCKET_FRAGMENTS in docs/DISTRIBUTED.md). The executors consult
+  /// this before attempting a remote build; the default backends compute
+  /// every destination locally.
+  virtual bool remote_execution() const { return false; }
+
+  /// Sends one encoded kFragment request payload to `dst_node`'s worker and
+  /// blocks for its reply. On success `*reply_payload` receives the
+  /// checksum-validated kFragmentResult payload and `*seconds` the full
+  /// round-trip wall clock (serialize + transfer + remote compute +
+  /// transfer). A kFragmentError reply decodes back into exactly the Status
+  /// the worker produced. Thread-safe; one fragment in flight per worker.
+  virtual Status ExecuteFragment(int dst_node,
+                                 const std::string& request_payload,
+                                 std::string* reply_payload, double* seconds);
+
+  /// Broadcasts kCancelFragment for `query_id` to every worker so fragments
+  /// of a cancelled query are refused before execution. A positive
+  /// `timeout_seconds` bounds the whole broadcast (one shared deadline across
+  /// workers, like Drain); a timeout returns kDeadlineExceeded without
+  /// disturbing transport state. No-op (OK) on backends without remote
+  /// execution.
+  [[nodiscard]] virtual Status CancelFragments(uint64_t query_id,
+                                               double timeout_seconds);
+
+  /// Pids of the live worker processes (socket backend; empty elsewhere).
+  /// Exposed for the worker-death injection tests.
+  virtual std::vector<int> worker_pids();
 };
+
+/// Outcome of interpreting one fragment request inside a worker: `payload`
+/// is a kFragmentResult payload when `ok`, an encoded fragment-error payload
+/// (adm::EncodeFragmentError) otherwise. The interpreter never throws or
+/// exits; every failure becomes an encoded Status the parent can decode.
+struct FragmentReply {
+  bool ok = false;
+  std::string payload;
+};
+
+/// Worker-side fragment interpreter. The transport library sits below the
+/// operator library and cannot depend on it, so the execution layer
+/// (hyracks/fragment.cc) installs its interpreter here during static
+/// initialization — before main(), and therefore before any worker fork —
+/// and the forked workers inherit the installed pointer.
+using FragmentInterpreter = FragmentReply (*)(std::string_view request_payload);
+
+void InstallFragmentInterpreter(FragmentInterpreter fn);
+FragmentInterpreter InstalledFragmentInterpreter();
 
 /// Builds a backend for a cluster of `num_nodes` nodes and pre-registers
 /// every transport.* metric (see docs/TRANSPORT.md) so registry snapshots

@@ -25,6 +25,28 @@ def frame(payload: bytes, magic=MAGIC, version=VERSION, crc=None,
     return struct.pack("<IBII", magic, version, length, crc) + payload
 
 
+def fragment_request(query_id=42, dst=1, nodes=2, ppn=2, op=1,
+                     columns=(0,), ascending=()) -> bytes:
+    """A kFragment request payload (src/adm/wire.h): FragmentHeader +
+    FragmentClosure + one empty row group per partition."""
+    groups = nodes * ppn
+    payload = struct.pack("<QIIII", query_id, dst, nodes, ppn, groups)
+    payload += struct.pack("<BI", op, len(columns))
+    for c in columns:
+        payload += struct.pack("<I", c)
+    payload += struct.pack("<I", len(ascending))
+    for a in ascending:
+        payload += struct.pack("<B", a)
+    payload += struct.pack("<I", 0) * groups  # empty row groups
+    return payload
+
+
+def fragment_error(code=5, message=b"corrupt slice") -> bytes:
+    """A kFragmentError payload: status code byte + length-prefixed text
+    (5 = kCorruption in common/status.h)."""
+    return struct.pack("<BI", code, len(message)) + message
+
+
 def main():
     corpus = Path(__file__).resolve().parent / "corpus"
     corpus.mkdir(exist_ok=True)
@@ -42,6 +64,20 @@ def main():
     seeds["bad_crc"] = frame(b"hello", crc=0xDEADBEEF)
     seeds["short_payload"] = frame(b"hello", length=64)
     seeds["truncated_header"] = frame(b"hello")[:7]
+    # Fragment-family seeds (kFragment / kFragmentError / kCancelFragment
+    # payload shapes from docs/DISTRIBUTED.md) so mutation starts on the
+    # message layouts the socket workers actually parse.
+    seeds["frag_request_hash"] = frame(fragment_request())
+    seeds["frag_request_merge_gather"] = frame(
+        fragment_request(op=4, columns=(1, 0), ascending=(1, 0)))
+    seeds["frag_request_bad_op"] = frame(fragment_request(op=99))
+    seeds["frag_request_truncated"] = frame(fragment_request()[:-6])
+    seeds["frag_error"] = frame(fragment_error())
+    seeds["frag_cancel"] = frame(struct.pack("<Q", 42))
+    # A [u8 type][frame] channel message as the transport writes it; the
+    # leading type byte must fail the bare-frame magic check cleanly.
+    seeds["frag_typed_message"] = struct.pack("<B", 6) + frame(
+        fragment_request())
 
     for name, data in sorted(seeds.items()):
         (corpus / name).write_bytes(data)

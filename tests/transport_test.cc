@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
@@ -15,6 +16,7 @@
 #include "adm/wire.h"
 #include "cluster/cost_model.h"
 #include "common/random.h"
+#include "common/stopwatch.h"
 #include "core/query_processor.h"
 #include "storage/file_util.h"
 #include "transport/transport.h"
@@ -249,6 +251,98 @@ TEST(SocketTransportTest, WorkersForkedEagerlyAndDrainBoundedWhenIdle) {
   std::unique_ptr<Transport> t = MakeTransport(TransportKind::kSocket, 3);
   EXPECT_TRUE(t->Drain(/*timeout_seconds=*/5.0).ok());
   EXPECT_TRUE(t->Drain().ok());
+}
+
+TEST(SocketTransportTest, TimedOutDrainLeavesChannelUsable) {
+  // Regression: a bounded drain that times out *after* writing its ping
+  // leaves the pong in flight on the stream. The next request on that
+  // channel used to read the stale pong as its own reply and desynchronize
+  // the protocol; now it drains pending pongs first. An already-expired
+  // deadline forces exactly that path deterministically (the ping is
+  // written, the bounded wait has zero budget left).
+  std::unique_ptr<Transport> t = MakeTransport(TransportKind::kSocket, 2);
+  int timed_out = 0;
+  for (int i = 0; i < 5; ++i) {
+    Status s = t->Drain(/*timeout_seconds=*/1e-9);
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+      ++timed_out;
+    }
+  }
+  ASSERT_GT(timed_out, 0);
+  // Ships and unbounded drains must still work on the realigned channel.
+  for (int node = 0; node < 2; ++node) {
+    Rows rows = MakeRows(static_cast<uint64_t>(node) + 77, 10);
+    Rows original = rows;
+    double seconds = 0;
+    ASSERT_TRUE(t->Ship(node, &rows, &seconds).ok()) << "node " << node;
+    EXPECT_TRUE(RowsEqual(rows, original));
+  }
+  EXPECT_TRUE(t->Drain().ok());
+}
+
+TEST(SocketTransportTest, BoundedDrainSharesOneDeadlineAcrossWorkers) {
+  // The timeout is one budget for the whole drain, not per worker: with N
+  // workers and an expired deadline the drain returns once, quickly —
+  // it must not serially spend a full timeout on each of the N channels.
+  std::unique_ptr<Transport> t = MakeTransport(TransportKind::kSocket, 4);
+  // Warm the channels so every worker is known-alive.
+  EXPECT_TRUE(t->Drain().ok());
+  Stopwatch sw;
+  Status s = t->Drain(/*timeout_seconds=*/0.05);
+  double elapsed = sw.ElapsedSeconds();
+  // Either it finished in time or it timed out; both must respect the
+  // *shared* budget with generous scheduling slack (4 x 0.05s serial
+  // per-worker deadlines would take at least 0.2s).
+  if (!s.ok()) EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed, 0.15);
+  EXPECT_TRUE(t->Drain().ok());
+}
+
+TEST(SocketTransportTest, KilledWorkerSurfacesAsUnavailable) {
+  // Worker-death injection: SIGKILL one worker and the failure mode must be
+  // deterministic — kUnavailable (programmatically distinct from IO or
+  // corruption errors), no hang, bounded drain still returns promptly, and
+  // a fresh transport is unaffected.
+  std::unique_ptr<Transport> t = MakeTransport(TransportKind::kSocket, 2);
+  std::vector<int> pids = t->worker_pids();
+  ASSERT_EQ(pids.size(), 2u);
+  ASSERT_EQ(::kill(pids[1], SIGKILL), 0);
+  // The kernel closes the worker's socket end when the process dies; both a
+  // ship and a fragment dispatch to the dead node must fail kUnavailable.
+  Rows rows = MakeRows(3, 8);
+  double seconds = 0;
+  Status dead_ship = t->Ship(1, &rows, &seconds);
+  ASSERT_FALSE(dead_ship.ok());
+  EXPECT_EQ(dead_ship.code(), StatusCode::kUnavailable);
+  EXPECT_NE(dead_ship.message().find("worker gone"), std::string::npos);
+  std::string reply;
+  Status dead_frag = t->ExecuteFragment(1, "payload", &reply, &seconds);
+  ASSERT_FALSE(dead_frag.ok());
+  EXPECT_EQ(dead_frag.code(), StatusCode::kUnavailable);
+  // The healthy worker keeps serving.
+  Rows ok_rows = MakeRows(4, 8);
+  Rows original = ok_rows;
+  ASSERT_TRUE(t->Ship(0, &ok_rows, &seconds).ok());
+  EXPECT_TRUE(RowsEqual(ok_rows, original));
+  // Drains fail (they ping every worker) but return promptly — never hang —
+  // and report the dead worker as unavailable.
+  Stopwatch sw;
+  Status drained = t->Drain(/*timeout_seconds=*/5.0);
+  ASSERT_FALSE(drained.ok());
+  EXPECT_EQ(drained.code(), StatusCode::kUnavailable);
+  EXPECT_LT(sw.ElapsedSeconds(), 5.0);
+  // Cancels hit the dead channel too; also kUnavailable, never a hang.
+  Status cancelled = t->CancelFragments(9, /*timeout_seconds=*/5.0);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.code(), StatusCode::kUnavailable);
+  // A replacement transport forks fresh workers and is fully functional.
+  std::unique_ptr<Transport> fresh = MakeTransport(TransportKind::kSocket, 2);
+  Rows fresh_rows = MakeRows(5, 8);
+  Rows fresh_original = fresh_rows;
+  ASSERT_TRUE(fresh->Ship(1, &fresh_rows, &seconds).ok());
+  EXPECT_TRUE(RowsEqual(fresh_rows, fresh_original));
+  EXPECT_TRUE(fresh->Drain().ok());
 }
 
 TEST(SocketTransportTest, OutOfRangeNodeFailsLoudly) {
